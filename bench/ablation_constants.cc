@@ -1,0 +1,52 @@
+// §5.3 ablation: sensitivity to the shadow-queue size and credit constants.
+// The paper reports little variance for hill shadows >= 1 MB and the best
+// hit rates for 1-4 KB credits.
+#include "bench/bench_common.h"
+
+using namespace cliffhanger;
+using namespace cliffhanger::bench;
+
+int main() {
+  Banner("Ablation (§5.3): shadow-queue sizes and credits",
+         "paper: >=1MB shadows equivalent; 1-4KB credits best; larger "
+         "credits oscillate");
+  MemcachierSuite suite;
+  const SuiteApp& app5 = suite.app(5);
+  const Trace trace5 = suite.GenerateAppTrace(5, kAppTraceLen, kSeed);
+
+  {
+    TablePrinter t({"Hill shadow (KiB)", "App 5 hit rate"});
+    for (const uint64_t kib : {256, 512, 1024, 2048, 4096}) {
+      ServerConfig config = CliffhangerServerConfig();
+      config.hill_shadow_bytes = kib * 1024;
+      const SimResult r = RunApp(app5, trace5, config);
+      t.AddRow({std::to_string(kib), TablePrinter::Pct(r.hit_rate())});
+    }
+    t.Print(std::cout);
+  }
+  {
+    TablePrinter t({"Credit (KiB)", "App 5 hit rate"});
+    for (const uint64_t kib : {1, 4, 16, 64, 256}) {
+      ServerConfig config = CliffhangerServerConfig();
+      config.knobs.climber.credit_bytes = kib * 1024;
+      config.knobs.climber.quantum_bytes = kib * 1024;
+      const SimResult r = RunApp(app5, trace5, config);
+      t.AddRow({std::to_string(kib), TablePrinter::Pct(r.hit_rate())});
+    }
+    t.Print(std::cout);
+  }
+  {
+    // Cliff-scaler credit sweep on the cliff app.
+    const SuiteApp& app11 = suite.app(11);
+    const Trace trace11 = suite.GenerateAppTrace(11, kAppTraceLen, kSeed);
+    TablePrinter t({"Scaler credit (KiB)", "App 11 hit rate"});
+    for (const uint64_t kib : {1, 4, 16, 64}) {
+      ServerConfig config = CliffScalingOnlyConfig();
+      config.knobs.scaler.credit_bytes = kib * 1024;
+      const SimResult r = RunApp(app11, trace11, config);
+      t.AddRow({std::to_string(kib), TablePrinter::Pct(r.hit_rate())});
+    }
+    t.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// §3.4 design claim: the rate of hits in a shadow queue approximates the
+// hit-rate curve gradient. Measured shadow-hit rates vs the exact
+// finite-difference gradient from Mattson stack distances, across Zipf
+// shapes and operating points.
+#include "bench/bench_common.h"
+
+#include "cache/slab_class_queue.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "workload/zipf.h"
+
+using namespace cliffhanger;
+using namespace cliffhanger::bench;
+
+int main() {
+  Banner("Ablation (§3.4): shadow hit rate ~ hit-rate-curve gradient",
+         "design claim behind Algorithm 1");
+  TablePrinter t({"alpha", "capacity", "shadow items", "observed",
+                  "exact gradient", "rel err"});
+  std::vector<double> observed_all, expected_all;
+  for (const double alpha : {0.8, 0.9, 1.0, 1.1}) {
+    for (const uint64_t capacity : {2000ULL, 5000ULL}) {
+      const uint64_t shadow = capacity / 4;
+      SlabQueueConfig config;
+      config.chunk_size = 64;
+      config.tail_items = 0;
+      config.cliff_shadow_items = 0;
+      config.hill_shadow_bytes = shadow * 64;
+      SlabClassQueue queue(config);
+      queue.SetCapacityItems(capacity);
+      StackDistanceAnalyzer analyzer;
+      ZipfTable zipf(20000, alpha);
+      Rng rng(99);
+      for (int i = 0; i < 50000; ++i) {
+        const ItemMeta item{zipf.Sample(rng), 14, 12};
+        if (!queue.Get(item).hit) queue.Fill(item);
+      }
+      uint64_t gets = 0, shadow_hits = 0;
+      for (int i = 0; i < 400000; ++i) {
+        const ItemMeta item{zipf.Sample(rng), 14, 12};
+        ++gets;
+        const GetResult r = queue.Get(item);
+        if (r.region == HitRegion::kHillShadow) ++shadow_hits;
+        if (!r.hit) queue.Fill(item);
+        analyzer.Record(item.key);
+      }
+      const PiecewiseCurve curve = CurveFromHistogram(
+          analyzer.histogram(), analyzer.total_accesses(), 1 << 20);
+      const double expected =
+          curve.Eval(static_cast<double>(capacity + shadow)) -
+          curve.Eval(static_cast<double>(capacity));
+      const double obs = static_cast<double>(shadow_hits) / gets;
+      observed_all.push_back(obs);
+      expected_all.push_back(expected);
+      t.AddRow({TablePrinter::Num(alpha, 1), std::to_string(capacity),
+                std::to_string(shadow), TablePrinter::Pct(obs, 2),
+                TablePrinter::Pct(expected, 2),
+                expected > 0
+                    ? TablePrinter::Pct(std::abs(obs - expected) / expected)
+                    : "n/a"});
+    }
+  }
+  t.Print(std::cout);
+  std::cout << "correlation(observed, exact) = "
+            << TablePrinter::Num(Correlation(observed_all, expected_all), 3)
+            << " (1.0 = perfect)\n";
+  return 0;
+}

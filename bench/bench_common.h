@@ -1,0 +1,48 @@
+// Shared helpers for the experiment drivers (one binary per paper table or
+// figure). Trace lengths are chosen so every driver completes in well under
+// a minute; EXPERIMENTS.md records the paper-vs-measured comparison.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "analysis/hit_rate_curve.h"
+#include "analysis/stack_distance.h"
+#include "sim/experiment.h"
+#include "util/slab_geometry.h"
+#include "util/table.h"
+#include "workload/memcachier_suite.h"
+
+namespace cliffhanger::bench {
+
+constexpr uint64_t kAppTraceLen = 600000;   // per-app requests
+constexpr uint64_t kSeed = 42;
+
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "==============================================\n"
+            << title << "\n(" << paper_ref << ")\n"
+            << "==============================================\n";
+}
+
+// Exact per-class hit-rate curve (x in items) for one suite app.
+inline PiecewiseCurve ExactClassCurve(const Trace& trace, uint32_t app_id,
+                                      int slab_class) {
+  StackDistanceAnalyzer analyzer;
+  uint64_t gets = 0;
+  for (const Request& r : trace) {
+    if (r.app_id != app_id || r.op != Op::kGet) continue;
+    if (SlabClassFor(ExactFootprint(r.key_size, r.value_size)) != slab_class) {
+      continue;
+    }
+    ++gets;
+    analyzer.Record(r.key);
+  }
+  return CurveFromHistogram(analyzer.histogram(), gets, 1 << 20);
+}
+
+inline std::string Star(const SuiteApp& app) {
+  return app.has_cliff ? "*" : "";
+}
+
+}  // namespace cliffhanger::bench

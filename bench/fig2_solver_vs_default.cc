@@ -1,0 +1,36 @@
+// Figure 2: hit rates and miss reduction of the Dynacache solver vs the
+// default allocation, for all 20 applications (asterisk = cliff app).
+#include "bench/bench_common.h"
+
+using namespace cliffhanger;
+using namespace cliffhanger::bench;
+
+int main() {
+  Banner("Figure 2: Dynacache solver vs default, 20 applications",
+         "paper: big gains for apps 6/14/16/17; apps 18/19 regress "
+         "(cliffs defeat the concavity assumption)");
+  MemcachierSuite suite;
+  TablePrinter t({"App", "Default HR", "Solver HR", "Miss reduction"});
+  double sum_default = 0.0, sum_solver = 0.0;
+  for (int id = 1; id <= 20; ++id) {
+    const SuiteApp& app = suite.app(id);
+    const Trace trace = suite.GenerateAppTrace(id, kAppTraceLen, kSeed);
+    const SimResult fcfs = RunApp(app, trace, DefaultServerConfig());
+    const SimResult solver = RunAppWithSolver(app, trace);
+    const double reduction =
+        fcfs.total.misses() == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(solver.total.misses()) /
+                        static_cast<double>(fcfs.total.misses());
+    sum_default += fcfs.hit_rate();
+    sum_solver += solver.hit_rate();
+    t.AddRow({std::to_string(id) + Star(app),
+              TablePrinter::Pct(fcfs.hit_rate()),
+              TablePrinter::Pct(solver.hit_rate()),
+              TablePrinter::Pct(reduction)});
+  }
+  t.AddRow({"avg", TablePrinter::Pct(sum_default / 20),
+            TablePrinter::Pct(sum_solver / 20), ""});
+  t.Print(std::cout);
+  return 0;
+}

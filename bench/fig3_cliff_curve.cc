@@ -1,0 +1,29 @@
+// Figure 3: performance cliff in Application 11, slab class 6.
+#include "bench/bench_common.h"
+
+using namespace cliffhanger;
+using namespace cliffhanger::bench;
+
+int main() {
+  Banner("Figure 3: performance cliff, Application 11 / slab class 6",
+         "paper: hit rate jumps from ~0.05 to ~0.75 across the cliff");
+  MemcachierSuite suite;
+  const Trace trace = suite.GenerateAppTrace(11, kAppTraceLen, kSeed);
+  const PiecewiseCurve curve = ExactClassCurve(trace, 11, 6);
+  PrintCsvSeries(std::cout, "Application 11, Slab Class 6",
+                 "lru_queue_items", "hit_rate", curve.xs(), curve.ys(), 60);
+  std::cout << "concave: " << (curve.IsConcave(1e-3) ? "yes" : "no")
+            << "  (paper: NOT concave - performance cliff)\n";
+  // Locate the cliff: the largest single-segment jump.
+  double best_jump = 0.0, cliff_at = 0.0;
+  for (size_t i = 1; i < curve.size(); ++i) {
+    const double jump = curve.ys()[i] - curve.ys()[i - 1];
+    if (jump > best_jump) {
+      best_jump = jump;
+      cliff_at = curve.xs()[i];
+    }
+  }
+  std::cout << "largest jump: +" << TablePrinter::Pct(best_jump) << " at "
+            << cliff_at << " items\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 4: concave hull and Talus split for Application 19, slab class 0.
+// The paper's worked example: an 8000-item queue between hull anchors is
+// split into a small left queue and a large right queue whose simulated
+// sizes are the anchors.
+#include "bench/bench_common.h"
+
+#include "analysis/talus.h"
+
+using namespace cliffhanger;
+using namespace cliffhanger::bench;
+
+int main() {
+  Banner("Figure 4: concave hull + Talus split, Application 19 / class 0",
+         "paper example: anchors 2000/13500, split 957/7043 at 48%/52%");
+  MemcachierSuite suite;
+  const Trace trace = suite.GenerateAppTrace(19, 2 * kAppTraceLen, kSeed);
+  const PiecewiseCurve curve = ExactClassCurve(trace, 19, 0);
+  const PiecewiseCurve hull = UpperConcaveHull(curve);
+  PrintCsvSeries(std::cout, "raw curve", "items", "hit_rate", curve.xs(),
+                 curve.ys(), 40);
+  PrintCsvSeries(std::cout, "concave hull", "items", "hit_rate", hull.xs(),
+                 hull.ys(), 40);
+
+  const double capacity = 8000.0;
+  const TalusSplit split = ComputeTalusSplit(curve, capacity);
+  TablePrinter t({"Quantity", "Value"});
+  t.AddRow({"operating point (items)", TablePrinter::Num(capacity, 0)});
+  t.AddRow({"raw hit rate", TablePrinter::Pct(curve.Eval(capacity))});
+  t.AddRow({"hull hit rate", TablePrinter::Pct(split.expected_hit_rate)});
+  t.AddRow({"partitioned", split.partitioned ? "yes" : "no"});
+  t.AddRow({"left anchor (simulated)", TablePrinter::Num(split.left_simulated, 0)});
+  t.AddRow({"right anchor (simulated)",
+            TablePrinter::Num(split.right_simulated, 0)});
+  t.AddRow({"left physical items", TablePrinter::Num(split.left_physical, 0)});
+  t.AddRow({"right physical items",
+            TablePrinter::Num(split.right_physical, 0)});
+  t.AddRow({"requests to left", TablePrinter::Pct(split.request_ratio_left)});
+  t.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 8: memory allocated to Application 5's slab classes over the week
+// under hill climbing (1 MB shadows, 4 KB credits).
+#include "bench/bench_common.h"
+
+#include "util/timeseries.h"
+
+using namespace cliffhanger;
+using namespace cliffhanger::bench;
+
+int main() {
+  Banner("Figure 8: slab memory over time, Application 5",
+         "paper: the climber shifts memory between slabs 4-9 as the "
+         "workload mix changes through the week");
+  MemcachierSuite suite;
+  const SuiteApp& app = suite.app(5);
+  const Trace trace = suite.GenerateAppTrace(5, 2 * kAppTraceLen, kSeed);
+  SimOptions options;
+  options.sample_interval = trace.size() / 60;
+  options.track_capacity_app = 5;
+  const SimResult result =
+      RunApp(app, trace, CliffhangerServerConfig(), 1.0, nullptr, options);
+  std::cout << SeriesToCsv(result.series);
+  std::cout << "(columns: virtual seconds, per-slab capacity in MiB)\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 9: hit rate of Application 19's slab class 0 over time under
+// Cliffhanger, with the queues pinned at 8000 items (the paper's setup).
+#include "bench/bench_common.h"
+
+#include "util/timeseries.h"
+
+using namespace cliffhanger;
+using namespace cliffhanger::bench;
+
+int main() {
+  Banner("Figure 9: hit rate vs time on a cliff, Application 19 / class 0",
+         "paper: starts ~70%, stabilizes ~30 virtual minutes later");
+  MemcachierSuite suite;
+  const SuiteApp& app = suite.app(19);
+  const Trace trace = suite.GenerateAppTrace(19, 3 * kAppTraceLen, kSeed);
+
+  // Pin both classes at 8000 items (Table 4 setup), then let Cliffhanger
+  // re-balance from there.
+  std::map<int, uint64_t> pinned{{0, 8000ULL * ChunkSize(0)},
+                                 {2, 8000ULL * ChunkSize(2)}};
+  ServerConfig config = CliffhangerServerConfig();
+  SimOptions options;
+  options.sample_interval = trace.size() / 100;
+  options.track_hit_rate = {{19u, 0}};
+
+  CacheServer server(config);
+  AppCache& cache = server.AddApp(19, pinned.at(0) + pinned.at(2));
+  cache.SetStaticAllocation(pinned);
+  const SimResult result = Replay(server, trace, options);
+  for (const TimeSeries& s : result.series) {
+    if (s.name() != "hitrate") continue;
+    std::vector<double> xs, ys;
+    for (const auto& sample : s.samples()) {
+      xs.push_back(sample.t / 3600.0);  // hours, as in the paper's x-axis
+      ys.push_back(sample.v);
+    }
+    PrintCsvSeries(std::cout, "Application 19, Slab Class 0 under Cliffhanger",
+                   "virtual_hours", "windowed_hit_rate", xs, ys, 100);
+    std::cout << "final windowed hit rate: " << TablePrinter::Pct(s.Last())
+              << "\n";
+  }
+  return 0;
+}

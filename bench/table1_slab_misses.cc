@@ -1,0 +1,47 @@
+// Table 1: per-slab-class GET and miss shares, default FCFS vs the
+// Dynacache solver, for Applications 4 and 6.
+#include "bench/bench_common.h"
+
+using namespace cliffhanger;
+using namespace cliffhanger::bench;
+
+int main() {
+  Banner("Table 1: misses by slab class, default vs Dynacache solver",
+         "paper: app 4 misses -6.3%; app 6 misses -91.7% (class 2 rescued)");
+  MemcachierSuite suite;
+  TablePrinter t({"App", "Class", "% GETs", "Default % misses",
+                  "Solver % misses"});
+  for (const int id : {4, 6}) {
+    const SuiteApp& app = suite.app(id);
+    const Trace trace = suite.GenerateAppTrace(id, kAppTraceLen, kSeed);
+    const SimResult fcfs = RunApp(app, trace, DefaultServerConfig());
+    const SimResult solver = RunAppWithSolver(app, trace);
+    const auto& f = fcfs.apps.at(static_cast<uint32_t>(id));
+    const auto& s = solver.apps.at(static_cast<uint32_t>(id));
+    for (const auto& [slab_class, info] : f.classes) {
+      const double get_share = static_cast<double>(info.stats.gets) /
+                               static_cast<double>(f.total.gets);
+      const double f_miss_share =
+          f.total.misses() == 0
+              ? 0.0
+              : static_cast<double>(info.stats.misses()) / f.total.misses();
+      double s_miss_share = 0.0;
+      const auto it = s.classes.find(slab_class);
+      if (it != s.classes.end() && s.total.misses() > 0) {
+        s_miss_share = static_cast<double>(it->second.stats.misses()) /
+                       s.total.misses();
+      }
+      t.AddRow({std::to_string(id), std::to_string(slab_class),
+                TablePrinter::Pct(get_share, 0),
+                TablePrinter::Pct(f_miss_share),
+                TablePrinter::Pct(s_miss_share)});
+    }
+    const double reduction =
+        1.0 - static_cast<double>(solver.app_misses(static_cast<uint32_t>(id))) /
+                  static_cast<double>(fcfs.app_misses(static_cast<uint32_t>(id)));
+    t.AddRow({std::to_string(id), "total miss reduction",
+              TablePrinter::Pct(reduction), "", ""});
+  }
+  t.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 5 (+ §5.5): LRU vs the Facebook midpoint scheme vs ARC, each with
+// and without Cliffhanger, on Applications 3-5.
+#include "bench/bench_common.h"
+
+using namespace cliffhanger;
+using namespace cliffhanger::bench;
+
+int main() {
+  Banner("Table 5: eviction schemes, Applications 3-5",
+         "paper: Facebook midpoint >= LRU; Cliffhanger+LRU ~= "
+         "Cliffhanger+Facebook; ARC adds nothing on these workloads");
+  MemcachierSuite suite;
+  TablePrinter t({"App", "LRU (default)", "Facebook", "ARC",
+                  "Cliffhanger+LRU", "Cliffhanger+Facebook"});
+  for (const int id : {3, 4, 5}) {
+    const SuiteApp& app = suite.app(id);
+    const Trace trace = suite.GenerateAppTrace(id, kAppTraceLen, kSeed);
+    const SimResult lru = RunApp(app, trace, DefaultServerConfig());
+    ServerConfig fb = DefaultServerConfig();
+    fb.eviction = EvictionScheme::kMidpoint;
+    const SimResult midpoint = RunApp(app, trace, fb);
+    ServerConfig arc = DefaultServerConfig();
+    arc.eviction = EvictionScheme::kArc;
+    const SimResult arc_result = RunApp(app, trace, arc);
+    const SimResult ch_lru = RunApp(app, trace, CliffhangerServerConfig());
+    ServerConfig ch_fb = CliffhangerServerConfig();
+    ch_fb.eviction = EvictionScheme::kMidpoint;
+    const SimResult ch_midpoint = RunApp(app, trace, ch_fb);
+    t.AddRow({std::to_string(id), TablePrinter::Pct(lru.hit_rate()),
+              TablePrinter::Pct(midpoint.hit_rate()),
+              TablePrinter::Pct(arc_result.hit_rate()),
+              TablePrinter::Pct(ch_lru.hit_rate()),
+              TablePrinter::Pct(ch_midpoint.hit_rate())});
+  }
+  t.Print(std::cout);
+  return 0;
+}

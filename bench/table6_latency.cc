@@ -1,0 +1,88 @@
+// Table 6: per-operation latency overhead of the shadow-queue machinery in
+// the paper's worst case — a unique-key all-miss stream (the cache is full,
+// every GET walks the shadow queues, every SET evicts).
+//
+// google-benchmark measures GET and SET paths with the algorithms off
+// (baseline), hill climbing only, and full Cliffhanger; the overhead
+// percentages printed at the end correspond to the paper's Table 6 rows
+// (paper: 1.4%-4.8% on misses, ~0 on hits).
+#include <benchmark/benchmark.h>
+
+#include "sim/experiment.h"
+#include "workload/facebook_workload.h"
+
+namespace cliffhanger {
+namespace {
+
+ServerConfig ConfigFor(int mode) {
+  switch (mode) {
+    case 1:
+      return HillClimbingOnlyConfig();
+    case 2:
+      return CliffhangerServerConfig();
+    default:
+      return DefaultServerConfig();
+  }
+}
+
+// Worst case: all-miss GETs (plus demand-fill SETs) on a full cache.
+void BM_GetMiss(benchmark::State& state) {
+  const ServerConfig config = ConfigFor(static_cast<int>(state.range(0)));
+  CacheServer server(config);
+  server.AddApp(1, 64 << 20);
+  FacebookWorkloadConfig wl;
+  wl.all_miss = true;
+  wl.app_id = 1;
+  FacebookWorkload workload(wl);
+  // Warm up until the cache is full (paper: 100 s warm-up).
+  for (int i = 0; i < 400000; ++i) {
+    const Request r = workload.Next();
+    server.Set(1, {r.key, r.key_size, r.value_size});
+  }
+  for (auto _ : state) {
+    const Request r = workload.Next();
+    const Outcome o = server.Get(1, {r.key, r.key_size, r.value_size});
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_GetMiss)->Arg(0)->Arg(1)->Arg(2)->Name("GET_miss/mode");
+
+void BM_SetMiss(benchmark::State& state) {
+  const ServerConfig config = ConfigFor(static_cast<int>(state.range(0)));
+  CacheServer server(config);
+  server.AddApp(1, 64 << 20);
+  FacebookWorkloadConfig wl;
+  wl.all_miss = true;
+  wl.app_id = 1;
+  FacebookWorkload workload(wl);
+  for (int i = 0; i < 400000; ++i) {
+    const Request r = workload.Next();
+    server.Set(1, {r.key, r.key_size, r.value_size});
+  }
+  for (auto _ : state) {
+    const Request r = workload.Next();
+    server.Set(1, {r.key, r.key_size, r.value_size});
+  }
+}
+BENCHMARK(BM_SetMiss)->Arg(0)->Arg(1)->Arg(2)->Name("SET_miss/mode");
+
+// Hit path: hot keys — shadow queues are never consulted on a hit.
+void BM_GetHit(benchmark::State& state) {
+  const ServerConfig config = ConfigFor(static_cast<int>(state.range(0)));
+  CacheServer server(config);
+  server.AddApp(1, 64 << 20);
+  for (uint64_t k = 0; k < 1024; ++k) {
+    server.Set(1, {k, 16, 100});
+  }
+  uint64_t k = 0;
+  for (auto _ : state) {
+    const Outcome o = server.Get(1, {k++ & 1023, 16, 100});
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_GetHit)->Arg(0)->Arg(1)->Arg(2)->Name("GET_hit/mode");
+
+}  // namespace
+}  // namespace cliffhanger
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Table 7: throughput overhead when the cache is full and CPU bound, for
+// three GET/SET mixes (96.7/3.3 = Facebook's ETC mix, 50/50, 10/90),
+// comparing the default server against Cliffhanger.
+#include <benchmark/benchmark.h>
+
+#include "sim/experiment.h"
+#include "workload/facebook_workload.h"
+
+namespace cliffhanger {
+namespace {
+
+void RunMix(benchmark::State& state, double get_fraction, bool cliffhanger) {
+  const ServerConfig config =
+      cliffhanger ? CliffhangerServerConfig() : DefaultServerConfig();
+  CacheServer server(config);
+  server.AddApp(1, 64 << 20);
+  FacebookWorkloadConfig wl;
+  wl.all_miss = true;  // worst case: every request misses / evicts
+  wl.get_fraction = get_fraction;
+  wl.app_id = 1;
+  FacebookWorkload workload(wl);
+  for (int i = 0; i < 300000; ++i) {
+    const Request r = workload.Next();
+    server.Set(1, {r.key, r.key_size, r.value_size});
+  }
+  for (auto _ : state) {
+    const Request r = workload.Next();
+    const ItemMeta item{r.key, r.key_size, r.value_size};
+    if (r.is_get()) {
+      const Outcome o = server.Get(1, item);
+      if (!o.hit && o.cacheable) server.Set(1, item);
+      benchmark::DoNotOptimize(o);
+    } else {
+      server.Set(1, item);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_Mix_Facebook(benchmark::State& s) { RunMix(s, 0.967, s.range(0)); }
+void BM_Mix_5050(benchmark::State& s) { RunMix(s, 0.5, s.range(0)); }
+void BM_Mix_1090(benchmark::State& s) { RunMix(s, 0.1, s.range(0)); }
+
+BENCHMARK(BM_Mix_Facebook)->Arg(0)->Arg(1)->Name("mix_96.7get/cliffhanger");
+BENCHMARK(BM_Mix_5050)->Arg(0)->Arg(1)->Name("mix_50get/cliffhanger");
+BENCHMARK(BM_Mix_1090)->Arg(0)->Arg(1)->Name("mix_10get/cliffhanger");
+
+}  // namespace
+}  // namespace cliffhanger
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Cliff rescue: a queue stuck below a performance cliff (cyclic scan larger
+// than the cache) and how the cliff-scaling algorithm recovers part of the
+// concave hull, compared against a plain LRU queue and the offline Talus
+// oracle.
+#include <cstdio>
+
+#include "analysis/hit_rate_curve.h"
+#include "analysis/stack_distance.h"
+#include "analysis/talus.h"
+#include "core/cliff_scaler.h"
+#include "util/hashing.h"
+#include "workload/generators.h"
+
+using namespace cliffhanger;
+
+int main() {
+  constexpr uint64_t kCapacityItems = 8000;
+  // App-19-like class-0 mixture: hot Zipf head + ramped scan + background.
+  StreamSpec zipf_spec;
+  zipf_spec.kind = StreamKind::kZipf;
+  zipf_spec.universe = 2500;
+  zipf_spec.zipf_alpha = 1.2;
+  StreamSpec scan_spec;
+  scan_spec.kind = StreamKind::kScan;
+  scan_spec.universe = 13000;
+  scan_spec.scan_ramp = 0.75;
+  StreamSpec uniform_spec;
+  uniform_spec.kind = StreamKind::kUniform;
+  uniform_spec.universe = 40000;
+
+  const auto run = [&](bool scaling_enabled) {
+    PartitionConfig pc;
+    pc.queue.chunk_size = 64;
+    PartitionedSlabQueue queue(pc);
+    queue.SetCapacityBytes(kCapacityItems * 64);
+    CliffScalerConfig scaler_config;
+    scaler_config.stable_accesses_to_engage = 0;  // standalone queue
+    CliffScaler scaler(&queue, scaler_config);
+    KeyStream zipf(zipf_spec), scan(scan_spec), uniform(uniform_spec);
+    Rng rng(5);
+    uint64_t gets = 0, hits = 0;
+    for (uint64_t i = 0; i < 8000000; ++i) {
+      const double u = rng.NextDouble();
+      ItemMeta item;
+      item.key_size = 14;
+      item.value_size = 12;
+      if (u < 0.30) {
+        item.key = HashCombine(0, zipf.Next(rng, i));
+      } else if (u < 0.80) {
+        item.key = HashCombine(1, scan.Next(rng, i));
+      } else {
+        item.key = HashCombine(2, uniform.Next(rng, i));
+      }
+      ++gets;
+      const GetResult r = queue.Get(item);
+      if (r.hit) ++hits;
+      if (scaling_enabled) scaler.OnAccess(r);
+      if (!r.hit) {
+        if (scaling_enabled) scaler.OnMiss();
+        queue.Fill(item);
+      }
+    }
+    std::printf("  %-22s hit rate %.2f%%  (on cliff: %s, ratio %.2f)\n",
+                scaling_enabled ? "with cliff scaling" : "plain LRU",
+                100.0 * static_cast<double>(hits) / static_cast<double>(gets),
+                scaler.on_cliff() ? "yes" : "no", queue.ratio());
+    return static_cast<double>(hits) / static_cast<double>(gets);
+  };
+
+  std::printf("queue capacity: %llu items, scan universe: %llu keys\n",
+              static_cast<unsigned long long>(kCapacityItems),
+              static_cast<unsigned long long>(scan_spec.universe));
+  run(false);
+  run(true);
+
+  // Offline oracle: what would Talus do with the exact curve?
+  StackDistanceAnalyzer analyzer;
+  KeyStream zipf(zipf_spec), scan(scan_spec), uniform(uniform_spec);
+  Rng rng(5);
+  uint64_t gets = 0;
+  for (uint64_t i = 0; i < 3000000; ++i) {
+    const double u = rng.NextDouble();
+    uint64_t key;
+    if (u < 0.30) {
+      key = HashCombine(0, zipf.Next(rng, i));
+    } else if (u < 0.80) {
+      key = HashCombine(1, scan.Next(rng, i));
+    } else {
+      key = HashCombine(2, uniform.Next(rng, i));
+    }
+    ++gets;
+    analyzer.Record(key);
+  }
+  const PiecewiseCurve curve = CurveFromHistogram(
+      analyzer.histogram(), analyzer.total_accesses(), 1 << 20);
+  const TalusSplit split =
+      ComputeTalusSplit(curve, static_cast<double>(kCapacityItems));
+  std::printf("  %-22s hit rate %.2f%%  (anchors %.0f / %.0f)\n",
+              "Talus oracle (hull)", 100.0 * split.expected_hit_rate,
+              split.left_simulated, split.right_simulated);
+  return 0;
+}

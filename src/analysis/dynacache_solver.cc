@@ -1,0 +1,83 @@
+#include "analysis/dynacache_solver.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace cliffhanger {
+
+namespace {
+
+PiecewiseCurve ApplyTransform(const PiecewiseCurve& curve,
+                              CurveTransform transform) {
+  switch (transform) {
+    case CurveTransform::kRaw:
+      return curve;
+    case CurveTransform::kConcaveRegression:
+      return ConcavifyCurve(curve);
+    case CurveTransform::kConcaveHull:
+      return UpperConcaveHull(curve);
+  }
+  return curve;
+}
+
+}  // namespace
+
+SolverResult SolveAllocation(const std::vector<SolverQueueInput>& queues,
+                             const SolverConfig& config) {
+  SolverResult result;
+  const size_t n = queues.size();
+  result.allocation_bytes.assign(n, 0);
+  if (n == 0 || config.total_bytes == 0) return result;
+
+  std::vector<PiecewiseCurve> curves;
+  curves.reserve(n);
+  for (const SolverQueueInput& q : queues) {
+    curves.push_back(ApplyTransform(q.curve, config.transform));
+  }
+
+  const uint64_t step = std::max<uint64_t>(1, config.step_bytes);
+  uint64_t budget = config.total_bytes;
+
+  // Honour floors first.
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t floor = std::min(queues[i].min_bytes, budget);
+    result.allocation_bytes[i] = floor;
+    budget -= floor;
+  }
+
+  // Greedy marginal utility with a max-heap of (gain-per-step, queue).
+  // For concave curves gains only shrink as a queue grows, so a lazy heap
+  // (re-push after allocating) is exact.
+  const auto gain = [&](size_t i) {
+    const double m = static_cast<double>(result.allocation_bytes[i]);
+    return queues[i].weight * queues[i].request_share *
+           (curves[i].Eval(m + static_cast<double>(step)) - curves[i].Eval(m));
+  };
+  using HeapEntry = std::pair<double, size_t>;
+  std::priority_queue<HeapEntry> heap;
+  for (size_t i = 0; i < n; ++i) heap.push({gain(i), i});
+
+  while (budget >= step && !heap.empty()) {
+    const auto [g, i] = heap.top();
+    heap.pop();
+    // Lazy invalidation: recompute and re-push when stale.
+    const double fresh = gain(i);
+    if (fresh < g - 1e-15 && !heap.empty() && heap.top().first > fresh) {
+      heap.push({fresh, i});
+      continue;
+    }
+    if (fresh <= 0.0) break;  // nothing left to gain anywhere
+    result.allocation_bytes[i] += step;
+    budget -= step;
+    heap.push({gain(i), i});
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    result.predicted_hit_rate +=
+        queues[i].request_share *
+        curves[i].Eval(static_cast<double>(result.allocation_bytes[i]));
+  }
+  return result;
+}
+
+}  // namespace cliffhanger

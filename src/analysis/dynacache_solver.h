@@ -1,0 +1,59 @@
+// The Dynacache solver (Cidon et al., HotCloud'15) — the paper's main
+// offline baseline (Equation 1): maximize sum_i f_i * h_i(m_i) subject to
+// sum_i m_i <= M.
+//
+// For concave h_i, greedy marginal-utility allocation in fixed steps is
+// exactly optimal (the Lagrangian condition f_i h_i'(m_i) = gamma emerges
+// from always feeding the steepest curve). Dynacache *assumes* concavity, so
+// the solver first fits a concave regression to each estimated curve — and
+// that assumption is precisely what breaks on performance cliffs (§3.5: for
+// application 19 "the solver approximates the hit rate curve to be lower
+// than it is ... and significantly reduces its hit rate").
+//
+// Transforms:
+//   kConcaveRegression — Dynacache behaviour (default baseline)
+//   kConcaveHull       — Talus-style oracle (upper hull is *achievable* by
+//                        queue partitioning, so allocating on the hull and
+//                        partitioning realizes it)
+//   kRaw               — plain greedy on the raw curve (gets stuck below
+//                        cliffs exactly like hill climbing without scaling)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/curve.h"
+
+namespace cliffhanger {
+
+enum class CurveTransform : uint8_t {
+  kRaw,
+  kConcaveRegression,
+  kConcaveHull,
+};
+
+struct SolverQueueInput {
+  PiecewiseCurve curve;       // x in bytes, y = hit rate of the queue
+  double request_share = 1.0; // f_i: fraction of GETs hitting this queue
+  double weight = 1.0;        // w_i (Equation 1); 1 throughout the paper
+  uint64_t min_bytes = 0;     // floor (e.g. one page)
+};
+
+struct SolverConfig {
+  uint64_t total_bytes = 0;   // M
+  uint64_t step_bytes = 64 * 1024;  // allocation granularity (one page)
+  CurveTransform transform = CurveTransform::kConcaveRegression;
+};
+
+struct SolverResult {
+  std::vector<uint64_t> allocation_bytes;
+  // Objective value the solver *believes* it achieved (on the transformed
+  // curves). The true outcome comes from replaying the trace.
+  double predicted_hit_rate = 0.0;
+};
+
+[[nodiscard]] SolverResult SolveAllocation(
+    const std::vector<SolverQueueInput>& queues, const SolverConfig& config);
+
+}  // namespace cliffhanger

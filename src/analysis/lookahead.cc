@@ -1,0 +1,74 @@
+#include "analysis/lookahead.h"
+
+#include <algorithm>
+
+namespace cliffhanger {
+
+SolverResult SolveLookAhead(const std::vector<SolverQueueInput>& queues,
+                            const SolverConfig& config) {
+  SolverResult result;
+  const size_t n = queues.size();
+  result.allocation_bytes.assign(n, 0);
+  if (n == 0 || config.total_bytes == 0) return result;
+
+  const uint64_t step = std::max<uint64_t>(1, config.step_bytes);
+  uint64_t budget = config.total_bytes;
+
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t floor = std::min(queues[i].min_bytes, budget);
+    result.allocation_bytes[i] = floor;
+    budget -= floor;
+  }
+
+  // Max marginal utility: for queue i at allocation m with remaining budget
+  // r, scan windows w = step, 2*step, ... <= r and return the best
+  // gain-per-byte together with the window achieving it.
+  const auto best_window = [&](size_t i, uint64_t remaining) {
+    const double m = static_cast<double>(result.allocation_bytes[i]);
+    const double base = queues[i].curve.Eval(m);
+    double best_rate = 0.0;
+    uint64_t best_w = 0;
+    for (uint64_t w = step; w <= remaining; w += step) {
+      const double gain = queues[i].weight * queues[i].request_share *
+                          (queues[i].curve.Eval(m + static_cast<double>(w)) -
+                           base);
+      const double rate = gain / static_cast<double>(w);
+      if (rate > best_rate + 1e-15) {
+        best_rate = rate;
+        best_w = w;
+      }
+      // Stop scanning beyond the end of the sampled curve.
+      if (m + static_cast<double>(w) >= queues[i].curve.max_x() &&
+          w >= step * 2) {
+        break;
+      }
+    }
+    return std::pair<double, uint64_t>{best_rate, best_w};
+  };
+
+  while (budget >= step) {
+    double best_rate = 0.0;
+    uint64_t best_w = 0;
+    size_t best_i = n;
+    for (size_t i = 0; i < n; ++i) {
+      const auto [rate, w] = best_window(i, budget);
+      if (rate > best_rate + 1e-15) {
+        best_rate = rate;
+        best_w = w;
+        best_i = i;
+      }
+    }
+    if (best_i == n || best_w == 0) break;
+    result.allocation_bytes[best_i] += best_w;
+    budget -= best_w;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    result.predicted_hit_rate +=
+        queues[i].request_share *
+        queues[i].curve.Eval(static_cast<double>(result.allocation_bytes[i]));
+  }
+  return result;
+}
+
+}  // namespace cliffhanger

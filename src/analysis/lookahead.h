@@ -1,0 +1,26 @@
+// LookAhead allocation (Qureshi & Patt, MICRO'06 — utility-based cache
+// partitioning). The paper cites it as the other full-curve technique that
+// copes with non-convex utility curves: instead of a one-step marginal gain,
+// each round considers *every* prospective allocation size and picks the
+// queue maximizing gain-per-byte over its best lookahead window — so a cliff
+// a few steps ahead is priced correctly.
+//
+// Like Talus, it needs the entire hit-rate curve; it is implemented here as
+// an oracle baseline and for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/dynacache_solver.h"
+
+namespace cliffhanger {
+
+// Same inputs/outputs as the Dynacache solver for drop-in comparison; the
+// transform field of SolverConfig is ignored (LookAhead works on raw curves
+// by design).
+[[nodiscard]] SolverResult SolveLookAhead(
+    const std::vector<SolverQueueInput>& queues, const SolverConfig& config);
+
+}  // namespace cliffhanger

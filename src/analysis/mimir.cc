@@ -1,0 +1,74 @@
+#include "analysis/mimir.h"
+
+#include <algorithm>
+
+namespace cliffhanger {
+
+MimirEstimator::MimirEstimator(size_t num_buckets)
+    : num_buckets_(std::max<size_t>(2, num_buckets)) {}
+
+void MimirEstimator::Rotate() {
+  if (buckets_.size() <= num_buckets_) return;
+  // Merge the two oldest buckets: keys in the very oldest generation are
+  // re-labelled into the second-oldest. Rather than rewriting per-key
+  // labels eagerly (O(size)), we record an alias by folding sizes; lookups
+  // clamp unknown generations to the oldest bucket.
+  auto oldest = buckets_.back();
+  buckets_.pop_back();
+  buckets_.back().second += oldest.second;
+  oldest_alias_floor_ = buckets_.back().first;
+}
+
+uint64_t MimirEstimator::Record(uint64_t key) {
+  ++accesses_;
+  // Adaptive target bucket population: keep buckets near equal shares of the
+  // resident population.
+  max_bucket_size_ = std::max<uint64_t>(
+      64, key_generation_.size() / num_buckets_ + 1);
+
+  uint64_t distance = 0;
+  const auto it = key_generation_.find(key);
+  if (it == key_generation_.end()) {
+    ++cold_misses_;
+  } else {
+    uint64_t gen = it->second;
+    // Generations older than the alias floor were merged into the floor.
+    gen = std::max(gen, oldest_alias_floor_);
+    uint64_t newer = 0;
+    uint64_t own_bucket = 0;
+    bool found = false;
+    for (const auto& [bucket_gen, size] : buckets_) {
+      if (bucket_gen > gen) {
+        newer += size;
+      } else if (bucket_gen == gen) {
+        own_bucket = size;
+        found = true;
+        break;
+      } else {
+        break;
+      }
+    }
+    if (!found && !buckets_.empty()) own_bucket = buckets_.back().second;
+    distance = newer + own_bucket / 2 + 1;
+    if (histogram_.size() <= distance) histogram_.resize(distance + 1, 0);
+    ++histogram_[distance];
+    // Remove from its current bucket.
+    for (auto& [bucket_gen, size] : buckets_) {
+      if (bucket_gen == gen && size > 0) {
+        --size;
+        break;
+      }
+    }
+  }
+
+  // Place into the newest bucket, opening a fresh one when full.
+  if (buckets_.empty() || buckets_.front().second >= max_bucket_size_) {
+    buckets_.emplace_front(next_generation_++, 0);
+    Rotate();
+  }
+  ++buckets_.front().second;
+  key_generation_[key] = buckets_.front().first;
+  return distance;
+}
+
+}  // namespace cliffhanger

@@ -1,0 +1,52 @@
+// Mimir-style bucketed stack-distance estimation (Saemundsson et al.,
+// SoCC'14), the O(N/B) scheme Dynacache uses (paper §2.1, 100 buckets).
+//
+// Resident keys are grouped into at most B generation buckets ordered from
+// newest to oldest. On a reuse, the estimated stack distance is the total
+// population of strictly newer buckets plus half of the key's own bucket
+// (average position within the bucket). The key then moves to the newest
+// bucket; when the bucket count exceeds B the two oldest buckets merge.
+//
+// The estimate's error is bounded by the bucket population — which is why
+// the paper notes the technique "is not accurate when estimating stack
+// distance curves with tens of thousands of items or more".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace cliffhanger {
+
+class MimirEstimator {
+ public:
+  explicit MimirEstimator(size_t num_buckets = 100);
+
+  // Records an access; returns the estimated stack distance (0 = first
+  // access) and accumulates the estimate histogram.
+  uint64_t Record(uint64_t key);
+
+  [[nodiscard]] uint64_t total_accesses() const { return accesses_; }
+  [[nodiscard]] uint64_t cold_misses() const { return cold_misses_; }
+  [[nodiscard]] const std::vector<uint64_t>& histogram() const {
+    return histogram_;
+  }
+
+ private:
+  void Rotate();
+
+  size_t num_buckets_;
+  uint64_t next_generation_ = 1;
+  // Generation id per bucket, newest at front; sizes tracked separately.
+  std::deque<std::pair<uint64_t, uint64_t>> buckets_;  // (generation, size)
+  uint64_t oldest_alias_floor_ = 0;  // generations below this were merged
+  std::unordered_map<uint64_t, uint64_t> key_generation_;
+  std::vector<uint64_t> histogram_;
+  uint64_t accesses_ = 0;
+  uint64_t cold_misses_ = 0;
+  uint64_t max_bucket_size_ = 64;
+};
+
+}  // namespace cliffhanger

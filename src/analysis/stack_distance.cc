@@ -1,0 +1,59 @@
+#include "analysis/stack_distance.h"
+
+namespace cliffhanger {
+
+void StackDistanceAnalyzer::FenwickAdd(size_t pos, int delta) {
+  for (; pos < tree_.size(); pos += pos & (~pos + 1)) {
+    tree_[pos] += delta;
+  }
+}
+
+uint64_t StackDistanceAnalyzer::FenwickSum(size_t pos) const {
+  uint64_t sum = 0;
+  for (; pos > 0; pos -= pos & (~pos + 1)) {
+    sum += static_cast<uint64_t>(tree_[pos]);
+  }
+  return sum;
+}
+
+void StackDistanceAnalyzer::Grow() {
+  size_t n = tree_.empty() ? 1024 : tree_.size();
+  while (n <= time_) n *= 2;
+  alive_.resize(n, 0);
+  // A Fenwick tree cannot simply be zero-extended: node i aggregates the
+  // range (i - lowbit(i), i], so fresh high nodes must fold in existing
+  // values. Rebuild from the alive bitmap in O(n).
+  tree_.assign(n, 0);
+  for (size_t i = 1; i < n; ++i) {
+    tree_[i] += alive_[i];
+    const size_t parent = i + (i & (~i + 1));
+    if (parent < n) tree_[parent] += tree_[i];
+  }
+}
+
+uint64_t StackDistanceAnalyzer::Record(uint64_t key) {
+  ++time_;
+  if (tree_.size() <= time_) Grow();
+
+  uint64_t distance = 0;
+  const auto it = last_pos_.find(key);
+  if (it == last_pos_.end()) {
+    ++cold_misses_;
+    last_pos_.emplace(key, time_);
+  } else {
+    const uint64_t prev = it->second;
+    // Distinct keys touched strictly after prev = alive flags in (prev, t-1];
+    // the current access position t has no flag yet.
+    distance = (FenwickSum(time_ - 1) - FenwickSum(prev)) + 1;
+    FenwickAdd(prev, -1);
+    alive_[prev] = 0;
+    it->second = time_;
+    if (histogram_.size() <= distance) histogram_.resize(distance + 1, 0);
+    ++histogram_[distance];
+  }
+  FenwickAdd(time_, +1);
+  alive_[time_] = 1;
+  return distance;
+}
+
+}  // namespace cliffhanger

@@ -1,0 +1,54 @@
+// Exact LRU stack distances (Mattson et al., 1970) in O(log N) per access
+// via a Fenwick (binary indexed) tree over access positions.
+//
+// The stack distance of an access is the item's 1-based rank from the top of
+// the LRU queue — equivalently one plus the number of distinct keys touched
+// since its previous access. First-ever accesses have infinite distance
+// (reported as 0 here and tallied as cold misses).
+//
+// The paper calls direct computation "O(N)" per access and too expensive for
+// production servers (§2.1) — this offline analyzer exists to (a) draw the
+// ground-truth hit-rate curves of Figures 1/3/4, (b) feed the full-curve
+// baselines (Talus oracle, LookAhead), and (c) validate the cheap Mimir
+// estimator the Dynacache solver uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace cliffhanger {
+
+class StackDistanceAnalyzer {
+ public:
+  StackDistanceAnalyzer() = default;
+
+  // Records an access; returns its stack distance (0 = first access).
+  uint64_t Record(uint64_t key);
+
+  [[nodiscard]] uint64_t total_accesses() const { return time_; }
+  [[nodiscard]] uint64_t cold_misses() const { return cold_misses_; }
+  [[nodiscard]] uint64_t unique_keys() const { return last_pos_.size(); }
+  // histogram()[d] = number of accesses with stack distance d (d >= 1);
+  // index 0 is unused.
+  [[nodiscard]] const std::vector<uint64_t>& histogram() const {
+    return histogram_;
+  }
+
+ private:
+  // Fenwick tree over positions 1..time_ with 1s at each key's last access.
+  void FenwickAdd(size_t pos, int delta);
+  [[nodiscard]] uint64_t FenwickSum(size_t pos) const;  // prefix sum [1, pos]
+  // Doubles the tree, rebuilding it from the alive bitmap.
+  void Grow();
+
+  std::vector<int32_t> tree_;
+  std::vector<uint8_t> alive_;
+  std::unordered_map<uint64_t, uint64_t> last_pos_;  // key -> last position
+  std::vector<uint64_t> histogram_;
+  uint64_t time_ = 0;
+  uint64_t cold_misses_ = 0;
+};
+
+}  // namespace cliffhanger

@@ -1,0 +1,61 @@
+#include "analysis/talus.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cliffhanger {
+
+TalusSplit ComputeTalusSplit(const PiecewiseCurve& curve,
+                             double capacity_items) {
+  TalusSplit split;
+  const PiecewiseCurve hull = UpperConcaveHull(curve);
+  split.expected_hit_rate = hull.Eval(capacity_items);
+  if (hull.empty() || capacity_items <= 0.0) return split;
+
+  // Locate the hull segment containing the capacity.
+  const auto& xs = hull.xs();
+  const auto& ys = hull.ys();
+  double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+  bool bracketed = false;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] >= capacity_items) {
+      x2 = xs[i];
+      y2 = ys[i];
+      if (i > 0) {
+        x1 = xs[i - 1];
+        y1 = ys[i - 1];
+      }
+      bracketed = true;
+      break;
+    }
+  }
+  if (!bracketed) {
+    // Beyond the last hull point: the whole curve fits; no partitioning.
+    split.expected_hit_rate = hull.max_y();
+    return split;
+  }
+
+  // If the capacity essentially coincides with a hull vertex, or the raw
+  // curve already achieves the hull here, a single queue suffices.
+  const double raw = curve.Eval(capacity_items);
+  if (std::abs(x2 - capacity_items) < 1e-9 ||
+      std::abs(x1 - capacity_items) < 1e-9 ||
+      raw >= split.expected_hit_rate - 1e-9) {
+    return split;
+  }
+
+  // Talus interpolation between the anchors (x1, y1) and (x2, y2):
+  //   rho   = fraction of requests to the small (left) queue
+  //   left  simulates x1 with rho of the traffic  -> physical x1 * rho
+  //   right simulates x2 with 1-rho of the traffic -> physical x2 * (1-rho)
+  const double rho = (x2 - capacity_items) / (x2 - x1);
+  split.partitioned = true;
+  split.left_simulated = x1;
+  split.right_simulated = x2;
+  split.request_ratio_left = rho;
+  split.left_physical = x1 * rho;
+  split.right_physical = x2 * (1.0 - rho);
+  return split;
+}
+
+}  // namespace cliffhanger

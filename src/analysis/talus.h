@@ -1,0 +1,36 @@
+// Talus oracle (Beckmann & Sanchez, HPCA'15): given the full hit-rate curve,
+// partition a queue of capacity C into two smaller queues whose simulated
+// sizes are the concave-hull anchor points bracketing C, so the achieved hit
+// rate lies on the hull (paper §4.2 and Figure 4).
+//
+// The worked example from the paper: capacity 8000 items, anchors 2000 and
+// 13500 => route 48% of requests to a 957-item left queue (simulating 2000)
+// and 52% to a 7043-item right queue (simulating 13500).
+//
+// Cliffhanger's cliff scaler discovers these anchors *online* with shadow
+// queues; this module computes them offline from the exact curve, serving
+// as ground truth for tests and the Figure 4 bench.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/curve.h"
+
+namespace cliffhanger {
+
+struct TalusSplit {
+  bool partitioned = false;       // false: capacity sits on a concave region
+  double left_simulated = 0.0;    // lower hull anchor (items)
+  double right_simulated = 0.0;   // upper hull anchor (items)
+  double request_ratio_left = 0.5;
+  double left_physical = 0.0;     // items devoted to the left queue
+  double right_physical = 0.0;    // items devoted to the right queue
+  double expected_hit_rate = 0.0; // hull value at the capacity
+};
+
+// `curve` has x in items; `capacity_items` is the queue's physical size.
+[[nodiscard]] TalusSplit ComputeTalusSplit(const PiecewiseCurve& curve,
+                                           double capacity_items);
+
+}  // namespace cliffhanger

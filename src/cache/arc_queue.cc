@@ -1,0 +1,163 @@
+#include "cache/arc_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cliffhanger {
+
+ArcQueue::ArcQueue(uint32_t chunk_size) : chunk_size_(chunk_size) {
+  assert(chunk_size > 0);
+}
+
+std::list<uint64_t>& ArcQueue::ListRef(List list) {
+  switch (list) {
+    case List::kT1:
+      return t1_;
+    case List::kT2:
+      return t2_;
+    case List::kB1:
+      return b1_;
+    case List::kB2:
+      return b2_;
+  }
+  return t1_;
+}
+
+void ArcQueue::Remove(uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  ListRef(it->second.list).erase(it->second.it);
+  index_.erase(it);
+}
+
+void ArcQueue::PushMru(List list, uint64_t key) {
+  auto& l = ListRef(list);
+  l.push_front(key);
+  index_[key] = Locator{list, l.begin()};
+}
+
+void ArcQueue::EvictGhostLru(List list) {
+  auto& l = ListRef(list);
+  if (l.empty()) return;
+  index_.erase(l.back());
+  l.pop_back();
+}
+
+void ArcQueue::Replace(bool in_b2) {
+  const auto t1 = static_cast<double>(t1_.size());
+  if (!t1_.empty() && (t1 > p_ || (in_b2 && t1 == p_))) {
+    const uint64_t victim = t1_.back();
+    Remove(victim);
+    PushMru(List::kB1, victim);
+  } else if (!t2_.empty()) {
+    const uint64_t victim = t2_.back();
+    Remove(victim);
+    PushMru(List::kB2, victim);
+  } else if (!t1_.empty()) {
+    const uint64_t victim = t1_.back();
+    Remove(victim);
+    PushMru(List::kB1, victim);
+  }
+}
+
+GetResult ArcQueue::Get(const ItemMeta& item) {
+  GetResult result;
+  if (capacity_items_ == 0) return result;
+  const auto found = index_.find(item.key);
+  const double c = static_cast<double>(capacity_items_);
+
+  if (found != index_.end() &&
+      (found->second.list == List::kT1 || found->second.list == List::kT2)) {
+    // Case I: hit — promote to MRU of T2.
+    Remove(item.key);
+    PushMru(List::kT2, item.key);
+    result.hit = true;
+    result.region = HitRegion::kPhysical;
+    return result;
+  }
+
+  if (found != index_.end() && found->second.list == List::kB1) {
+    // Case II: ghost hit in B1 — grow the recency target.
+    const double delta =
+        b1_.empty() ? 1.0
+                    : std::max(1.0, static_cast<double>(b2_.size()) /
+                                        static_cast<double>(b1_.size()));
+    p_ = std::min(c, p_ + delta);
+    Replace(/*in_b2=*/false);
+    Remove(item.key);
+    PushMru(List::kT2, item.key);
+    result.region = HitRegion::kHillShadow;  // ghost hit: shadow-like signal
+    return result;
+  }
+
+  if (found != index_.end() && found->second.list == List::kB2) {
+    // Case III: ghost hit in B2 — grow the frequency target.
+    const double delta =
+        b2_.empty() ? 1.0
+                    : std::max(1.0, static_cast<double>(b1_.size()) /
+                                        static_cast<double>(b2_.size()));
+    p_ = std::max(0.0, p_ - delta);
+    Replace(/*in_b2=*/true);
+    Remove(item.key);
+    PushMru(List::kT2, item.key);
+    result.region = HitRegion::kHillShadow;
+    return result;
+  }
+
+  // Case IV: complete miss — make room and admit into T1.
+  const size_t l1 = t1_.size() + b1_.size();
+  const size_t l2 = t2_.size() + b2_.size();
+  if (l1 == capacity_items_) {
+    if (t1_.size() < capacity_items_) {
+      EvictGhostLru(List::kB1);
+      Replace(/*in_b2=*/false);
+    } else {
+      // B1 is empty; evict the LRU page of T1 outright.
+      const uint64_t victim = t1_.back();
+      Remove(victim);
+    }
+  } else if (l1 < capacity_items_ && l1 + l2 >= capacity_items_) {
+    if (l1 + l2 == 2 * capacity_items_) EvictGhostLru(List::kB2);
+    Replace(/*in_b2=*/false);
+  }
+  PushMru(List::kT1, item.key);
+  result.region = HitRegion::kMiss;
+  return result;
+}
+
+void ArcQueue::Fill(const ItemMeta& item) {
+  // Get() already admitted the key on a miss; only handle explicit SETs for
+  // keys never requested.
+  if (index_.find(item.key) == index_.end()) {
+    (void)Get(item);
+  }
+}
+
+void ArcQueue::Delete(uint64_t key) { Remove(key); }
+
+void ArcQueue::SetCapacityBytes(uint64_t bytes) {
+  capacity_bytes_ = bytes;
+  capacity_items_ = bytes / chunk_size_;
+  p_ = std::min(p_, static_cast<double>(capacity_items_));
+  // Trim to the new capacity.
+  while (t1_.size() + t2_.size() > capacity_items_) {
+    Replace(/*in_b2=*/false);
+  }
+  while (t1_.size() + b1_.size() > capacity_items_ && !b1_.empty()) {
+    EvictGhostLru(List::kB1);
+  }
+  while (index_.size() > 2 * capacity_items_ && !b2_.empty()) {
+    EvictGhostLru(List::kB2);
+  }
+}
+
+bool ArcQueue::CheckInvariants() const {
+  if (capacity_items_ == 0) return index_.empty();
+  if (t1_.size() + t2_.size() > capacity_items_) return false;
+  if (t1_.size() + b1_.size() > capacity_items_) return false;
+  if (index_.size() > 2 * capacity_items_) return false;
+  if (p_ < 0.0 || p_ > static_cast<double>(capacity_items_)) return false;
+  return index_.size() == t1_.size() + t2_.size() + b1_.size() + b2_.size();
+}
+
+}  // namespace cliffhanger

@@ -1,0 +1,72 @@
+// ARC (Adaptive Replacement Cache, Megiddo & Modha, FAST'03): the
+// LRU/LFU-balancing scheme the paper compares against in §5.5 ("we found
+// that ARC did not provide any hit rate improvement in any of the
+// applications of the Memcachier trace").
+//
+// Full four-list implementation: resident T1 (recency) and T2 (frequency),
+// ghost lists B1 and B2 holding keys only, and the adaptive target p.
+// Capacities are in items, matching slab-class semantics (uniform chunks).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "cache/types.h"
+
+namespace cliffhanger {
+
+class ArcQueue final : public ClassQueue {
+ public:
+  explicit ArcQueue(uint32_t chunk_size);
+
+  // ARC performs hit processing, ghost adaptation and insertion as one
+  // request step, so Get() does the complete work and Fill() is a no-op
+  // when the key is already resident.
+  GetResult Get(const ItemMeta& item) override;
+  void Fill(const ItemMeta& item) override;
+  void Delete(uint64_t key) override;
+
+  void SetCapacityBytes(uint64_t bytes) override;
+  [[nodiscard]] uint64_t capacity_bytes() const override {
+    return capacity_bytes_;  // exact, not rounded to chunks
+  }
+  [[nodiscard]] uint64_t used_bytes() const override {
+    return (t1_.size() + t2_.size()) * chunk_size_;
+  }
+  [[nodiscard]] size_t physical_items() const override {
+    return t1_.size() + t2_.size();
+  }
+
+  [[nodiscard]] double p() const { return p_; }
+  [[nodiscard]] size_t t1_items() const { return t1_.size(); }
+  [[nodiscard]] size_t t2_items() const { return t2_.size(); }
+  [[nodiscard]] size_t b1_items() const { return b1_.size(); }
+  [[nodiscard]] size_t b2_items() const { return b2_.size(); }
+  [[nodiscard]] bool CheckInvariants() const;
+
+ private:
+  enum class List : uint8_t { kT1, kT2, kB1, kB2 };
+  struct Locator {
+    List list;
+    std::list<uint64_t>::iterator it;
+  };
+
+  std::list<uint64_t>& ListRef(List list);
+  void Remove(uint64_t key);
+  void PushMru(List list, uint64_t key);
+  // Demote one resident item to the appropriate ghost list.
+  void Replace(bool in_b2);
+  void EvictGhostLru(List list);
+
+  uint32_t chunk_size_;
+  uint64_t capacity_bytes_ = 0;
+  uint64_t capacity_items_ = 0;
+  double p_ = 0.0;  // target size of T1, in items
+
+  std::list<uint64_t> t1_, t2_, b1_, b2_;
+  std::unordered_map<uint64_t, Locator> index_;
+};
+
+}  // namespace cliffhanger

@@ -1,0 +1,39 @@
+#include "cache/global_log_queue.h"
+
+#include "util/slab_geometry.h"
+
+namespace cliffhanger {
+
+GlobalLogQueue::GlobalLogQueue(uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      lru_({{capacity_bytes, SegmentedLru::Unit::kBytes, false}}) {}
+
+GetResult GlobalLogQueue::Get(const ItemMeta& item) {
+  GetResult result;
+  if (lru_.Find(item.key) == 0) {
+    lru_.MoveToFront(item.key, 0);
+    result.hit = true;
+    result.region = HitRegion::kPhysical;
+  }
+  return result;
+}
+
+void GlobalLogQueue::Fill(const ItemMeta& item) {
+  lru_.Erase(item.key);
+  SegmentedLru::Entry entry;
+  entry.key = item.key;
+  // Exact footprint: the log packs items contiguously (100% utilization).
+  entry.full_bytes = static_cast<uint32_t>(
+      ExactFootprint(item.key_size, item.value_size));
+  entry.key_bytes = item.key_size;
+  lru_.Insert(entry, 0);
+}
+
+void GlobalLogQueue::Delete(uint64_t key) { lru_.Erase(key); }
+
+void GlobalLogQueue::SetCapacityBytes(uint64_t bytes) {
+  capacity_bytes_ = bytes;
+  lru_.SetCapacity(0, bytes);
+}
+
+}  // namespace cliffhanger

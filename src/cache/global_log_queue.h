@@ -1,0 +1,41 @@
+// GlobalLogQueue: simulation of a log-structured memory cache (RAMCloud-
+// style LSM) running one global LRU over all of an application's items at
+// 100% memory utilization — no slab classes, no internal fragmentation.
+// This is the "Log-structured Hitrate" column of the paper's Table 2
+// ("such a scheme does not exist in practice"; it is an upper bound for
+// what removing slab fragmentation can buy).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cache/segmented_lru.h"
+#include "cache/types.h"
+
+namespace cliffhanger {
+
+class GlobalLogQueue final : public ClassQueue {
+ public:
+  explicit GlobalLogQueue(uint64_t capacity_bytes);
+
+  GetResult Get(const ItemMeta& item) override;
+  void Fill(const ItemMeta& item) override;
+  void Delete(uint64_t key) override;
+
+  void SetCapacityBytes(uint64_t bytes) override;
+  [[nodiscard]] uint64_t capacity_bytes() const override {
+    return capacity_bytes_;
+  }
+  [[nodiscard]] uint64_t used_bytes() const override {
+    return lru_.physical_bytes();
+  }
+  [[nodiscard]] size_t physical_items() const override {
+    return lru_.physical_items();
+  }
+
+ private:
+  uint64_t capacity_bytes_;
+  SegmentedLru lru_;
+};
+
+}  // namespace cliffhanger

@@ -1,0 +1,87 @@
+#include "cache/lfu_queue.h"
+
+#include <cassert>
+
+namespace cliffhanger {
+
+LfuQueue::LfuQueue(uint32_t chunk_size) : chunk_size_(chunk_size) {
+  assert(chunk_size > 0);
+}
+
+void LfuQueue::Bump(uint64_t key) {
+  auto it = index_.find(key);
+  assert(it != index_.end());
+  const uint64_t freq = it->second.freq;
+  auto bucket = buckets_.find(freq);
+  bucket->second.erase(it->second.it);
+  if (bucket->second.empty()) buckets_.erase(bucket);
+  auto& next = buckets_[freq + 1];
+  next.push_front(key);
+  it->second = Locator{freq + 1, next.begin()};
+}
+
+void LfuQueue::EvictOne() {
+  if (buckets_.empty()) return;
+  auto bucket = buckets_.begin();  // lowest frequency
+  const uint64_t victim = bucket->second.back();  // LRU within the bucket
+  bucket->second.pop_back();
+  if (bucket->second.empty()) buckets_.erase(bucket);
+  index_.erase(victim);
+}
+
+GetResult LfuQueue::Get(const ItemMeta& item) {
+  GetResult result;
+  if (index_.find(item.key) != index_.end()) {
+    Bump(item.key);
+    result.hit = true;
+    result.region = HitRegion::kPhysical;
+  }
+  return result;
+}
+
+void LfuQueue::Fill(const ItemMeta& item) {
+  if (capacity_items_ == 0) return;
+  if (index_.find(item.key) != index_.end()) {
+    Bump(item.key);
+    return;
+  }
+  while (index_.size() >= capacity_items_) EvictOne();
+  auto& bucket = buckets_[1];
+  bucket.push_front(item.key);
+  index_[item.key] = Locator{1, bucket.begin()};
+}
+
+void LfuQueue::Delete(uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  auto bucket = buckets_.find(it->second.freq);
+  bucket->second.erase(it->second.it);
+  if (bucket->second.empty()) buckets_.erase(bucket);
+  index_.erase(it);
+}
+
+void LfuQueue::SetCapacityBytes(uint64_t bytes) {
+  capacity_bytes_ = bytes;
+  capacity_items_ = bytes / chunk_size_;
+  while (index_.size() > capacity_items_) EvictOne();
+}
+
+uint64_t LfuQueue::FrequencyOf(uint64_t key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? 0 : it->second.freq;
+}
+
+bool LfuQueue::CheckInvariants() const {
+  size_t total = 0;
+  for (const auto& [freq, keys] : buckets_) {
+    if (keys.empty()) return false;
+    for (const uint64_t key : keys) {
+      const auto it = index_.find(key);
+      if (it == index_.end() || it->second.freq != freq) return false;
+    }
+    total += keys.size();
+  }
+  return total == index_.size() && total <= capacity_items_;
+}
+
+}  // namespace cliffhanger

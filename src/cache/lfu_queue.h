@@ -1,0 +1,55 @@
+// O(1) LFU queue with LRU tie-breaking within a frequency bucket.
+// Cliffhanger "supports any eviction policy, including LRU, LFU or hybrid
+// policies such as ARC" (§1); this queue backs the LFU comparisons.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+
+#include "cache/types.h"
+
+namespace cliffhanger {
+
+class LfuQueue final : public ClassQueue {
+ public:
+  explicit LfuQueue(uint32_t chunk_size);
+
+  GetResult Get(const ItemMeta& item) override;
+  void Fill(const ItemMeta& item) override;
+  void Delete(uint64_t key) override;
+
+  void SetCapacityBytes(uint64_t bytes) override;
+  [[nodiscard]] uint64_t capacity_bytes() const override {
+    return capacity_bytes_;  // exact, not rounded to chunks
+  }
+  [[nodiscard]] uint64_t used_bytes() const override {
+    return index_.size() * chunk_size_;
+  }
+  [[nodiscard]] size_t physical_items() const override {
+    return index_.size();
+  }
+
+  [[nodiscard]] uint64_t FrequencyOf(uint64_t key) const;
+  [[nodiscard]] bool CheckInvariants() const;
+
+ private:
+  struct Locator {
+    uint64_t freq;
+    std::list<uint64_t>::iterator it;
+  };
+
+  void Bump(uint64_t key);
+  void EvictOne();
+
+  uint32_t chunk_size_;
+  uint64_t capacity_bytes_ = 0;
+  uint64_t capacity_items_ = 0;
+  // freq -> MRU-ordered list of keys at that frequency.
+  std::map<uint64_t, std::list<uint64_t>> buckets_;
+  std::unordered_map<uint64_t, Locator> index_;
+};
+
+}  // namespace cliffhanger

@@ -1,0 +1,129 @@
+#include "cache/segmented_lru.h"
+
+#include <cassert>
+
+namespace cliffhanger {
+
+SegmentedLru::SegmentedLru(std::vector<SegmentConfig> segments) {
+  assert(!segments.empty());
+  segments_.resize(segments.size());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    segments_[i].config = segments[i];
+  }
+}
+
+int SegmentedLru::Find(uint64_t key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? -1 : static_cast<int>(it->second.seg);
+}
+
+void SegmentedLru::Detach(const Locator& loc) {
+  Segment& s = segments_[loc.seg];
+  s.bytes -= Charge(s, *loc.it);
+  s.entries.erase(loc.it);
+}
+
+void SegmentedLru::AttachFront(size_t seg, const Entry& entry) {
+  Segment& s = segments_[seg];
+  s.entries.push_front(entry);
+  s.bytes += Charge(s, entry);
+  index_[entry.key] = Locator{seg, s.entries.begin()};
+}
+
+void SegmentedLru::Erase(uint64_t key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return;
+  Detach(it->second);
+  index_.erase(it);
+}
+
+bool SegmentedLru::MoveToFront(uint64_t key, size_t target_seg) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const Entry entry = *it->second.it;
+  Detach(it->second);
+  AttachFront(target_seg, entry);
+  Cascade(target_seg);
+  return true;
+}
+
+void SegmentedLru::Insert(const Entry& entry, size_t target_seg) {
+  assert(index_.find(entry.key) == index_.end());
+  AttachFront(target_seg, entry);
+  Cascade(target_seg);
+}
+
+void SegmentedLru::SetCapacity(size_t seg, uint64_t capacity) {
+  segments_[seg].config.capacity = capacity;
+  Cascade(seg);
+}
+
+void SegmentedLru::Cascade(size_t seg) {
+  for (size_t i = seg; i < segments_.size(); ++i) {
+    Segment& s = segments_[i];
+    while (!s.entries.empty() && Load(s) > s.config.capacity) {
+      const Entry victim = s.entries.back();
+      s.bytes -= Charge(s, victim);
+      s.entries.pop_back();
+      if (i + 1 < segments_.size()) {
+        Segment& next = segments_[i + 1];
+        next.entries.push_front(victim);
+        next.bytes += Charge(next, victim);
+        index_[victim.key] = Locator{i + 1, next.entries.begin()};
+      } else {
+        index_.erase(victim.key);
+      }
+    }
+  }
+}
+
+uint64_t SegmentedLru::segment_capacity(size_t seg) const {
+  return segments_[seg].config.capacity;
+}
+
+uint64_t SegmentedLru::segment_load(size_t seg) const {
+  return Load(segments_[seg]);
+}
+
+size_t SegmentedLru::segment_items(size_t seg) const {
+  return segments_[seg].entries.size();
+}
+
+uint64_t SegmentedLru::segment_bytes(size_t seg) const {
+  return segments_[seg].bytes;
+}
+
+size_t SegmentedLru::physical_items() const {
+  size_t n = 0;
+  for (const Segment& s : segments_) {
+    if (!s.config.keys_only) n += s.entries.size();
+  }
+  return n;
+}
+
+uint64_t SegmentedLru::physical_bytes() const {
+  uint64_t n = 0;
+  for (const Segment& s : segments_) {
+    if (!s.config.keys_only) n += s.bytes;
+  }
+  return n;
+}
+
+bool SegmentedLru::CheckInvariants() const {
+  size_t total = 0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    total += s.entries.size();
+    if (Load(s) > s.config.capacity && s.entries.size() > 1) return false;
+    uint64_t bytes = 0;
+    for (const Entry& e : s.entries) {
+      bytes += Charge(s, e);
+      const auto it = index_.find(e.key);
+      if (it == index_.end() || it->second.seg != i) return false;
+    }
+    if (bytes != s.bytes) return false;
+  }
+  return total == index_.size();
+}
+
+}  // namespace cliffhanger

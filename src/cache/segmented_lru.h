@@ -1,0 +1,102 @@
+// SegmentedLru: an LRU list partitioned into consecutive capacity-bounded
+// segments with cascade demotion. This single structure realizes the queue
+// layout of the paper's Figure 5:
+//
+//   [ head | mid | tail(128 items) | cliff shadow(128) | hill shadow(1MB) ]
+//     ^~~~~~~~~~ physical (keys + values) ~~~~~~~^  ^~~ keys only ~~~~~~^
+//
+// An item demoted out of a segment is pushed onto the front of the next
+// segment; demotion out of the last segment evicts it. Shadow segments
+// charge only key bytes; their capacity is expressed in items (the paper
+// sizes shadows as "1 MB of requests", i.e. represented_bytes / chunk keys).
+//
+// Which segment a lookup lands in tells the caller everything the
+// Cliffhanger algorithms need: a tail hit is a hit "left of the pointer", a
+// cliff-shadow hit is "right of the pointer", a hill-shadow hit earns the
+// queue a credit (Algorithms 1-2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace cliffhanger {
+
+class SegmentedLru {
+ public:
+  enum class Unit : uint8_t { kBytes, kItems };
+
+  struct SegmentConfig {
+    uint64_t capacity = 0;
+    Unit unit = Unit::kBytes;
+    bool keys_only = false;  // shadow segment: charge key bytes, drop values
+  };
+
+  struct Entry {
+    uint64_t key = 0;
+    uint32_t full_bytes = 0;  // chunk footprint while in a physical segment
+    uint32_t key_bytes = 0;   // footprint while in a keys-only segment
+  };
+
+  explicit SegmentedLru(std::vector<SegmentConfig> segments);
+
+  // Segment index containing `key`, or -1. Does not change recency.
+  [[nodiscard]] int Find(uint64_t key) const;
+
+  // Remove `key` from whichever segment holds it. No-op when absent.
+  void Erase(uint64_t key);
+
+  // Move an existing key to the front of `target_seg` (LRU promotion or
+  // midpoint insertion policy). Returns false when the key is absent.
+  bool MoveToFront(uint64_t key, size_t target_seg = 0);
+
+  // Insert a new key at the front of `target_seg`. The key must be absent.
+  void Insert(const Entry& entry, size_t target_seg = 0);
+
+  // Adjust one segment's capacity; overflow cascades immediately.
+  void SetCapacity(size_t seg, uint64_t capacity);
+
+  [[nodiscard]] size_t num_segments() const { return segments_.size(); }
+  [[nodiscard]] uint64_t segment_capacity(size_t seg) const;
+  [[nodiscard]] uint64_t segment_load(size_t seg) const;  // in its own unit
+  [[nodiscard]] size_t segment_items(size_t seg) const;
+  [[nodiscard]] uint64_t segment_bytes(size_t seg) const;  // charged bytes
+  [[nodiscard]] size_t total_items() const { return index_.size(); }
+
+  // Items in the physical (non-keys-only) segments and their charged bytes.
+  [[nodiscard]] size_t physical_items() const;
+  [[nodiscard]] uint64_t physical_bytes() const;
+
+  // Debug/test invariant: every segment is within capacity and the index is
+  // consistent with the lists.
+  [[nodiscard]] bool CheckInvariants() const;
+
+ private:
+  struct Segment {
+    SegmentConfig config;
+    std::list<Entry> entries;
+    uint64_t bytes = 0;  // charged bytes (full or key bytes per keys_only)
+  };
+  struct Locator {
+    size_t seg = 0;
+    std::list<Entry>::iterator it;
+  };
+
+  [[nodiscard]] static uint64_t Charge(const Segment& s, const Entry& e) {
+    return s.config.keys_only ? e.key_bytes : e.full_bytes;
+  }
+  [[nodiscard]] static uint64_t Load(const Segment& s) {
+    return s.config.unit == Unit::kItems ? s.entries.size() : s.bytes;
+  }
+  // Demote overflow starting at segment `seg` down the chain.
+  void Cascade(size_t seg);
+  void Detach(const Locator& loc);
+  void AttachFront(size_t seg, const Entry& entry);
+
+  std::vector<Segment> segments_;
+  std::unordered_map<uint64_t, Locator> index_;
+};
+
+}  // namespace cliffhanger

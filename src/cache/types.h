@@ -1,0 +1,66 @@
+// Shared cache-layer types.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cliffhanger {
+
+// Where a GET landed. The regions beyond kPhysical are the signals the
+// Cliffhanger algorithms consume (paper §4.3):
+//   kPhysicalTail — hit in the last `tail_items` of the physical queue
+//                   ("left of the pointer" for the cliff scaler);
+//   kCliffShadow  — hit in the small shadow right after the physical queue
+//                   ("right of the pointer");
+//   kHillShadow   — hit in the long shadow at the end (hill-climb credit).
+enum class HitRegion : uint8_t {
+  kMiss,
+  kPhysical,
+  kPhysicalTail,
+  kCliffShadow,
+  kHillShadow,
+};
+
+enum class Side : uint8_t { kLeft, kRight };
+
+struct GetResult {
+  bool hit = false;  // value present (kPhysical or kPhysicalTail)
+  HitRegion region = HitRegion::kMiss;
+  Side side = Side::kLeft;
+};
+
+// Insertion discipline for the physical queue.
+//   kLru      — new items at the head (memcached default).
+//   kMidpoint — Facebook's hybrid scheme (§5.5): first insertion lands at
+//               the middle of the queue; a later hit promotes to the head.
+enum class InsertionPolicy : uint8_t { kLru, kMidpoint };
+
+// Sizes of the item being operated on; value sizes are a deterministic
+// function of the key in all generators, so a refill after a miss recreates
+// the same footprint.
+struct ItemMeta {
+  uint64_t key = 0;
+  uint32_t key_size = 16;
+  uint32_t value_size = 0;
+};
+
+// Minimal queue interface shared by the slab-class queue and the
+// alternative eviction schemes (ARC, LFU) so the server and the benches can
+// swap them freely.
+class ClassQueue {
+ public:
+  virtual ~ClassQueue() = default;
+
+  // Lookup + recency/frequency update. Does not insert on miss.
+  virtual GetResult Get(const ItemMeta& item) = 0;
+  // Store after a miss (demand fill) or an explicit SET.
+  virtual void Fill(const ItemMeta& item) = 0;
+  virtual void Delete(uint64_t key) = 0;
+
+  virtual void SetCapacityBytes(uint64_t bytes) = 0;
+  [[nodiscard]] virtual uint64_t capacity_bytes() const = 0;
+  [[nodiscard]] virtual uint64_t used_bytes() const = 0;
+  [[nodiscard]] virtual size_t physical_items() const = 0;
+};
+
+}  // namespace cliffhanger

@@ -1,0 +1,439 @@
+#include "core/cache_server.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "cache/arc_queue.h"
+#include "cache/global_log_queue.h"
+#include "cache/lfu_queue.h"
+#include "util/hashing.h"
+
+namespace cliffhanger {
+
+// --- AppCache internals ---
+
+struct AppCache::ClassEntry {
+  int slab_class = 0;
+  std::unique_ptr<ClassQueue> queue;
+  // Non-null only for the LRU/midpoint slab queue (shadow-capable).
+  PartitionedSlabQueue* partitioned = nullptr;
+  std::unique_ptr<CliffScaler> scaler;
+  std::unique_ptr<ClassAdapter> adapter;
+  size_t climber_index = 0;
+  bool in_climber = false;
+  ClassStats stats;
+};
+
+// Climber control surface for one slab-class queue: resizing also informs
+// the class's cliff scaler so it can re-derive its partition.
+class AppCache::ClassAdapter final : public ClimbableQueue {
+ public:
+  ClassAdapter(ClassEntry* entry, uint64_t min_bytes)
+      : entry_(entry), min_bytes_(min_bytes) {}
+
+  [[nodiscard]] uint64_t capacity_bytes() const override {
+    return entry_->queue->capacity_bytes();
+  }
+  void SetCapacityBytes(uint64_t bytes) override {
+    entry_->queue->SetCapacityBytes(bytes);
+    if (entry_->scaler) entry_->scaler->OnCapacityChanged();
+  }
+  [[nodiscard]] uint64_t min_capacity_bytes() const override {
+    return min_bytes_;
+  }
+
+ private:
+  ClassEntry* entry_;
+  uint64_t min_bytes_;
+};
+
+AppCache::AppCache(uint32_t app_id, uint64_t reservation,
+                   const ServerConfig& config, CacheServer* server)
+    : app_id_(app_id),
+      reservation_(reservation),
+      free_bytes_(reservation),
+      config_(config),
+      server_(server) {
+  if (config_.allocation == AllocationMode::kCliffhanger &&
+      config_.knobs.hill_climbing) {
+    climber_ = std::make_unique<HillClimber>(
+        config_.knobs.climber, HashCombine(config_.seed, app_id));
+  }
+  if (config_.eviction == EvictionScheme::kGlobalLog) {
+    // The log owns the whole reservation outright (100% utilization).
+    auto& entry = GetOrCreateEntry(0);
+    entry.queue->SetCapacityBytes(reservation_);
+    free_bytes_ = 0;
+  }
+}
+
+AppCache::~AppCache() = default;
+
+AppCache::ClassEntry& AppCache::GetOrCreateEntry(int slab_class) {
+  auto it = classes_.find(slab_class);
+  if (it != classes_.end()) return *it->second;
+
+  auto entry = std::make_unique<ClassEntry>();
+  entry->slab_class = slab_class;
+  const uint32_t chunk = ChunkSize(slab_class);
+
+  switch (config_.eviction) {
+    case EvictionScheme::kArc:
+      entry->queue = std::make_unique<ArcQueue>(chunk);
+      break;
+    case EvictionScheme::kLfu:
+      entry->queue = std::make_unique<LfuQueue>(chunk);
+      break;
+    case EvictionScheme::kGlobalLog:
+      entry->queue = std::make_unique<GlobalLogQueue>(0);
+      break;
+    case EvictionScheme::kLru:
+    case EvictionScheme::kMidpoint: {
+      PartitionConfig pc;
+      pc.queue.chunk_size = chunk;
+      pc.queue.policy = config_.eviction == EvictionScheme::kMidpoint
+                            ? InsertionPolicy::kMidpoint
+                            : InsertionPolicy::kLru;
+      pc.queue.tail_items = config_.tail_items;
+      pc.queue.cliff_shadow_items = config_.cliff_shadow_items;
+      pc.queue.hill_shadow_bytes = config_.hill_shadow_bytes;
+      auto partitioned = std::make_unique<PartitionedSlabQueue>(pc);
+      entry->partitioned = partitioned.get();
+      entry->queue = std::move(partitioned);
+      break;
+    }
+  }
+
+  if (config_.allocation == AllocationMode::kCliffhanger &&
+      entry->partitioned != nullptr) {
+    if (config_.knobs.cliff_scaling) {
+      entry->scaler = std::make_unique<CliffScaler>(entry->partitioned,
+                                                    config_.knobs.scaler);
+    }
+    if (climber_) {
+      const uint64_t min_bytes =
+          std::max<uint64_t>(config_.page_size, 4ULL * chunk);
+      entry->adapter = std::make_unique<ClassAdapter>(entry.get(), min_bytes);
+      entry->climber_index = climber_->AddQueue(entry->adapter.get());
+      entry->in_climber = true;
+    }
+  }
+
+  auto [inserted, ok] = classes_.emplace(slab_class, std::move(entry));
+  (void)ok;
+  return *inserted->second;
+}
+
+void AppCache::EnsureCapacityFor(ClassEntry& entry, uint64_t needed_bytes) {
+  if (config_.allocation == AllocationMode::kStatic) return;
+  if (config_.eviction == EvictionScheme::kGlobalLog) return;
+  // FCFS page grants: grow the class while the app still has free memory
+  // and the queue cannot hold the incoming item.
+  while (entry.queue->used_bytes() + needed_bytes >
+             entry.queue->capacity_bytes() &&
+         free_bytes_ >= config_.page_size) {
+    free_bytes_ -= config_.page_size;
+    entry.queue->SetCapacityBytes(entry.queue->capacity_bytes() +
+                                  config_.page_size);
+    if (entry.scaler) entry.scaler->OnCapacityChanged();
+  }
+}
+
+Outcome AppCache::Get(const ItemMeta& item) {
+  Outcome outcome;
+  if (config_.eviction == EvictionScheme::kGlobalLog) {
+    auto& entry = GetOrCreateEntry(0);
+    ++entry.stats.gets;
+    const GetResult r = entry.queue->Get(item);
+    entry.stats.hits += r.hit ? 1 : 0;
+    outcome.hit = r.hit;
+    outcome.slab_class = 0;
+    outcome.region = r.region;
+    return outcome;
+  }
+
+  const int slab_class =
+      SlabClassFor(ExactFootprint(item.key_size, item.value_size));
+  outcome.slab_class = slab_class;
+  if (slab_class < 0) {
+    outcome.cacheable = false;
+    return outcome;
+  }
+  auto& entry = GetOrCreateEntry(slab_class);
+  ++entry.stats.gets;
+
+  // ARC admits on miss inside Get(); make sure it has room to do so.
+  if (config_.eviction == EvictionScheme::kArc) {
+    EnsureCapacityFor(entry, ChunkSize(slab_class));
+  }
+
+  const GetResult r = entry.queue->Get(item);
+  outcome.hit = r.hit;
+  outcome.region = r.region;
+  if (r.hit) {
+    ++entry.stats.hits;
+    if (r.region == HitRegion::kPhysicalTail) ++entry.stats.tail_hits;
+  } else if (r.region == HitRegion::kCliffShadow) {
+    ++entry.stats.cliff_shadow_hits;
+  } else if (r.region == HitRegion::kHillShadow) {
+    ++entry.stats.hill_shadow_hits;
+  }
+
+  if (config_.allocation == AllocationMode::kCliffhanger) {
+    if (r.region == HitRegion::kHillShadow) {
+      if (climber_) climber_->OnShadowHit(entry.climber_index);
+      if (config_.knobs.cross_app && server_ != nullptr) {
+        server_->OnAppShadowHit(server_->app_index_.at(app_id_));
+      }
+    }
+    if (entry.scaler) {
+      entry.scaler->OnAccess(r);
+      if (!r.hit) entry.scaler->OnMiss();
+    }
+  }
+  return outcome;
+}
+
+void AppCache::Set(const ItemMeta& item) {
+  if (config_.eviction == EvictionScheme::kGlobalLog) {
+    auto& entry = GetOrCreateEntry(0);
+    ++entry.stats.sets;
+    entry.queue->Fill(item);
+    return;
+  }
+  const int slab_class =
+      SlabClassFor(ExactFootprint(item.key_size, item.value_size));
+  if (slab_class < 0) return;  // uncacheable
+  auto& entry = GetOrCreateEntry(slab_class);
+  ++entry.stats.sets;
+  EnsureCapacityFor(entry, ChunkSize(slab_class));
+  entry.queue->Fill(item);
+}
+
+void AppCache::Delete(const ItemMeta& item) {
+  if (config_.eviction == EvictionScheme::kGlobalLog) {
+    GetOrCreateEntry(0).queue->Delete(item.key);
+    return;
+  }
+  const int slab_class =
+      SlabClassFor(ExactFootprint(item.key_size, item.value_size));
+  if (slab_class < 0) return;
+  const auto it = classes_.find(slab_class);
+  if (it != classes_.end()) it->second->queue->Delete(item.key);
+}
+
+void AppCache::SetStaticAllocation(
+    const std::map<int, uint64_t>& bytes_per_class) {
+  uint64_t total = 0;
+  for (const auto& [slab_class, bytes] : bytes_per_class) {
+    auto& entry = GetOrCreateEntry(slab_class);
+    entry.queue->SetCapacityBytes(bytes);
+    if (entry.scaler) entry.scaler->OnCapacityChanged();
+    total += bytes;
+  }
+  free_bytes_ = total >= reservation_ ? 0 : reservation_ - total;
+}
+
+uint64_t AppCache::allocated_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [slab_class, entry] : classes_) {
+    total += entry->queue->capacity_bytes();
+  }
+  return total;
+}
+
+uint64_t AppCache::shadow_overhead_bytes() const {
+  uint64_t total = 0;
+  for (const auto& [slab_class, entry] : classes_) {
+    if (entry->partitioned != nullptr) {
+      total += entry->partitioned->shadow_overhead_bytes();
+    }
+  }
+  return total;
+}
+
+void AppCache::ShrinkProportionally(uint64_t deficit) {
+  const uint64_t allocated = allocated_bytes();
+  if (allocated == 0 || deficit == 0) return;
+  uint64_t remaining = deficit;
+  for (auto& [slab_class, entry] : classes_) {
+    if (remaining == 0) break;
+    const uint64_t cap = entry->queue->capacity_bytes();
+    uint64_t cut = static_cast<uint64_t>(
+        static_cast<double>(cap) / static_cast<double>(allocated) *
+        static_cast<double>(deficit));
+    cut = std::min({cut, cap, remaining});
+    entry->queue->SetCapacityBytes(cap - cut);
+    if (entry->scaler) entry->scaler->OnCapacityChanged();
+    remaining -= cut;
+  }
+  // Rounding leftovers: take from the largest queue.
+  while (remaining > 0) {
+    ClassEntry* largest = nullptr;
+    for (auto& [slab_class, entry] : classes_) {
+      if (largest == nullptr ||
+          entry->queue->capacity_bytes() > largest->queue->capacity_bytes()) {
+        largest = entry.get();
+      }
+    }
+    if (largest == nullptr || largest->queue->capacity_bytes() == 0) break;
+    const uint64_t cut =
+        std::min(remaining, largest->queue->capacity_bytes());
+    largest->queue->SetCapacityBytes(largest->queue->capacity_bytes() - cut);
+    if (largest->scaler) largest->scaler->OnCapacityChanged();
+    remaining -= cut;
+  }
+}
+
+void AppCache::SetReservation(uint64_t bytes) {
+  if (bytes >= reservation_) {
+    free_bytes_ += bytes - reservation_;
+    reservation_ = bytes;
+    return;
+  }
+  uint64_t deficit = reservation_ - bytes;
+  const uint64_t from_free = std::min(free_bytes_, deficit);
+  free_bytes_ -= from_free;
+  deficit -= from_free;
+  ShrinkProportionally(deficit);
+  reservation_ = bytes;
+}
+
+std::vector<AppCache::ClassInfo> AppCache::ClassInfos() const {
+  std::vector<ClassInfo> infos;
+  infos.reserve(classes_.size());
+  for (const auto& [slab_class, entry] : classes_) {
+    ClassInfo info;
+    info.slab_class = slab_class;
+    info.capacity_bytes = entry->queue->capacity_bytes();
+    info.used_bytes = entry->queue->used_bytes();
+    info.stats = entry->stats;
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+ClassStats AppCache::TotalStats() const {
+  ClassStats total;
+  for (const auto& [slab_class, entry] : classes_) {
+    total.gets += entry->stats.gets;
+    total.hits += entry->stats.hits;
+    total.sets += entry->stats.sets;
+    total.tail_hits += entry->stats.tail_hits;
+    total.cliff_shadow_hits += entry->stats.cliff_shadow_hits;
+    total.hill_shadow_hits += entry->stats.hill_shadow_hits;
+  }
+  return total;
+}
+
+ClassStats AppCache::StatsForClass(int slab_class) const {
+  const auto it = classes_.find(slab_class);
+  return it == classes_.end() ? ClassStats{} : it->second->stats;
+}
+
+// --- CacheServer ---
+
+// Climber surface for a whole application (cross-app mode): "queue size" is
+// the app's reservation.
+class CacheServer::AppAdapter final : public ClimbableQueue {
+ public:
+  AppAdapter(AppCache* app, uint64_t min_bytes)
+      : app_(app), min_bytes_(min_bytes) {}
+  [[nodiscard]] uint64_t capacity_bytes() const override {
+    return app_->reservation();
+  }
+  void SetCapacityBytes(uint64_t bytes) override {
+    app_->SetReservation(bytes);
+  }
+  [[nodiscard]] uint64_t min_capacity_bytes() const override {
+    return min_bytes_;
+  }
+
+ private:
+  AppCache* app_;
+  uint64_t min_bytes_;
+};
+
+CacheServer::CacheServer(const ServerConfig& config) : config_(config) {
+  if (config_.allocation == AllocationMode::kCliffhanger &&
+      config_.knobs.cross_app) {
+    cross_climber_ = std::make_unique<HillClimber>(
+        config_.knobs.climber, HashCombine(config_.seed, 0xA99ULL));
+  }
+}
+
+CacheServer::~CacheServer() = default;
+
+AppCache& CacheServer::AddApp(uint32_t app_id, uint64_t reservation) {
+  assert(apps_.find(app_id) == apps_.end());
+  auto app = std::make_unique<AppCache>(app_id, reservation, config_, this);
+  AppCache* raw = app.get();
+  apps_.emplace(app_id, std::move(app));
+  if (cross_climber_) {
+    app_index_[app_id] = app_adapters_.size();
+    // A tenant may never be squeezed below a handful of pages or an eighth
+    // of its paid reservation, whichever is larger.
+    const uint64_t min_bytes =
+        std::max<uint64_t>(4 * config_.page_size, reservation / 8);
+    app_adapters_.push_back(std::make_unique<AppAdapter>(raw, min_bytes));
+    cross_climber_->AddQueue(app_adapters_.back().get());
+  } else {
+    app_index_[app_id] = app_index_.size();
+  }
+  return *raw;
+}
+
+AppCache* CacheServer::app(uint32_t app_id) {
+  const auto it = apps_.find(app_id);
+  return it == apps_.end() ? nullptr : it->second.get();
+}
+
+const AppCache* CacheServer::app(uint32_t app_id) const {
+  const auto it = apps_.find(app_id);
+  return it == apps_.end() ? nullptr : it->second.get();
+}
+
+Outcome CacheServer::Get(uint32_t app_id, const ItemMeta& item) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  return a->Get(item);
+}
+
+void CacheServer::Set(uint32_t app_id, const ItemMeta& item) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  a->Set(item);
+}
+
+void CacheServer::Delete(uint32_t app_id, const ItemMeta& item) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  a->Delete(item);
+}
+
+void CacheServer::OnAppShadowHit(size_t app_index) {
+  if (cross_climber_) cross_climber_->OnShadowHit(app_index);
+}
+
+ClassStats CacheServer::TotalStats() const {
+  ClassStats total;
+  for (const auto& [id, app] : apps_) {
+    const ClassStats s = app->TotalStats();
+    total.gets += s.gets;
+    total.hits += s.hits;
+    total.sets += s.sets;
+    total.tail_hits += s.tail_hits;
+    total.cliff_shadow_hits += s.cliff_shadow_hits;
+    total.hill_shadow_hits += s.hill_shadow_hits;
+  }
+  return total;
+}
+
+std::vector<uint32_t> CacheServer::app_ids() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(apps_.size());
+  for (const auto& [id, app] : apps_) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace cliffhanger

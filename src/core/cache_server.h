@@ -1,0 +1,172 @@
+// CacheServer: a multi-tenant memcached-style server with pluggable memory
+// allocation (FCFS default / static / Cliffhanger) and eviction schemes
+// (LRU, Facebook midpoint, ARC, LFU, log-structured global LRU).
+//
+// This is the library's top-level public API: add applications with memory
+// reservations, feed Get/Set/Delete operations, and inspect per-class and
+// per-app statistics. With AllocationMode::kCliffhanger the server runs the
+// paper's combined algorithm (§4.3): hill climbing across the slab-class
+// queues of each application (and optionally across applications), plus a
+// cliff scaler per sufficiently large queue.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/types.h"
+#include "core/cliff_scaler.h"
+#include "core/hill_climber.h"
+#include "util/slab_geometry.h"
+
+namespace cliffhanger {
+
+enum class AllocationMode : uint8_t {
+  kFcfs,        // memcached default: slabs grab pages first-come-first-serve
+  kStatic,      // fixed per-class allocation (e.g. from the Dynacache solver)
+  kCliffhanger  // FCFS growth + hill climbing (+ cliff scaling)
+};
+
+enum class EvictionScheme : uint8_t {
+  kLru,        // memcached default
+  kMidpoint,   // Facebook's hybrid insertion (§5.5)
+  kArc,        // ARC per slab class (§5.5)
+  kLfu,        // LFU per slab class
+  kGlobalLog,  // one global LRU per app at 100% utilization (Table 2)
+};
+
+struct CliffhangerKnobs {
+  bool hill_climbing = true;
+  bool cliff_scaling = true;
+  // Also run Algorithm 1 across applications (§3.3 / Table 3), using each
+  // app's aggregate shadow hits to resize reservations.
+  bool cross_app = false;
+  HillClimberConfig climber;
+  CliffScalerConfig scaler;
+};
+
+struct ServerConfig {
+  AllocationMode allocation = AllocationMode::kFcfs;
+  EvictionScheme eviction = EvictionScheme::kLru;
+  CliffhangerKnobs knobs;
+  // Per-queue layout defaults; chunk_size/policy are set per class.
+  uint32_t tail_items = 128;
+  uint32_t cliff_shadow_items = 128;
+  uint64_t hill_shadow_bytes = 1 << 20;
+  uint64_t page_size = kPageSize;
+  uint64_t seed = 0xC11FF;
+};
+
+struct ClassStats {
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t sets = 0;
+  uint64_t tail_hits = 0;
+  uint64_t cliff_shadow_hits = 0;
+  uint64_t hill_shadow_hits = 0;
+  [[nodiscard]] uint64_t misses() const { return gets - hits; }
+  [[nodiscard]] double hit_rate() const {
+    return gets == 0 ? 0.0 : static_cast<double>(hits) / gets;
+  }
+};
+
+struct Outcome {
+  bool hit = false;
+  bool cacheable = true;
+  int slab_class = -1;
+  HitRegion region = HitRegion::kMiss;
+};
+
+class CacheServer;
+
+// One tenant: its reservation, its per-slab-class queues, and (when enabled)
+// its Cliffhanger controller state.
+class AppCache {
+ public:
+  AppCache(uint32_t app_id, uint64_t reservation, const ServerConfig& config,
+           CacheServer* server);
+  ~AppCache();
+  AppCache(const AppCache&) = delete;
+  AppCache& operator=(const AppCache&) = delete;
+
+  Outcome Get(const ItemMeta& item);
+  void Set(const ItemMeta& item);
+  void Delete(const ItemMeta& item);
+
+  // Fixed allocation for AllocationMode::kStatic (bytes per slab class).
+  void SetStaticAllocation(const std::map<int, uint64_t>& bytes_per_class);
+  // Cross-app climbing resizes reservations through this.
+  void SetReservation(uint64_t bytes);
+
+  [[nodiscard]] uint32_t app_id() const { return app_id_; }
+  [[nodiscard]] uint64_t reservation() const { return reservation_; }
+  [[nodiscard]] uint64_t free_bytes() const { return free_bytes_; }
+  [[nodiscard]] uint64_t allocated_bytes() const;
+  [[nodiscard]] uint64_t shadow_overhead_bytes() const;
+
+  struct ClassInfo {
+    int slab_class = 0;
+    uint64_t capacity_bytes = 0;
+    uint64_t used_bytes = 0;
+    ClassStats stats;
+  };
+  [[nodiscard]] std::vector<ClassInfo> ClassInfos() const;
+  [[nodiscard]] ClassStats TotalStats() const;
+  // Convenience for experiment drivers.
+  [[nodiscard]] ClassStats StatsForClass(int slab_class) const;
+
+ private:
+  friend class CacheServer;
+  struct ClassEntry;
+  class ClassAdapter;
+
+  ClassEntry& GetOrCreateEntry(int slab_class);
+  void EnsureCapacityFor(ClassEntry& entry, uint64_t needed_bytes);
+  void ShrinkProportionally(uint64_t deficit);
+
+  uint32_t app_id_;
+  uint64_t reservation_;
+  uint64_t free_bytes_;
+  const ServerConfig& config_;
+  CacheServer* server_;
+
+  std::map<int, std::unique_ptr<ClassEntry>> classes_;
+  std::unique_ptr<HillClimber> climber_;  // within-app (slab class) climbing
+};
+
+class CacheServer {
+ public:
+  explicit CacheServer(const ServerConfig& config);
+  ~CacheServer();
+  CacheServer(const CacheServer&) = delete;
+  CacheServer& operator=(const CacheServer&) = delete;
+
+  AppCache& AddApp(uint32_t app_id, uint64_t reservation);
+  [[nodiscard]] AppCache* app(uint32_t app_id);
+  [[nodiscard]] const AppCache* app(uint32_t app_id) const;
+
+  // Routed operations (dispatch on item/app ids).
+  Outcome Get(uint32_t app_id, const ItemMeta& item);
+  void Set(uint32_t app_id, const ItemMeta& item);
+  void Delete(uint32_t app_id, const ItemMeta& item);
+
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] ClassStats TotalStats() const;
+  [[nodiscard]] std::vector<uint32_t> app_ids() const;
+
+ private:
+  friend class AppCache;
+  class AppAdapter;
+  // Aggregate per-app shadow signal feeding the cross-app climber.
+  void OnAppShadowHit(size_t app_index);
+
+  ServerConfig config_;
+  std::map<uint32_t, std::unique_ptr<AppCache>> apps_;
+  std::unique_ptr<HillClimber> cross_climber_;
+  std::vector<std::unique_ptr<AppAdapter>> app_adapters_;
+  std::map<uint32_t, size_t> app_index_;
+};
+
+}  // namespace cliffhanger

@@ -1,0 +1,62 @@
+#include "core/hill_climber.h"
+
+#include <algorithm>
+
+namespace cliffhanger {
+
+HillClimber::HillClimber(const HillClimberConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+size_t HillClimber::AddQueue(ClimbableQueue* queue) {
+  queues_.push_back(queue);
+  credits_.push_back(0);
+  return queues_.size() - 1;
+}
+
+void HillClimber::OnShadowHit(size_t i) {
+  if (queues_.size() < 2) return;  // nothing to trade against
+
+  // Algorithm 1 lines 2-4: credit the hitting queue, debit a random other.
+  const auto credit = static_cast<int64_t>(config_.credit_bytes);
+  credits_[i] += credit;
+  size_t victim = rng_.NextBounded(queues_.size() - 1);
+  if (victim >= i) ++victim;
+  credits_[victim] -= credit;
+
+  // Convert accumulated credits into physical memory in quantum units.
+  while (credits_[i] >= static_cast<int64_t>(config_.quantum_bytes)) {
+    if (!TryTransfer(i)) break;
+    credits_[i] -= static_cast<int64_t>(config_.quantum_bytes);
+  }
+}
+
+bool HillClimber::TryTransfer(size_t i) {
+  // Prefer the queue with the most negative balance that can still donate;
+  // it is the one the random debits have judged least deserving. Fall back
+  // to any queue with spare capacity so a transfer happens whenever one is
+  // possible at all.
+  const uint64_t quantum = config_.quantum_bytes;
+  size_t best = queues_.size();
+  int64_t best_credits = 0;
+  for (size_t j = 0; j < queues_.size(); ++j) {
+    if (j == i) continue;
+    ClimbableQueue* q = queues_[j];
+    if (q->capacity_bytes() < q->min_capacity_bytes() + quantum) continue;
+    if (best == queues_.size() || credits_[j] < best_credits) {
+      best = j;
+      best_credits = credits_[j];
+    }
+  }
+  if (best == queues_.size()) return false;
+
+  ClimbableQueue* donor = queues_[best];
+  ClimbableQueue* winner = queues_[i];
+  donor->SetCapacityBytes(donor->capacity_bytes() - quantum);
+  winner->SetCapacityBytes(winner->capacity_bytes() + quantum);
+  credits_[best] += static_cast<int64_t>(quantum);
+  ++transfers_;
+  transferred_bytes_ += quantum;
+  return true;
+}
+
+}  // namespace cliffhanger

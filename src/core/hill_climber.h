@@ -1,0 +1,77 @@
+// Algorithm 1 — shadow-queue hill climbing.
+//
+//   1: if request ∈ shadowQueue(i) then
+//   2:   queue(i).size += credit
+//   3:   chosenQueue = pickRandom({queues} - {queue(i)})
+//   4:   chosenQueue.size -= credit
+//   5: end if
+//
+// The rate of hits in queue i's hill shadow approximates f_i * h_i'(m_i)
+// (the request-weighted local gradient of its hit-rate curve), so in
+// equilibrium the normalized gradients equalize across queues — the
+// optimality condition of Equation 1 (paper §4.1).
+//
+// Credits accumulate per queue; once a queue's balance reaches the transfer
+// quantum, memory physically moves from a negative-balance queue ("Once a
+// queue reaches a certain amount of credits, it is allocated additional
+// memory at the expense of another queue"). With quantum == credit (the
+// default) every shadow hit moves memory immediately.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cliffhanger {
+
+// Capacity-control surface the climber drives. Implemented by adapters around
+// slab-class queues (within-app climbing) and around whole applications
+// (cross-app climbing).
+class ClimbableQueue {
+ public:
+  virtual ~ClimbableQueue() = default;
+  [[nodiscard]] virtual uint64_t capacity_bytes() const = 0;
+  virtual void SetCapacityBytes(uint64_t bytes) = 0;
+  // Floor below which the climber will not shrink this queue.
+  [[nodiscard]] virtual uint64_t min_capacity_bytes() const = 0;
+};
+
+struct HillClimberConfig {
+  uint64_t credit_bytes = 4096;    // paper §5.3: 1-4 KB works best
+  uint64_t quantum_bytes = 4096;   // transfer granularity
+};
+
+class HillClimber {
+ public:
+  explicit HillClimber(const HillClimberConfig& config, uint64_t seed = 1);
+
+  // Registers a queue; returns its index. Queues may be added lazily as
+  // slab classes materialize.
+  size_t AddQueue(ClimbableQueue* queue);
+
+  // Called when queue i's hill shadow received a hit.
+  void OnShadowHit(size_t i);
+
+  [[nodiscard]] size_t num_queues() const { return queues_.size(); }
+  [[nodiscard]] int64_t credits(size_t i) const { return credits_[i]; }
+  [[nodiscard]] uint64_t total_transfers() const { return transfers_; }
+  [[nodiscard]] uint64_t transferred_bytes() const {
+    return transferred_bytes_;
+  }
+
+ private:
+  // Move up to `quantum_bytes` into queue i from a random donor with spare
+  // capacity. Returns true when memory moved.
+  bool TryTransfer(size_t i);
+
+  HillClimberConfig config_;
+  Rng rng_;
+  std::vector<ClimbableQueue*> queues_;
+  std::vector<int64_t> credits_;
+  uint64_t transfers_ = 0;
+  uint64_t transferred_bytes_ = 0;
+};
+
+}  // namespace cliffhanger

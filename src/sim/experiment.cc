@@ -1,0 +1,187 @@
+#include "sim/experiment.h"
+
+#include <algorithm>
+
+#include "analysis/hit_rate_curve.h"
+#include "analysis/mimir.h"
+#include "analysis/stack_distance.h"
+#include "util/slab_geometry.h"
+
+namespace cliffhanger {
+
+ServerConfig DefaultServerConfig() {
+  ServerConfig config;
+  config.allocation = AllocationMode::kFcfs;
+  config.eviction = EvictionScheme::kLru;
+  return config;
+}
+
+ServerConfig CliffhangerServerConfig() {
+  ServerConfig config;
+  config.allocation = AllocationMode::kCliffhanger;
+  config.eviction = EvictionScheme::kLru;
+  config.knobs.hill_climbing = true;
+  config.knobs.cliff_scaling = true;
+  return config;
+}
+
+ServerConfig HillClimbingOnlyConfig() {
+  ServerConfig config = CliffhangerServerConfig();
+  config.knobs.cliff_scaling = false;
+  return config;
+}
+
+ServerConfig CliffScalingOnlyConfig() {
+  ServerConfig config = CliffhangerServerConfig();
+  config.knobs.hill_climbing = false;
+  return config;
+}
+
+ProfileResult ProfileTrace(const Trace& trace, uint32_t app_id, bool exact,
+                           size_t mimir_buckets) {
+  ProfileResult result;
+  std::map<int, StackDistanceAnalyzer> exact_analyzers;
+  std::map<int, MimirEstimator> mimir_estimators;
+
+  for (const Request& r : trace) {
+    if (r.app_id != app_id || r.op != Op::kGet) continue;
+    const int slab_class =
+        SlabClassFor(ExactFootprint(r.key_size, r.value_size));
+    if (slab_class < 0) continue;
+    ++result.total_gets;
+    ++result.gets_per_class[slab_class];
+    if (exact) {
+      exact_analyzers.try_emplace(slab_class).first->second.Record(r.key);
+    } else {
+      mimir_estimators.try_emplace(slab_class, mimir_buckets)
+          .first->second.Record(r.key);
+    }
+  }
+
+  for (const auto& [slab_class, gets] : result.gets_per_class) {
+    const std::vector<uint64_t>* histogram = nullptr;
+    if (exact) {
+      histogram = &exact_analyzers.at(slab_class).histogram();
+    } else {
+      histogram = &mimir_estimators.at(slab_class).histogram();
+    }
+    // x in items -> x in bytes (one chunk per item).
+    PiecewiseCurve items_curve = CurveFromHistogram(*histogram, gets, 2048);
+    result.curves[slab_class] = ScaleCurveX(
+        items_curve, static_cast<double>(ChunkSize(slab_class)));
+  }
+  return result;
+}
+
+std::map<int, uint64_t> SolveAppAllocation(const ProfileResult& profile,
+                                           uint64_t reservation,
+                                           CurveTransform transform) {
+  std::vector<SolverQueueInput> inputs;
+  std::vector<int> class_ids;
+  for (const auto& [slab_class, curve] : profile.curves) {
+    SolverQueueInput in;
+    in.curve = curve;
+    in.request_share =
+        profile.total_gets == 0
+            ? 0.0
+            : static_cast<double>(profile.gets_per_class.at(slab_class)) /
+                  static_cast<double>(profile.total_gets);
+    in.min_bytes = kPageSize;
+    inputs.push_back(std::move(in));
+    class_ids.push_back(slab_class);
+  }
+  SolverConfig config;
+  config.total_bytes = reservation;
+  config.step_bytes = kPageSize;
+  config.transform = transform;
+  const SolverResult solved = SolveAllocation(inputs, config);
+
+  std::map<int, uint64_t> allocation;
+  for (size_t i = 0; i < class_ids.size(); ++i) {
+    allocation[class_ids[i]] = solved.allocation_bytes[i];
+  }
+  return allocation;
+}
+
+std::map<uint32_t, std::map<int, uint64_t>> SolveCrossAppAllocation(
+    const Trace& trace, const std::vector<uint32_t>& app_ids,
+    uint64_t total_bytes, CurveTransform transform, bool exact) {
+  std::vector<SolverQueueInput> inputs;
+  std::vector<std::pair<uint32_t, int>> ids;
+  uint64_t server_gets = 0;
+  std::vector<ProfileResult> profiles;
+  profiles.reserve(app_ids.size());
+  for (const uint32_t app_id : app_ids) {
+    profiles.push_back(ProfileTrace(trace, app_id, exact));
+    server_gets += profiles.back().total_gets;
+  }
+  for (size_t a = 0; a < app_ids.size(); ++a) {
+    const ProfileResult& profile = profiles[a];
+    for (const auto& [slab_class, curve] : profile.curves) {
+      SolverQueueInput in;
+      in.curve = curve;
+      in.request_share =
+          server_gets == 0
+              ? 0.0
+              : static_cast<double>(profile.gets_per_class.at(slab_class)) /
+                    static_cast<double>(server_gets);
+      in.min_bytes = kPageSize;
+      inputs.push_back(std::move(in));
+      ids.emplace_back(app_ids[a], slab_class);
+    }
+  }
+  SolverConfig config;
+  config.total_bytes = total_bytes;
+  config.step_bytes = kPageSize;
+  config.transform = transform;
+  const SolverResult solved = SolveAllocation(inputs, config);
+
+  std::map<uint32_t, std::map<int, uint64_t>> allocation;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    allocation[ids[i].first][ids[i].second] = solved.allocation_bytes[i];
+  }
+  return allocation;
+}
+
+SimResult RunApp(const SuiteApp& app, const Trace& trace,
+                 const ServerConfig& config, double capacity_fraction,
+                 const std::map<int, uint64_t>* static_alloc,
+                 const SimOptions& options) {
+  CacheServer server(config);
+  const auto reservation = static_cast<uint64_t>(
+      static_cast<double>(app.reservation) * capacity_fraction);
+  AppCache& cache =
+      server.AddApp(static_cast<uint32_t>(app.id), reservation);
+  if (static_alloc != nullptr) {
+    cache.SetStaticAllocation(*static_alloc);
+  }
+  return Replay(server, trace, options);
+}
+
+SimResult RunAppWithSolver(const SuiteApp& app, const Trace& trace,
+                           CurveTransform transform, bool exact_profile) {
+  const ProfileResult profile =
+      ProfileTrace(trace, static_cast<uint32_t>(app.id), exact_profile);
+  const std::map<int, uint64_t> allocation =
+      SolveAppAllocation(profile, app.reservation, transform);
+  ServerConfig config = DefaultServerConfig();
+  config.allocation = AllocationMode::kStatic;
+  return RunApp(app, trace, config, 1.0, &allocation);
+}
+
+double FindCapacityFractionForHitRate(const SuiteApp& app, const Trace& trace,
+                                      const ServerConfig& config,
+                                      double target_hit_rate,
+                                      const std::vector<double>& fractions) {
+  for (const double fraction : fractions) {
+    if (fraction >= 1.0) break;
+    const SimResult result = RunApp(app, trace, config, fraction);
+    if (result.app_hit_rate(static_cast<uint32_t>(app.id)) >=
+        target_hit_rate) {
+      return fraction;
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace cliffhanger

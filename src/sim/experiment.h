@@ -1,0 +1,86 @@
+// Experiment pipeline helpers shared by the bench drivers and integration
+// tests: server-config presets, the offline solver pipeline (profile ->
+// curves -> allocation -> replay), and the memory-savings search of
+// Figure 7.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "analysis/dynacache_solver.h"
+#include "sim/simulator.h"
+#include "workload/memcachier_suite.h"
+
+namespace cliffhanger {
+
+// --- Server config presets ---
+
+// Memcached default: FCFS slab allocation, LRU eviction.
+[[nodiscard]] ServerConfig DefaultServerConfig();
+// Full Cliffhanger (hill climbing + cliff scaling).
+[[nodiscard]] ServerConfig CliffhangerServerConfig();
+// Ablations (Table 4).
+[[nodiscard]] ServerConfig HillClimbingOnlyConfig();
+[[nodiscard]] ServerConfig CliffScalingOnlyConfig();
+
+// --- Offline (Dynacache-style) solver pipeline ---
+
+struct ProfileResult {
+  // Per slab class: estimated hit-rate curve with x in bytes.
+  std::map<int, PiecewiseCurve> curves;
+  std::map<int, uint64_t> gets_per_class;
+  uint64_t total_gets = 0;
+};
+
+// One profiling pass over an app's GETs. `exact` selects the Mattson
+// analyzer (ground truth); otherwise the Mimir bucket estimator is used, as
+// in Dynacache (paper §2.1, 100 buckets).
+[[nodiscard]] ProfileResult ProfileTrace(const Trace& trace, uint32_t app_id,
+                                         bool exact = false,
+                                         size_t mimir_buckets = 100);
+
+// Runs the solver on a profile; returns bytes per slab class.
+[[nodiscard]] std::map<int, uint64_t> SolveAppAllocation(
+    const ProfileResult& profile, uint64_t reservation,
+    CurveTransform transform = CurveTransform::kConcaveRegression);
+
+// Cross-application variant (Table 3): profiles each app and jointly
+// allocates `total_bytes` over every (app, class) queue. Returns per-app
+// class allocations; per-app totals are the sums.
+[[nodiscard]] std::map<uint32_t, std::map<int, uint64_t>>
+SolveCrossAppAllocation(const Trace& trace,
+                        const std::vector<uint32_t>& app_ids,
+                        uint64_t total_bytes,
+                        CurveTransform transform,
+                        bool exact = false);
+
+// --- Single-app experiment runners ---
+
+// Builds a server with one app at `capacity_fraction` of its reservation,
+// optionally installing a static allocation, then replays the trace.
+[[nodiscard]] SimResult RunApp(const SuiteApp& app, const Trace& trace,
+                               const ServerConfig& config,
+                               double capacity_fraction = 1.0,
+                               const std::map<int, uint64_t>* static_alloc =
+                                   nullptr,
+                               const SimOptions& options = {});
+
+// Two-pass solver experiment: profile at full reservation, solve, replay
+// with the static allocation.
+[[nodiscard]] SimResult RunAppWithSolver(
+    const SuiteApp& app, const Trace& trace,
+    CurveTransform transform = CurveTransform::kConcaveRegression,
+    bool exact_profile = false);
+
+// Smallest capacity fraction (from `fractions`, ascending) at which
+// `config` reaches `target_hit_rate` on this app; returns 1.0 when only the
+// full reservation suffices (or none does). Implements the "Memory Saved by
+// Cliffhanger" series of Figure 7.
+[[nodiscard]] double FindCapacityFractionForHitRate(
+    const SuiteApp& app, const Trace& trace, const ServerConfig& config,
+    double target_hit_rate, const std::vector<double>& fractions);
+
+}  // namespace cliffhanger

@@ -1,0 +1,60 @@
+// Trace replay through a CacheServer with demand-fill semantics and optional
+// time-series sampling (Figures 8 and 9 are produced from these samples).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/cache_server.h"
+#include "util/timeseries.h"
+#include "workload/trace.h"
+
+namespace cliffhanger {
+
+struct SimOptions {
+  // A GET miss inserts the item (the application re-fetches from the
+  // database and stores it in the cache) — standard web-cache behaviour and
+  // how the paper replays the Memcachier traces.
+  bool demand_fill = true;
+  // Sample every N requests (0 disables sampling).
+  uint64_t sample_interval = 0;
+  // Record per-slab-class capacity series for this app (Figure 8).
+  std::optional<uint32_t> track_capacity_app;
+  // Record a windowed hit-rate series for (app, slab class) (Figure 9).
+  // slab_class == -1 tracks the app's overall hit rate.
+  std::optional<std::pair<uint32_t, int>> track_hit_rate;
+};
+
+struct AppResult {
+  ClassStats total;
+  std::map<int, AppCache::ClassInfo> classes;
+  uint64_t reservation = 0;
+  uint64_t allocated = 0;
+};
+
+struct SimResult {
+  ClassStats total;
+  std::map<uint32_t, AppResult> apps;
+  // Capacity series keyed by "slab<k>" name; hit-rate series named "hitrate".
+  std::vector<TimeSeries> series;
+
+  [[nodiscard]] double hit_rate() const { return total.hit_rate(); }
+  [[nodiscard]] double app_hit_rate(uint32_t app_id) const {
+    const auto it = apps.find(app_id);
+    return it == apps.end() ? 0.0 : it->second.total.hit_rate();
+  }
+  [[nodiscard]] uint64_t app_misses(uint32_t app_id) const {
+    const auto it = apps.find(app_id);
+    return it == apps.end() ? 0 : it->second.total.misses();
+  }
+};
+
+// Replays `trace` through `server` (which must already contain the apps the
+// trace references) and collects results.
+[[nodiscard]] SimResult Replay(CacheServer& server, const Trace& trace,
+                               const SimOptions& options = {});
+
+}  // namespace cliffhanger

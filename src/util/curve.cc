@@ -1,0 +1,175 @@
+#include "util/curve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace cliffhanger {
+
+PiecewiseCurve::PiecewiseCurve(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  assert(xs_.size() == ys_.size());
+  assert(std::is_sorted(xs_.begin(), xs_.end()));
+}
+
+double PiecewiseCurve::Eval(double x) const {
+  if (xs_.empty()) return 0.0;
+  if (x <= xs_.front()) {
+    // Interpolate from the implied origin when the first sample is positive.
+    if (xs_.front() <= 0.0 || x <= 0.0) return x < xs_.front() ? 0.0 : ys_.front();
+    return ys_.front() * (x / xs_.front());
+  }
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const size_t hi = static_cast<size_t>(it - xs_.begin());
+  const size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+double PiecewiseCurve::Gradient(double x) const {
+  if (xs_.empty() || x >= xs_.back()) return 0.0;
+  if (x < xs_.front()) {
+    if (xs_.front() <= 0.0) return 0.0;
+    return ys_.front() / xs_.front();
+  }
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const size_t hi = static_cast<size_t>(it - xs_.begin());
+  const size_t lo = hi - 1;
+  const double dx = xs_[hi] - xs_[lo];
+  return dx > 0.0 ? (ys_[hi] - ys_[lo]) / dx : 0.0;
+}
+
+void PiecewiseCurve::AddPoint(double x, double y) {
+  assert(xs_.empty() || x > xs_.back());
+  xs_.push_back(x);
+  ys_.push_back(y);
+}
+
+bool PiecewiseCurve::IsConcave(double tolerance) const {
+  if (xs_.size() < 2) return true;
+  double prev_slope = std::numeric_limits<double>::infinity();
+  double prev_x = 0.0;
+  double prev_y = 0.0;
+  size_t start = 0;
+  if (xs_.front() <= 0.0) {
+    prev_x = xs_.front();
+    prev_y = ys_.front();
+    start = 1;
+  }
+  for (size_t i = start; i < xs_.size(); ++i) {
+    const double dx = xs_[i] - prev_x;
+    if (dx <= 0.0) continue;
+    const double slope = (ys_[i] - prev_y) / dx;
+    if (slope > prev_slope + tolerance) return false;
+    prev_slope = slope;
+    prev_x = xs_[i];
+    prev_y = ys_[i];
+  }
+  return true;
+}
+
+PiecewiseCurve UpperConcaveHull(const PiecewiseCurve& curve) {
+  if (curve.empty()) return curve;
+  // Andrew-monotone-chain style scan keeping only points whose inclusion
+  // preserves non-increasing slopes, starting from the origin.
+  struct Pt {
+    double x, y;
+  };
+  std::vector<Pt> hull;
+  hull.push_back({0.0, 0.0});
+  const auto& xs = curve.xs();
+  const auto& ys = curve.ys();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0.0) continue;
+    Pt p{xs[i], ys[i]};
+    // Pop points that fall below the chord from the new point backwards
+    // (cross-product test for a right turn).
+    while (hull.size() >= 2) {
+      const Pt& b = hull[hull.size() - 1];
+      const Pt& a = hull[hull.size() - 2];
+      const double cross =
+          (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+      if (cross >= 0.0) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    // Drop dominated points (lower y at higher x can never be on the upper
+    // hull of a hit-rate curve that we clamp to be non-decreasing).
+    if (p.y >= hull.back().y || hull.size() == 1) hull.push_back(p);
+  }
+  std::vector<double> hx, hy;
+  hx.reserve(hull.size());
+  hy.reserve(hull.size());
+  for (const Pt& p : hull) {
+    hx.push_back(p.x);
+    hy.push_back(p.y);
+  }
+  return PiecewiseCurve(std::move(hx), std::move(hy));
+}
+
+std::vector<double> ConcaveRegression(const std::vector<double>& xs,
+                                      const std::vector<double>& ys) {
+  assert(xs.size() == ys.size());
+  const size_t n = xs.size();
+  if (n < 2) return ys;
+
+  // Work on per-segment slopes (including the segment from the origin) and
+  // enforce a non-increasing sequence with pool-adjacent-violators, weighting
+  // each slope by its segment width. The integrated result is the L2-optimal
+  // concave non-decreasing fit through the origin.
+  struct Block {
+    double slope_sum;   // weighted slope sum
+    double weight;      // total width
+    size_t first, last; // segment index range [first, last]
+    [[nodiscard]] double slope() const { return slope_sum / weight; }
+  };
+  std::vector<double> seg_slope(n);
+  std::vector<double> seg_width(n);
+  double px = 0.0, py = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - px;
+    seg_width[i] = dx > 0.0 ? dx : 1e-12;
+    double slope = (ys[i] - py) / seg_width[i];
+    seg_slope[i] = std::max(slope, 0.0);  // non-decreasing fit
+    px = xs[i];
+    py = ys[i];
+  }
+
+  std::vector<Block> blocks;
+  blocks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    blocks.push_back({seg_slope[i] * seg_width[i], seg_width[i], i, i});
+    // Merge while the slope sequence violates non-increasing order.
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].slope() <
+               blocks[blocks.size() - 1].slope()) {
+      Block top = blocks.back();
+      blocks.pop_back();
+      Block& prev = blocks.back();
+      prev.slope_sum += top.slope_sum;
+      prev.weight += top.weight;
+      prev.last = top.last;
+    }
+  }
+
+  std::vector<double> fitted(n);
+  double acc = 0.0;
+  size_t seg = 0;
+  for (const Block& b : blocks) {
+    for (size_t i = b.first; i <= b.last; ++i, ++seg) {
+      acc += b.slope() * seg_width[i];
+      fitted[i] = acc;
+    }
+  }
+  return fitted;
+}
+
+PiecewiseCurve ConcavifyCurve(const PiecewiseCurve& curve) {
+  return PiecewiseCurve(curve.xs(), ConcaveRegression(curve.xs(), curve.ys()));
+}
+
+}  // namespace cliffhanger

@@ -1,0 +1,63 @@
+// Piecewise-linear curves and the concavity machinery used throughout the
+// analysis layer: hit-rate curves h(m), their upper concave hulls (Talus),
+// and least-squares concave regression (the Dynacache solver's concavity
+// assumption, implemented with pool-adjacent-violators on curve increments).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cliffhanger {
+
+// A sampled function y = f(x) with monotonically increasing x, evaluated
+// between samples by linear interpolation and clamped at the ends.
+//
+// For hit-rate curves, x is capacity (bytes or items) and y is hit rate in
+// [0, 1]; x = 0, y = 0 is implied unless a sample at x = 0 is present.
+class PiecewiseCurve {
+ public:
+  PiecewiseCurve() = default;
+  // xs must be strictly increasing; xs.size() == ys.size().
+  PiecewiseCurve(std::vector<double> xs, std::vector<double> ys);
+
+  [[nodiscard]] double Eval(double x) const;
+  // First derivative estimated from the segment containing x (right-sided at
+  // sample points). Zero outside the sampled domain.
+  [[nodiscard]] double Gradient(double x) const;
+
+  [[nodiscard]] size_t size() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] const std::vector<double>& xs() const { return xs_; }
+  [[nodiscard]] const std::vector<double>& ys() const { return ys_; }
+  [[nodiscard]] double max_x() const { return xs_.empty() ? 0.0 : xs_.back(); }
+  [[nodiscard]] double max_y() const { return ys_.empty() ? 0.0 : ys_.back(); }
+
+  void AddPoint(double x, double y);  // x must exceed the current max_x().
+
+  // True iff the curve (including the implied origin) has non-increasing
+  // segment slopes within `tolerance` — i.e. no performance cliff.
+  [[nodiscard]] bool IsConcave(double tolerance = 1e-9) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+// Upper concave hull of a curve, anchored at the origin. This is the curve
+// Talus can realize by partitioning a queue in two (HPCA'15): every point on
+// the hull is a convex combination of two achievable points.
+[[nodiscard]] PiecewiseCurve UpperConcaveHull(const PiecewiseCurve& curve);
+
+// Least-squares concave (and non-decreasing) regression of ys over uniformly
+// meaningful xs, via pool-adjacent-violators on the per-segment slopes.
+// Returns fitted ys, same size as the input. This is how the Dynacache solver
+// "assumes the hit rate curves are concave": a cliff gets smeared across the
+// preceding plateau, misstating the true curve around the cliff (paper §3.5).
+[[nodiscard]] std::vector<double> ConcaveRegression(
+    const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Convenience: apply ConcaveRegression to a curve.
+[[nodiscard]] PiecewiseCurve ConcavifyCurve(const PiecewiseCurve& curve);
+
+}  // namespace cliffhanger

@@ -1,0 +1,46 @@
+// Key hashing used by the cache hash index and by the Talus request router.
+//
+// The router maps a key to a stable point in [0, 1); the same key must land on
+// the same point across the lifetime of the queue so that moving the split
+// ratio migrates only keys near the boundary (see DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cliffhanger {
+
+// Stateless 64-bit finalizer (Murmur3 fmix64 variant). Good avalanche; used
+// to decorrelate sequential key ids produced by the trace generators.
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Combine two 64-bit values (app id + key id -> global key).
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// FNV-1a for string keys (used by the trace CSV reader when keys are text).
+constexpr uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Map a key to a stable uniform double in [0, 1) for partition routing.
+// A second mix round keeps router points independent of hash-index buckets.
+constexpr double KeyToUnitInterval(uint64_t key) {
+  return static_cast<double>(Mix64(key ^ 0xa0761d6478bd642fULL) >> 11) *
+         0x1.0p-53;
+}
+
+}  // namespace cliffhanger

@@ -1,0 +1,47 @@
+// Memcached-style slab-class geometry: geometric chunk sizes starting at
+// 64 B with growth factor 2, at most 15 classes (paper §5.7: "Memcachier
+// applications have 15 slab classes at most").
+//
+// An item of total size s (key + value + item metadata) is stored in the
+// smallest class whose chunk size is >= s; the whole chunk is charged to the
+// class (internal fragmentation is modelled, as in memcached).
+#pragma once
+
+#include <cstdint>
+
+namespace cliffhanger {
+
+constexpr uint32_t kMinChunkSize = 64;
+constexpr int kMaxSlabClasses = 15;
+// Fixed per-item metadata overhead (struct item header in memcached).
+constexpr uint32_t kItemOverhead = 32;
+// Default page size used by the FCFS slab allocator.
+constexpr uint64_t kPageSize = 64 * 1024;
+
+// Chunk size of class k: 64 << k.
+constexpr uint32_t ChunkSize(int slab_class) {
+  return kMinChunkSize << slab_class;
+}
+
+// Smallest class whose chunk fits `total_item_bytes`; -1 if it exceeds the
+// largest class (such items are uncacheable, as in memcached).
+constexpr int SlabClassFor(uint64_t total_item_bytes) {
+  for (int k = 0; k < kMaxSlabClasses; ++k) {
+    if (total_item_bytes <= ChunkSize(k)) return k;
+  }
+  return -1;
+}
+
+// Total in-cache footprint of an item (one chunk of its class).
+constexpr uint64_t ItemFootprint(uint32_t key_size, uint32_t value_size) {
+  const int k = SlabClassFor(uint64_t{key_size} + value_size + kItemOverhead);
+  return k < 0 ? 0 : ChunkSize(k);
+}
+
+// Exact (unfragmented) footprint, used by the log-structured global queue
+// which packs items contiguously at 100% utilization (paper Table 2).
+constexpr uint64_t ExactFootprint(uint32_t key_size, uint32_t value_size) {
+  return uint64_t{key_size} + value_size + kItemOverhead;
+}
+
+}  // namespace cliffhanger

@@ -1,0 +1,38 @@
+// Small descriptive-statistics helpers shared by tests and bench drivers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cliffhanger {
+
+[[nodiscard]] double Mean(const std::vector<double>& xs);
+[[nodiscard]] double StdDev(const std::vector<double>& xs);
+// Nearest-rank percentile; p in [0, 100]. Sorts a copy.
+[[nodiscard]] double Percentile(std::vector<double> xs, double p);
+// Pearson correlation; 0 when undefined.
+[[nodiscard]] double Correlation(const std::vector<double>& xs,
+                                 const std::vector<double>& ys);
+
+// Streaming counter for hit-rate style ratios.
+class RatioCounter {
+ public:
+  void Add(bool success) {
+    ++total_;
+    if (success) ++hits_;
+  }
+  [[nodiscard]] uint64_t hits() const { return hits_; }
+  [[nodiscard]] uint64_t misses() const { return total_ - hits_; }
+  [[nodiscard]] uint64_t total() const { return total_; }
+  [[nodiscard]] double Rate() const {
+    return total_ == 0 ? 0.0 : static_cast<double>(hits_) / total_;
+  }
+  void Reset() { hits_ = total_ = 0; }
+
+ private:
+  uint64_t hits_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace cliffhanger

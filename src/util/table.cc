@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace cliffhanger {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TablePrinter& TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TablePrinter::Pct(double fraction, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << fraction * 100.0 << "%";
+  return out.str();
+}
+
+std::string TablePrinter::Num(double value, int decimals) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(decimals) << value;
+  return out.str();
+}
+
+std::string TablePrinter::Bytes(uint64_t bytes) {
+  std::ostringstream out;
+  const char* suffix = "B";
+  double v = static_cast<double>(bytes);
+  if (bytes >= 1024ULL * 1024 * 1024) {
+    v /= 1024.0 * 1024 * 1024;
+    suffix = "GiB";
+  } else if (bytes >= 1024ULL * 1024) {
+    v /= 1024.0 * 1024;
+    suffix = "MiB";
+  } else if (bytes >= 1024ULL) {
+    v /= 1024.0;
+    suffix = "KiB";
+  }
+  out << std::fixed << std::setprecision(v < 10 ? 2 : 1) << v << suffix;
+  return out.str();
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> width(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto print_sep = [&] {
+    out << "+";
+    for (const size_t w : width) out << std::string(w + 2, '-') << "+";
+    out << "\n";
+  };
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    out << "|";
+    for (size_t c = 0; c < cells.size(); ++c)
+      out << " " << std::setw(static_cast<int>(width[c])) << std::left
+          << cells[c] << " |";
+    out << "\n";
+  };
+  print_sep();
+  print_row(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string TablePrinter::ToString() const {
+  std::ostringstream out;
+  Print(out);
+  return out.str();
+}
+
+void PrintCsvSeries(std::ostream& out, const std::string& title,
+                    const std::string& x_label, const std::string& y_label,
+                    const std::vector<double>& xs,
+                    const std::vector<double>& ys, size_t max_rows) {
+  out << "# " << title << "\n";
+  out << x_label << "," << y_label << "\n";
+  const size_t n = std::min(xs.size(), ys.size());
+  const size_t stride = n > max_rows ? (n + max_rows - 1) / max_rows : 1;
+  for (size_t i = 0; i < n; i += stride) {
+    out << xs[i] << "," << ys[i] << "\n";
+  }
+  if (n > 0 && (n - 1) % stride != 0) {
+    out << xs[n - 1] << "," << ys[n - 1] << "\n";
+  }
+}
+
+}  // namespace cliffhanger

@@ -1,0 +1,38 @@
+// Fixed-width table printer used by the bench drivers to emit the paper's
+// tables, plus a small CSV writer for figure series.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cliffhanger {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  TablePrinter& AddRow(std::vector<std::string> cells);
+  // Convenience cell formatters.
+  [[nodiscard]] static std::string Pct(double fraction, int decimals = 1);
+  [[nodiscard]] static std::string Num(double value, int decimals = 2);
+  [[nodiscard]] static std::string Bytes(uint64_t bytes);
+
+  void Print(std::ostream& out) const;
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Print "x,y" pairs under a named header comment — the bench drivers emit
+// figure data in this form so it can be plotted directly.
+void PrintCsvSeries(std::ostream& out, const std::string& title,
+                    const std::string& x_label, const std::string& y_label,
+                    const std::vector<double>& xs,
+                    const std::vector<double>& ys, size_t max_rows = 200);
+
+}  // namespace cliffhanger

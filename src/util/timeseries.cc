@@ -1,0 +1,62 @@
+#include "util/timeseries.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace cliffhanger {
+
+double TimeSeries::Mean() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Sample& s : samples_) sum += s.v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double TimeSeries::Last() const {
+  return samples_.empty() ? 0.0 : samples_.back().v;
+}
+
+double TimeSeries::StabilizationTime(double threshold, double slack) const {
+  // Scan backwards to find the suffix that stays above threshold - slack,
+  // then return the first time within that suffix where v >= threshold.
+  if (samples_.empty()) return -1.0;
+  size_t suffix_start = samples_.size();
+  for (size_t i = samples_.size(); i-- > 0;) {
+    if (samples_[i].v < threshold - slack) break;
+    suffix_start = i;
+  }
+  for (size_t i = suffix_start; i < samples_.size(); ++i) {
+    if (samples_[i].v >= threshold) return samples_[i].t;
+  }
+  return -1.0;
+}
+
+std::string SeriesToCsv(const std::vector<TimeSeries>& series) {
+  std::ostringstream out;
+  out << "t";
+  for (const TimeSeries& s : series) out << "," << s.name();
+  out << "\n";
+
+  std::set<double> times;
+  for (const TimeSeries& s : series)
+    for (const auto& sample : s.samples()) times.insert(sample.t);
+
+  std::vector<size_t> cursor(series.size(), 0);
+  std::vector<double> value(series.size(), 0.0);
+  for (const double t : times) {
+    for (size_t i = 0; i < series.size(); ++i) {
+      const auto& samples = series[i].samples();
+      while (cursor[i] < samples.size() && samples[cursor[i]].t <= t) {
+        value[i] = samples[cursor[i]].v;
+        ++cursor[i];
+      }
+    }
+    out << t;
+    for (const double v : value) out << "," << v;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cliffhanger

@@ -1,0 +1,93 @@
+#include "workload/facebook_workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hashing.h"
+
+namespace cliffhanger {
+
+namespace {
+
+// Atikoglu/Mutilate parameters.
+constexpr double kKeyMu = 30.7;
+constexpr double kKeySigma = 8.20;
+constexpr double kKeyXi = 0.078;
+constexpr double kValueSigma = 214.476;
+constexpr double kValueXi = 0.348;
+
+// Inverse-CDF sampling given u in (0, 1).
+uint32_t GevKeySize(double u) {
+  // GEV quantile: mu + sigma * ((-ln u)^-xi - 1) / xi
+  const double q =
+      kKeyMu + kKeySigma * (std::pow(-std::log(u), -kKeyXi) - 1.0) / kKeyXi;
+  return static_cast<uint32_t>(std::clamp(q, 1.0, 250.0));
+}
+
+uint32_t GpValueSize(double u) {
+  // Generalized Pareto quantile (theta = 0): sigma * ((1-u)^-xi - 1) / xi
+  const double q = kValueSigma * (std::pow(1.0 - u, -kValueXi) - 1.0) / kValueXi;
+  return static_cast<uint32_t>(std::clamp(q, 1.0, 1024.0 * 1024.0 - 1.0));
+}
+
+}  // namespace
+
+FacebookWorkload::FacebookWorkload(const FacebookWorkloadConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (!config_.all_miss) {
+    zipf_ = ZipfTable::Get(config_.universe, config_.zipf_alpha);
+  }
+}
+
+uint32_t FacebookWorkload::SampleKeySize(Rng& rng) {
+  // Avoid u == 0 / u == 1 singularities.
+  const double u = std::clamp(rng.NextDouble(), 1e-12, 1.0 - 1e-12);
+  return GevKeySize(u);
+}
+
+uint32_t FacebookWorkload::SampleValueSize(Rng& rng) {
+  const double u = std::clamp(rng.NextDouble(), 1e-12, 1.0 - 1e-12);
+  return GpValueSize(u);
+}
+
+uint32_t FacebookWorkload::KeySizeForKey(uint64_t key) {
+  const double u = std::clamp(
+      static_cast<double>(Mix64(key ^ 0x6b79ULL) >> 11) * 0x1.0p-53, 1e-12,
+      1.0 - 1e-12);
+  return GevKeySize(u);
+}
+
+uint32_t FacebookWorkload::ValueSizeForKey(uint64_t key) {
+  const double u = std::clamp(
+      static_cast<double>(Mix64(key ^ 0x76616cULL) >> 11) * 0x1.0p-53, 1e-12,
+      1.0 - 1e-12);
+  return GpValueSize(u);
+}
+
+Request FacebookWorkload::Next() {
+  Request r;
+  r.app_id = config_.app_id;
+  r.time_us = counter_;
+  uint64_t rank;
+  if (config_.all_miss) {
+    rank = 0x7000000000000000ULL + counter_;  // unique key per request
+  } else {
+    rank = zipf_->Sample(rng_);
+  }
+  ++counter_;
+  r.key = HashCombine(config_.app_id + 0xFB00ULL, rank);
+  if (config_.all_miss) r.key = rank;  // keep uniqueness exact
+  r.key_size = KeySizeForKey(r.key);
+  r.value_size = ValueSizeForKey(r.key);
+  r.op = rng_.NextBernoulli(config_.get_fraction) ? Op::kGet : Op::kSet;
+  return r;
+}
+
+Trace FacebookWorkload::GenerateTrace(uint64_t num_requests) {
+  Trace trace;
+  trace.Reserve(num_requests);
+  for (uint64_t i = 0; i < num_requests; ++i) trace.Append(Next());
+  return trace;
+}
+
+}  // namespace cliffhanger

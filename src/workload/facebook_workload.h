@@ -1,0 +1,60 @@
+// Facebook ETC-like workload generator — our substitute for the Mutilate
+// load generator used by the paper's micro-benchmarks (§5.1, Tables 6-7).
+//
+// Distributions follow Atikoglu et al., "Workload Analysis of a Large-Scale
+// Key-Value Store" (SIGMETRICS'12), as popularized by Mutilate:
+//   key size   ~ Generalized Extreme Value (mu = 30.7, sigma = 8.20,
+//                k = 0.078), clamped to [1, 250] bytes
+//   value size ~ Generalized Pareto (theta = 0, sigma = 214.476, k = 0.348),
+//                clamped to [1, 1 MiB)
+//   op mix     ~ 96.7% GET / 3.3% SET by default (ETC pool)
+//   popularity ~ Zipf(0.99) over the configured universe
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "workload/request.h"
+#include "workload/trace.h"
+#include "workload/zipf.h"
+
+namespace cliffhanger {
+
+struct FacebookWorkloadConfig {
+  uint64_t universe = 1 << 20;
+  double get_fraction = 0.967;
+  double zipf_alpha = 0.99;
+  uint32_t app_id = 0;
+  // When true every GET key is unique so that every request misses — the
+  // paper's worst-case overhead scenario ("synthetic trace where all keys
+  // are unique and all queries miss the cache", §5.6).
+  bool all_miss = false;
+  uint64_t seed = 0xFBFBFBFBULL;
+};
+
+class FacebookWorkload {
+ public:
+  explicit FacebookWorkload(const FacebookWorkloadConfig& config);
+
+  // Generates the next request. Value sizes are a deterministic function of
+  // the key, so refills after a miss are self-consistent.
+  [[nodiscard]] Request Next();
+
+  [[nodiscard]] Trace GenerateTrace(uint64_t num_requests);
+
+  // Size samplers exposed for tests.
+  [[nodiscard]] static uint32_t SampleKeySize(Rng& rng);
+  [[nodiscard]] static uint32_t SampleValueSize(Rng& rng);
+  // Deterministic per-key sizes (hash-seeded sampling).
+  [[nodiscard]] static uint32_t KeySizeForKey(uint64_t key);
+  [[nodiscard]] static uint32_t ValueSizeForKey(uint64_t key);
+
+ private:
+  FacebookWorkloadConfig config_;
+  Rng rng_;
+  std::shared_ptr<const ZipfTable> zipf_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace cliffhanger

@@ -1,0 +1,408 @@
+#include "workload/memcachier_suite.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hashing.h"
+#include "util/units.h"
+
+namespace cliffhanger {
+
+namespace {
+
+using literals::operator""_MiB;
+using literals::operator""_KiB;
+
+// Representative value sizes per slab class (key 10-18 B + 32 B overhead
+// keeps the total inside one class; see DESIGN.md "Units").
+constexpr uint32_t kV0 = 12;      // class 0, chunk 64
+constexpr uint32_t kV1 = 70;      // class 1, chunk 128
+constexpr uint32_t kV2 = 180;     // class 2, chunk 256
+constexpr uint32_t kV3 = 420;     // class 3, chunk 512
+constexpr uint32_t kV4 = 900;     // class 4, chunk 1K
+constexpr uint32_t kV5 = 1900;    // class 5, chunk 2K
+constexpr uint32_t kV6 = 3900;    // class 6, chunk 4K
+constexpr uint32_t kV7 = 7900;    // class 7, chunk 8K
+constexpr uint32_t kV8 = 15800;   // class 8, chunk 16K
+constexpr uint32_t kV9 = 31000;   // class 9, chunk 32K
+
+SuiteStream Zipf(uint32_t value, double weight, uint64_t universe,
+                 double alpha, double drift = 0.0) {
+  SuiteStream s;
+  s.stream.kind = StreamKind::kZipf;
+  s.stream.universe = universe;
+  s.stream.zipf_alpha = alpha;
+  s.stream.drift_per_request = drift;
+  s.value_size = value;
+  s.weight = weight;
+  return s;
+}
+
+SuiteStream Scan(uint32_t value, double weight, uint64_t universe,
+                 double ramp = 0.0) {
+  SuiteStream s;
+  s.stream.kind = StreamKind::kScan;
+  s.stream.universe = universe;
+  s.stream.scan_ramp = ramp;
+  s.value_size = value;
+  s.weight = weight;
+  return s;
+}
+
+SuiteStream Hotspot(uint32_t value, double weight, uint64_t universe,
+                    double hot_fraction, double hot_prob) {
+  SuiteStream s;
+  s.stream.kind = StreamKind::kHotspot;
+  s.stream.universe = universe;
+  s.stream.hot_fraction = hot_fraction;
+  s.stream.hot_prob = hot_prob;
+  s.value_size = value;
+  s.weight = weight;
+  return s;
+}
+
+SuiteStream Uniform(uint32_t value, double weight, uint64_t universe) {
+  SuiteStream s;
+  s.stream.kind = StreamKind::kUniform;
+  s.stream.universe = universe;
+  s.value_size = value;
+  s.weight = weight;
+  return s;
+}
+
+SuiteStream OneHit(uint32_t value, double weight) {
+  SuiteStream s;
+  s.stream.kind = StreamKind::kOneHit;
+  s.stream.universe = 1;
+  s.value_size = value;
+  s.weight = weight;
+  return s;
+}
+
+SuiteStream Burst(SuiteStream s, double start, double end, double mult) {
+  s.burst_start = start;
+  s.burst_end = end;
+  s.burst_mult = mult;
+  return s;
+}
+
+}  // namespace
+
+MemcachierSuite::MemcachierSuite(double scale) {
+  assert(scale > 0.0);
+  const auto U = [scale](uint64_t universe) {
+    return std::max<uint64_t>(16, static_cast<uint64_t>(
+                                      std::llround(universe * scale)));
+  };
+  const auto R = [scale](uint64_t bytes) {
+    return std::max<uint64_t>(256 * 1024,
+                              static_cast<uint64_t>(std::llround(
+                                  static_cast<double>(bytes) * scale)));
+  };
+  apps_.resize(21);  // 1-based
+
+  // App 1*: the largest tenant; an under-provisioned Zipf class plus a scan
+  // cliff. (Table 3: ~81% of top-5 memory, hit rate ~68%.)
+  apps_[1] = {1,
+              "app01",
+              /*has_cliff=*/true,
+              R(28_MiB),
+              0.17,
+              {Zipf(kV3, 0.85, U(220000), 0.70), Scan(kV5, 0.15, U(12000), 0.40)}};
+
+  // App 2: badly under-provisioned Zipf app (Table 3 gives it more memory
+  // under cross-app optimization: 27.5% -> 38.6% hit rate).
+  apps_[2] = {2,
+              "app02",
+              false,
+              R(4_MiB),
+              0.10,
+              {Zipf(kV2, 1.0, U(150000), 0.85)}};
+
+  // App 3: small, hot, highly concave; a large-value class plus a hot small
+  // class. Source of Figure 1's concave curve (its slab class 9).
+  apps_[3] = {3,
+              "app03",
+              false,
+              R(8_MiB),
+              0.08,
+              {Zipf(kV1, 0.70, U(30000), 1.10), Zipf(kV9, 0.30, U(900), 1.20)}};
+
+  // App 4 (Table 1): small hot class 0 fully fits by default; the large
+  // class 1 (91% of GETs) carries all misses; the solver shaves a few
+  // percent by shifting class-0 tail memory to class 1.
+  apps_[4] = {4,
+              "app04",
+              false,
+              R(8_MiB),
+              0.08,
+              {Zipf(kV0, 0.09, U(20000), 1.00), Zipf(kV1, 0.91, U(120000), 0.97)}};
+
+  // App 5 (Figure 8): six slab classes (4-9) whose request weights shift
+  // over the week, so the hill climber visibly re-balances memory.
+  apps_[5] = {5,
+              "app05",
+              false,
+              R(20_MiB),
+              0.07,
+              {Zipf(kV4, 0.25, U(6000), 1.05),
+               Zipf(kV5, 0.20, U(3000), 1.05),
+               Burst(Zipf(kV6, 0.15, U(1600), 1.10), 0.5, 1.0, 2.0),
+               Zipf(kV7, 0.15, U(700), 1.10),
+               Burst(Zipf(kV8, 0.15, U(350), 1.10), 0.0, 0.4, 1.5),
+               Burst(Zipf(kV9, 0.10, U(220), 1.15), 0.6, 1.0, 3.0)}};
+
+  // App 6 (Table 1): a churn class (every key unique, pure compulsory
+  // misses) grabs pages under FCFS and starves the hot class 2; workload-
+  // aware allocation reduces misses by ~90%.
+  apps_[6] = {6,
+              "app06",
+              false,
+              R(10_MiB),
+              0.06,
+              {Zipf(kV0, 0.01, U(8000), 1.10), Zipf(kV2, 0.70, U(30000), 1.00),
+               OneHit(kV5, 0.29)}};
+
+  // App 7*: cliff app, moderately provisioned.
+  apps_[7] = {7,
+              "app07",
+              true,
+              R(7_MiB),
+              0.05,
+              {Zipf(kV1, 0.55, U(60000), 0.95), Scan(kV6, 0.37, U(3400), 0.40),
+               Uniform(kV6, 0.08, U(12000))}};
+
+  // App 8: well-provisioned single concave class.
+  apps_[8] = {8,
+              "app08",
+              false,
+              R(8_MiB),
+              0.05,
+              {Zipf(kV3, 1.0, U(14000), 1.05)}};
+
+  // App 9: working-set drift; weekly-aggregate curves mislead the offline
+  // solver while Cliffhanger tracks the drift (§5.2).
+  apps_[9] = {9,
+              "app09",
+              false,
+              R(8_MiB),
+              0.05,
+              {Burst(Zipf(kV2, 0.55, U(25000), 1.00, /*drift=*/0.02), 0.0,
+                     0.5, 3.0),
+               Burst(Zipf(kV4, 0.45, U(7000), 1.00, /*drift=*/0.008), 0.5,
+                     1.0, 3.0)}};
+
+  // App 10*: cliff in the smallest class plus a concave class.
+  apps_[10] = {10,
+               "app10",
+               true,
+               R(3584_KiB),
+               0.04,
+               {Zipf(kV0, 0.40, U(10000), 1.10), Scan(kV0, 0.35, U(35000), 0.40),
+                Zipf(kV3, 0.25, U(9000), 0.90)}};
+
+  // App 11* (Figure 3): a steep cliff in slab class 6 — hit rate is a few
+  // percent below the cliff and ~0.8 above it.
+  apps_[11] = {11,
+               "app11",
+               true,
+               R(20_MiB),
+               0.04,
+               {Scan(kV6, 0.72, U(4500), 0.35), Zipf(kV6, 0.05, U(200), 1.20),
+                OneHit(kV6, 0.13), Uniform(kV6, 0.10, U(15000))}};
+
+  // App 12: moderately provisioned, low-alpha Zipf (flat-ish concave curve).
+  apps_[12] = {12,
+               "app12",
+               false,
+               R(6_MiB),
+               0.035,
+               {Zipf(kV1, 1.0, U(80000), 0.80)}};
+
+  // App 13: two balanced concave classes; solver and Cliffhanger tie (§5.2).
+  apps_[13] = {13,
+               "app13",
+               false,
+               R(10_MiB),
+               0.03,
+               {Zipf(kV2, 0.5, U(40000), 0.95), Zipf(kV4, 0.5, U(9000), 0.95)}};
+
+  // App 14: churn class starving a hot class — large solver win.
+  apps_[14] = {14,
+               "app14",
+               false,
+               R(8_MiB),
+               0.03,
+               {OneHit(kV7, 0.25), Zipf(kV1, 0.75, U(45000), 1.05)}};
+
+  // App 15: hotspot workload (concave with a sharp knee).
+  apps_[15] = {15,
+               "app15",
+               false,
+               R(6_MiB),
+               0.025,
+               {Hotspot(kV3, 1.0, U(30000), 0.05, 0.95)}};
+
+  // App 16: a huge flat large-value class crowds out a hot tiny class.
+  apps_[16] = {16,
+               "app16",
+               false,
+               R(8_MiB),
+               0.025,
+               {Zipf(kV8, 0.30, U(2500), 0.60), Zipf(kV0, 0.70, U(60000), 1.05)}};
+
+  // App 17: churn + hot class, like 14 but smaller.
+  apps_[17] = {17,
+               "app17",
+               false,
+               R(7_MiB),
+               0.02,
+               {OneHit(kV5, 0.20), Zipf(kV2, 0.80, U(35000), 1.10)}};
+
+  // App 18*: cliff class that bait-and-switches the concavified solver: the
+  // solver's concave fit of the scan ramp under-prices the cliff top, it
+  // allocates just below the cliff, and misses explode (paper: 13.6x).
+  apps_[18] = {18,
+               "app18",
+               true,
+               R(10_MiB),
+               0.02,
+               {Scan(kV3, 0.55, U(16000), 0.30), Zipf(kV3, 0.05, U(3000), 1.20),
+                Zipf(kV1, 0.40, U(15000), 0.95)}};
+
+  // App 19* (Figures 4 and 9, Table 4): cliffs in both classes; class 1
+  // arrives as a mid-week burst so hill climbing between the classes also
+  // matters.
+  apps_[19] = {19,
+               "app19",
+               true,
+               R(1152_KiB),
+               0.02,
+               {Zipf(kV0, 0.34, U(1800), 1.30), Scan(kV0, 0.43, U(13000), 0.45),
+                Uniform(kV0, 0.07, U(20000)),
+                Burst(Zipf(kV2, 0.06, U(1200), 1.20), 0.60, 0.75, 4.0),
+                Burst(Scan(kV2, 0.10, U(4500), 0.40), 0.60, 0.75, 4.0)}};
+
+  // App 20: small, comfortably provisioned.
+  apps_[20] = {20,
+               "app20",
+               false,
+               R(2_MiB),
+               0.015,
+               {Zipf(kV1, 1.0, U(12000), 1.00)}};
+}
+
+const SuiteApp& MemcachierSuite::app(int id) const {
+  if (id < 1 || id > 20) throw std::out_of_range("suite app id");
+  return apps_[static_cast<size_t>(id)];
+}
+
+AppTraceBuilder::AppTraceBuilder(const SuiteApp& app,
+                                 uint64_t expected_requests, uint64_t seed)
+    : app_(app),
+      expected_requests_(std::max<uint64_t>(1, expected_requests)),
+      rng_(HashCombine(seed, static_cast<uint64_t>(app.id))) {
+  streams_.reserve(app_.streams.size());
+  for (const SuiteStream& s : app_.streams) streams_.emplace_back(s.stream);
+}
+
+size_t AppTraceBuilder::PickStream() {
+  const double progress =
+      static_cast<double>(counter_) / static_cast<double>(expected_requests_);
+  double total = 0.0;
+  // Small stream counts (<= 5) make a linear weighted pick cheap.
+  double weights[16];
+  const size_t n = app_.streams.size();
+  for (size_t i = 0; i < n; ++i) {
+    const SuiteStream& s = app_.streams[i];
+    double w = s.weight;
+    if (progress >= s.burst_start && progress < s.burst_end) w *= s.burst_mult;
+    weights[i] = w;
+    total += w;
+  }
+  double u = rng_.NextDouble() * total;
+  for (size_t i = 0; i < n; ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return n - 1;
+}
+
+Request AppTraceBuilder::Next() {
+  const size_t idx = PickStream();
+  const SuiteStream& spec = app_.streams[idx];
+  const uint64_t rank = streams_[idx].Next(rng_, counter_);
+
+  Request r;
+  r.app_id = static_cast<uint32_t>(app_.id);
+  // Namespace keys by (app, stream) so streams sharing a slab class remain
+  // distinct key populations.
+  r.key = HashCombine((static_cast<uint64_t>(app_.id) << 8) | idx, rank);
+  r.key_size = 10 + static_cast<uint32_t>(Mix64(r.key) % 9);  // 10..18, ~14 avg
+  r.value_size = spec.value_size;
+  r.op = Op::kGet;
+  r.time_us = static_cast<uint64_t>(
+      static_cast<double>(counter_) /
+      static_cast<double>(expected_requests_) * static_cast<double>(kWeekUs));
+  ++counter_;
+  return r;
+}
+
+Trace MemcachierSuite::GenerateAppTrace(int id, uint64_t num_requests,
+                                        uint64_t seed) const {
+  AppTraceBuilder builder(app(id), num_requests, seed);
+  Trace trace;
+  trace.Reserve(num_requests);
+  for (uint64_t i = 0; i < num_requests; ++i) trace.Append(builder.Next());
+  return trace;
+}
+
+Trace MemcachierSuite::GenerateMixedTrace(const std::vector<int>& ids,
+                                          uint64_t num_requests,
+                                          uint64_t seed) const {
+  double total_share = 0.0;
+  for (const int id : ids) total_share += app(id).request_share;
+
+  std::vector<AppTraceBuilder> builders;
+  std::vector<double> shares;
+  builders.reserve(ids.size());
+  for (const int id : ids) {
+    const SuiteApp& a = app(id);
+    const double share = a.request_share / total_share;
+    builders.emplace_back(
+        a, static_cast<uint64_t>(share * static_cast<double>(num_requests)),
+        seed);
+    shares.push_back(share);
+  }
+
+  Rng rng(HashCombine(seed, 0x5347454eULL));
+  Trace trace;
+  trace.Reserve(num_requests);
+  for (uint64_t i = 0; i < num_requests; ++i) {
+    double u = rng.NextDouble();
+    size_t pick = builders.size() - 1;
+    for (size_t j = 0; j < shares.size(); ++j) {
+      u -= shares[j];
+      if (u <= 0.0) {
+        pick = j;
+        break;
+      }
+    }
+    Request r = builders[pick].Next();
+    // Mixed traces share the server's clock.
+    r.time_us = static_cast<uint64_t>(
+        static_cast<double>(i) / static_cast<double>(num_requests) *
+        static_cast<double>(kWeekUs));
+    trace.Append(r);
+  }
+  return trace;
+}
+
+uint64_t MemcachierSuite::TotalReservation(const std::vector<int>& ids) const {
+  uint64_t total = 0;
+  for (const int id : ids) total += app(id).reservation;
+  return total;
+}
+
+}  // namespace cliffhanger

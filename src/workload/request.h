@@ -1,0 +1,25 @@
+// The request model shared by generators, the simulator and the caches.
+#pragma once
+
+#include <cstdint>
+
+namespace cliffhanger {
+
+enum class Op : uint8_t { kGet, kSet, kDelete };
+
+// One cache operation. Keys are opaque 64-bit ids (generators namespace them
+// per app/class via hashing); key_size/value_size carry the byte sizes used
+// for slab-class selection and memory accounting. time_us is virtual time.
+struct Request {
+  uint64_t key = 0;
+  uint64_t time_us = 0;
+  uint32_t app_id = 0;
+  uint32_t key_size = 16;
+  uint32_t value_size = 0;
+  Op op = Op::kGet;
+
+  [[nodiscard]] bool is_get() const { return op == Op::kGet; }
+  [[nodiscard]] bool is_set() const { return op == Op::kSet; }
+};
+
+}  // namespace cliffhanger

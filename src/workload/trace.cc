@@ -1,0 +1,128 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+namespace cliffhanger {
+
+namespace {
+
+const char* OpToToken(Op op) {
+  switch (op) {
+    case Op::kGet:
+      return "GET";
+    case Op::kSet:
+      return "SET";
+    case Op::kDelete:
+      return "DEL";
+  }
+  return "GET";
+}
+
+bool TokenToOp(const char* token, Op* op) {
+  if (token[0] == 'G') {
+    *op = Op::kGet;
+    return true;
+  }
+  if (token[0] == 'S') {
+    *op = Op::kSet;
+    return true;
+  }
+  if (token[0] == 'D') {
+    *op = Op::kDelete;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Trace Trace::FilterApp(uint32_t app_id) const {
+  Trace out;
+  for (const Request& r : requests_) {
+    if (r.app_id == app_id) out.Append(r);
+  }
+  return out;
+}
+
+Trace::Stats Trace::ComputeStats() const {
+  Stats s;
+  std::unordered_set<uint64_t> keys;
+  keys.reserve(requests_.size() / 4 + 1);
+  for (const Request& r : requests_) {
+    switch (r.op) {
+      case Op::kGet:
+        ++s.gets;
+        break;
+      case Op::kSet:
+        ++s.sets;
+        break;
+      case Op::kDelete:
+        ++s.deletes;
+        break;
+    }
+    keys.insert(r.key);
+    s.total_value_bytes += r.value_size;
+    s.max_value_size = std::max<uint64_t>(s.max_value_size, r.value_size);
+  }
+  s.unique_keys = keys.size();
+  return s;
+}
+
+bool Trace::SaveCsv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("app_id,op,key,key_size,value_size,time_us\n", f);
+  for (const Request& r : requests_) {
+    std::fprintf(f, "%u,%s,%llu,%u,%u,%llu\n", r.app_id, OpToToken(r.op),
+                 static_cast<unsigned long long>(r.key), r.key_size,
+                 r.value_size, static_cast<unsigned long long>(r.time_us));
+  }
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+Trace Trace::LoadCsv(const std::string& path, bool* ok) {
+  *ok = false;
+  Trace out;
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return out;
+  char line[512];
+  bool first = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (first) {
+      first = false;  // skip header
+      continue;
+    }
+    unsigned app_id = 0;
+    char op_token[8] = {};
+    unsigned long long key = 0;
+    unsigned key_size = 0;
+    unsigned value_size = 0;
+    unsigned long long time_us = 0;
+    const int fields =
+        std::sscanf(line, "%u,%3[A-Z],%llu,%u,%u,%llu", &app_id, op_token,
+                    &key, &key_size, &value_size, &time_us);
+    if (fields != 6) {
+      std::fclose(f);
+      return out;
+    }
+    Request r;
+    r.app_id = app_id;
+    if (!TokenToOp(op_token, &r.op)) {
+      std::fclose(f);
+      return out;
+    }
+    r.key = key;
+    r.key_size = key_size;
+    r.value_size = value_size;
+    r.time_us = time_us;
+    out.Append(r);
+  }
+  std::fclose(f);
+  *ok = true;
+  return out;
+}
+
+}  // namespace cliffhanger

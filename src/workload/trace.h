@@ -1,0 +1,57 @@
+// In-memory traces plus CSV persistence, mirroring the role of the
+// (proprietary) Memcachier trace files in the paper.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/request.h"
+
+namespace cliffhanger {
+
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::vector<Request> requests)
+      : requests_(std::move(requests)) {}
+
+  void Append(const Request& r) { requests_.push_back(r); }
+  void Reserve(size_t n) { requests_.reserve(n); }
+
+  [[nodiscard]] size_t size() const { return requests_.size(); }
+  [[nodiscard]] bool empty() const { return requests_.empty(); }
+  [[nodiscard]] const Request& operator[](size_t i) const {
+    return requests_[i];
+  }
+  [[nodiscard]] const std::vector<Request>& requests() const {
+    return requests_;
+  }
+  [[nodiscard]] auto begin() const { return requests_.begin(); }
+  [[nodiscard]] auto end() const { return requests_.end(); }
+
+  // Subset containing only requests for one application.
+  [[nodiscard]] Trace FilterApp(uint32_t app_id) const;
+
+  // Summary statistics useful for workload validation.
+  struct Stats {
+    uint64_t gets = 0;
+    uint64_t sets = 0;
+    uint64_t deletes = 0;
+    uint64_t unique_keys = 0;
+    uint64_t total_value_bytes = 0;
+    uint64_t max_value_size = 0;
+  };
+  [[nodiscard]] Stats ComputeStats() const;
+
+  // CSV format: "app_id,op,key,key_size,value_size,time_us" with one header
+  // line. Returns false on I/O failure.
+  [[nodiscard]] bool SaveCsv(const std::string& path) const;
+  [[nodiscard]] static Trace LoadCsv(const std::string& path, bool* ok);
+
+ private:
+  std::vector<Request> requests_;
+};
+
+}  // namespace cliffhanger

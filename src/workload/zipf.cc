@@ -1,0 +1,52 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <mutex>
+
+namespace cliffhanger {
+
+ZipfTable::ZipfTable(uint64_t n, double alpha) : n_(n), alpha_(alpha) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (uint64_t k = 0; k < n; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -alpha);
+    cdf_[k] = acc;
+  }
+  const double norm = 1.0 / acc;
+  for (double& c : cdf_) c *= norm;
+  cdf_.back() = 1.0;
+}
+
+uint64_t ZipfTable::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+double ZipfTable::Pmf(uint64_t rank) const {
+  if (rank >= n_) return 0.0;
+  const double lo = rank == 0 ? 0.0 : cdf_[rank - 1];
+  return cdf_[rank] - lo;
+}
+
+std::shared_ptr<const ZipfTable> ZipfTable::Get(uint64_t n, double alpha) {
+  // Keyed by (n, alpha scaled to fixed point) — a handful of configurations
+  // recur across the 20-app suite, so sharing saves both time and memory.
+  static std::mutex mu;
+  static std::map<std::pair<uint64_t, int64_t>,
+                  std::weak_ptr<const ZipfTable>>
+      cache;
+  const std::pair<uint64_t, int64_t> key{
+      n, static_cast<int64_t>(std::lround(alpha * 10000.0))};
+  std::lock_guard<std::mutex> lock(mu);
+  if (auto found = cache[key].lock()) return found;
+  auto table = std::make_shared<const ZipfTable>(n, alpha);
+  cache[key] = table;
+  return table;
+}
+
+}  // namespace cliffhanger

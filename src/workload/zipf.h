@@ -1,0 +1,39 @@
+// Zipfian key-popularity sampling.
+//
+// Web cache request popularity is well modelled as Zipf(alpha) (Atikoglu et
+// al., SIGMETRICS'12 report alpha in [0.9, 1] for Facebook's ETC pool). We
+// sample by exact CDF inversion over a precomputed cumulative table; tables
+// are cached and shared across streams with identical (n, alpha).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cliffhanger {
+
+class ZipfTable {
+ public:
+  // P(rank = k) proportional to (k+1)^-alpha for k in [0, n).
+  ZipfTable(uint64_t n, double alpha);
+
+  [[nodiscard]] uint64_t Sample(Rng& rng) const;
+  [[nodiscard]] uint64_t n() const { return n_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  // Probability of a given rank (for tests / analytical cross-checks).
+  [[nodiscard]] double Pmf(uint64_t rank) const;
+
+  // Shared-cache factory: identical (n, alpha) pairs reuse one table.
+  [[nodiscard]] static std::shared_ptr<const ZipfTable> Get(uint64_t n,
+                                                            double alpha);
+
+ private:
+  uint64_t n_;
+  double alpha_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1
+};
+
+}  // namespace cliffhanger

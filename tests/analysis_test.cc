@@ -1,0 +1,312 @@
+// Tests for the analysis layer: exact stack distances, Mimir estimation,
+// hit-rate curves, the Dynacache solver, LookAhead and the Talus oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/dynacache_solver.h"
+#include "analysis/hit_rate_curve.h"
+#include "analysis/lookahead.h"
+#include "analysis/mimir.h"
+#include "analysis/stack_distance.h"
+#include "analysis/talus.h"
+#include "util/rng.h"
+#include "workload/zipf.h"
+
+namespace cliffhanger {
+namespace {
+
+// Brute-force reference for stack distances.
+class NaiveStack {
+ public:
+  uint64_t Record(uint64_t key) {
+    for (size_t i = 0; i < stack_.size(); ++i) {
+      if (stack_[i] == key) {
+        const uint64_t distance = i + 1;
+        stack_.erase(stack_.begin() + static_cast<long>(i));
+        stack_.insert(stack_.begin(), key);
+        return distance;
+      }
+    }
+    stack_.insert(stack_.begin(), key);
+    return 0;
+  }
+
+ private:
+  std::vector<uint64_t> stack_;
+};
+
+TEST(StackDistance, MatchesNaiveOnRandomTrace) {
+  StackDistanceAnalyzer fast;
+  NaiveStack naive;
+  Rng rng(23);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.NextBounded(300);
+    EXPECT_EQ(fast.Record(key), naive.Record(key)) << "access " << i;
+  }
+}
+
+TEST(StackDistance, SimplePattern) {
+  StackDistanceAnalyzer a;
+  EXPECT_EQ(a.Record(1), 0u);  // cold
+  EXPECT_EQ(a.Record(1), 1u);  // top of stack
+  EXPECT_EQ(a.Record(2), 0u);
+  EXPECT_EQ(a.Record(1), 2u);  // one distinct key in between
+  EXPECT_EQ(a.cold_misses(), 2u);
+  EXPECT_EQ(a.unique_keys(), 2u);
+}
+
+TEST(StackDistance, SequentialScanDistancesEqualUniverse) {
+  StackDistanceAnalyzer a;
+  constexpr uint64_t kN = 100;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (uint64_t k = 0; k < kN; ++k) {
+      const uint64_t d = a.Record(k);
+      if (cycle > 0) EXPECT_EQ(d, kN);
+    }
+  }
+}
+
+TEST(StackDistance, HistogramAccumulates) {
+  StackDistanceAnalyzer a;
+  a.Record(1);
+  a.Record(1);
+  a.Record(1);
+  ASSERT_GT(a.histogram().size(), 1u);
+  EXPECT_EQ(a.histogram()[1], 2u);
+}
+
+TEST(Mimir, EstimatesWithinBucketError) {
+  // With B buckets over U resident keys, error should be O(U/B).
+  constexpr uint64_t kU = 2000;
+  MimirEstimator mimir(100);
+  StackDistanceAnalyzer exact;
+  Rng rng(31);
+  ZipfTable zipf(kU, 0.9);
+  // Warm up.
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t k = zipf.Sample(rng);
+    mimir.Record(k);
+    exact.Record(k);
+  }
+  double total_err = 0.0;
+  int measured = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t k = zipf.Sample(rng);
+    const uint64_t est = mimir.Record(k);
+    const uint64_t ref = exact.Record(k);
+    if (ref > 0 && est > 0) {
+      total_err += std::abs(static_cast<double>(est) -
+                            static_cast<double>(ref));
+      ++measured;
+    }
+  }
+  ASSERT_GT(measured, 1000);
+  // Mean absolute error well under a couple of bucket widths (U/B = 20).
+  EXPECT_LT(total_err / measured, 3.0 * kU / 100);
+}
+
+TEST(Mimir, ColdMissesCounted) {
+  MimirEstimator mimir(10);
+  EXPECT_EQ(mimir.Record(1), 0u);
+  EXPECT_GT(mimir.Record(1), 0u);
+  EXPECT_EQ(mimir.cold_misses(), 1u);
+}
+
+TEST(HitRateCurve, CumulativeFromHistogram) {
+  // 10 accesses at distance 5, 10 at distance 20, total 40 accesses
+  // (20 with infinite distance).
+  std::vector<uint64_t> hist(21, 0);
+  hist[5] = 10;
+  hist[20] = 10;
+  const PiecewiseCurve curve = CurveFromHistogram(hist, 40, 1024);
+  EXPECT_NEAR(curve.Eval(5), 0.25, 1e-9);
+  EXPECT_NEAR(curve.Eval(19), 0.25, 1e-9);
+  EXPECT_NEAR(curve.Eval(20), 0.5, 1e-9);
+  EXPECT_NEAR(curve.Eval(1000), 0.5, 1e-9);
+}
+
+TEST(HitRateCurve, ScanMakesAStep) {
+  StackDistanceAnalyzer a;
+  constexpr uint64_t kN = 500;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    for (uint64_t k = 0; k < kN; ++k) a.Record(k);
+  }
+  const PiecewiseCurve curve =
+      CurveFromHistogram(a.histogram(), a.total_accesses(), 1 << 20);
+  EXPECT_LT(curve.Eval(kN - 2), 0.05);
+  EXPECT_GT(curve.Eval(kN), 0.85);
+  EXPECT_FALSE(curve.IsConcave(1e-6));
+}
+
+TEST(HitRateCurve, ZipfIsConcaveAfterDownsampling) {
+  StackDistanceAnalyzer a;
+  Rng rng(7);
+  ZipfTable zipf(5000, 1.0);
+  for (int i = 0; i < 200000; ++i) a.Record(zipf.Sample(rng));
+  const PiecewiseCurve curve =
+      CurveFromHistogram(a.histogram(), a.total_accesses(), 64);
+  // Spot-check decreasing increments on a coarse grid.
+  double prev_gain = 1e9;
+  for (double x = 250; x <= 5000; x += 250) {
+    const double gain = curve.Eval(x) - curve.Eval(x - 250);
+    EXPECT_LE(gain, prev_gain + 0.02) << "x=" << x;
+    prev_gain = gain;
+  }
+}
+
+TEST(HitRateCurve, ScaleCurveX) {
+  PiecewiseCurve c({10.0, 20.0}, {0.5, 1.0});
+  const PiecewiseCurve scaled = ScaleCurveX(c, 64.0);
+  EXPECT_DOUBLE_EQ(scaled.Eval(640), 0.5);
+  EXPECT_DOUBLE_EQ(scaled.Eval(1280), 1.0);
+}
+
+SolverQueueInput MakeQueue(PiecewiseCurve curve, double share) {
+  SolverQueueInput q;
+  q.curve = std::move(curve);
+  q.request_share = share;
+  return q;
+}
+
+TEST(Solver, PrefersSteeperCurve) {
+  // Queue A saturates at 100 bytes; queue B needs 1000 for the same rate.
+  PiecewiseCurve steep({100.0}, {0.9});
+  PiecewiseCurve shallow({1000.0}, {0.9});
+  SolverConfig config;
+  config.total_bytes = 600;
+  config.step_bytes = 50;
+  config.transform = CurveTransform::kRaw;
+  const SolverResult result = SolveAllocation(
+      {MakeQueue(steep, 0.5), MakeQueue(shallow, 0.5)}, config);
+  EXPECT_GE(result.allocation_bytes[0], 100u);
+  EXPECT_GT(result.allocation_bytes[1], result.allocation_bytes[0]);
+}
+
+TEST(Solver, WeightsByRequestShare) {
+  // Identical curves; the hot queue should get at least as much memory.
+  PiecewiseCurve c({100.0, 1000.0}, {0.5, 0.9});
+  SolverConfig config;
+  config.total_bytes = 1000;
+  config.step_bytes = 50;
+  config.transform = CurveTransform::kRaw;
+  const SolverResult result =
+      SolveAllocation({MakeQueue(c, 0.9), MakeQueue(c, 0.1)}, config);
+  EXPECT_GT(result.allocation_bytes[0], result.allocation_bytes[1]);
+}
+
+TEST(Solver, RespectsBudgetAndFloors) {
+  PiecewiseCurve c({1000.0}, {0.9});
+  SolverQueueInput a = MakeQueue(c, 0.5);
+  a.min_bytes = 128;
+  SolverQueueInput b = MakeQueue(c, 0.5);
+  b.min_bytes = 128;
+  SolverConfig config;
+  config.total_bytes = 1024;
+  config.step_bytes = 64;
+  const SolverResult result = SolveAllocation({a, b}, config);
+  EXPECT_LE(result.allocation_bytes[0] + result.allocation_bytes[1], 1024u);
+  EXPECT_GE(result.allocation_bytes[0], 128u);
+  EXPECT_GE(result.allocation_bytes[1], 128u);
+}
+
+PiecewiseCurve StepCliff() {
+  // Nothing until 900 bytes, then 0.9 — a pure performance cliff.
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 10; ++i) {
+    xs.push_back(i * 100.0);
+    ys.push_back(i < 9 ? 0.0 : 0.9);
+  }
+  return PiecewiseCurve(xs, ys);
+}
+
+TEST(Solver, ConcaveRegressionStopsMidCliffHullRecovers) {
+  // The paper's application-19 failure mode, in miniature: a 20%-of-traffic
+  // cliff queue against an 80% concave queue. The concave regression smears
+  // the cliff into a ramp whose slope loses to the concave queue's head, so
+  // the allocator parks the cliff queue mid-ramp — where the *real* curve
+  // still yields zero.
+  const PiecewiseCurve cliff = StepCliff();
+  PiecewiseCurve concave({100.0, 500.0, 1000.0}, {0.4, 0.6, 0.65});
+  SolverConfig config;
+  config.total_bytes = 1200;
+  config.step_bytes = 100;
+
+  config.transform = CurveTransform::kConcaveRegression;
+  const SolverResult dyna = SolveAllocation(
+      {MakeQueue(cliff, 0.2), MakeQueue(concave, 0.8)}, config);
+  EXPECT_LT(dyna.allocation_bytes[0], 900u);  // parked below the cliff top
+  const double dyna_true = 0.2 * cliff.Eval(static_cast<double>(
+                                     dyna.allocation_bytes[0])) +
+                           0.8 * concave.Eval(static_cast<double>(
+                                     dyna.allocation_bytes[1]));
+  // The solver believed the ramp; reality delivers much less.
+  EXPECT_GT(dyna.predicted_hit_rate, dyna_true + 0.05);
+
+  // The hull allocation is the same, but the hull is *achievable* by Talus
+  // partitioning — the very gap Cliffhanger's cliff scaler closes online.
+  config.transform = CurveTransform::kConcaveHull;
+  const SolverResult hull = SolveAllocation(
+      {MakeQueue(cliff, 0.2), MakeQueue(concave, 0.8)}, config);
+  EXPECT_GT(hull.predicted_hit_rate, dyna_true + 0.05);
+}
+
+TEST(LookAhead, ScalesTheCliffWhenBudgetAllows) {
+  const PiecewiseCurve cliff = StepCliff();
+  PiecewiseCurve concave({100.0, 500.0, 1000.0}, {0.4, 0.6, 0.65});
+  SolverConfig config;
+  config.total_bytes = 1600;
+  config.step_bytes = 100;
+  // One-step greedy on the raw curve never sees past the flat region...
+  config.transform = CurveTransform::kRaw;
+  const SolverResult raw = SolveAllocation(
+      {MakeQueue(cliff, 0.2), MakeQueue(concave, 0.8)}, config);
+  EXPECT_LT(raw.allocation_bytes[0], 900u);
+  // ...while LookAhead prices the whole 900-byte window and jumps it.
+  const SolverResult look = SolveLookAhead(
+      {MakeQueue(cliff, 0.2), MakeQueue(concave, 0.8)}, config);
+  EXPECT_GE(look.allocation_bytes[0], 900u);
+  const double look_true =
+      0.2 * cliff.Eval(static_cast<double>(look.allocation_bytes[0])) +
+      0.8 * concave.Eval(static_cast<double>(look.allocation_bytes[1]));
+  const double raw_true =
+      0.2 * cliff.Eval(static_cast<double>(raw.allocation_bytes[0])) +
+      0.8 * concave.Eval(static_cast<double>(raw.allocation_bytes[1]));
+  EXPECT_GT(look_true, raw_true);
+}
+
+TEST(Talus, ReproducesPaperExample) {
+  // Figure 4: operating point 8000 items, hull anchors 2000 and 13500 —
+  // flat-ish between 2000 and 13500 with a jump at the cliff.
+  std::vector<double> xs, ys;
+  xs = {500.0, 2000.0, 5000.0, 9000.0, 13000.0, 13500.0, 16000.0};
+  ys = {0.15, 0.35, 0.36, 0.37, 0.38, 0.90, 0.91};
+  PiecewiseCurve cliff(xs, ys);
+  const TalusSplit split = ComputeTalusSplit(cliff, 8000.0);
+  ASSERT_TRUE(split.partitioned);
+  EXPECT_NEAR(split.left_simulated, 2000.0, 1.0);
+  EXPECT_NEAR(split.right_simulated, 13500.0, 1.0);
+  EXPECT_NEAR(split.request_ratio_left, 0.478, 0.01);
+  EXPECT_NEAR(split.left_physical, 957.0, 10.0);
+  EXPECT_NEAR(split.right_physical, 7043.0, 10.0);
+  EXPECT_NEAR(split.left_physical + split.right_physical, 8000.0, 1.0);
+  // The hull value beats the raw curve at 8000.
+  EXPECT_GT(split.expected_hit_rate, cliff.Eval(8000.0) + 0.1);
+}
+
+TEST(Talus, NoSplitOnConcaveCurve) {
+  PiecewiseCurve concave({1000.0, 2000.0, 4000.0}, {0.4, 0.6, 0.7});
+  const TalusSplit split = ComputeTalusSplit(concave, 1500.0);
+  EXPECT_FALSE(split.partitioned);
+  EXPECT_NEAR(split.expected_hit_rate, concave.Eval(1500.0), 0.02);
+}
+
+TEST(Talus, NoSplitBeyondCurve) {
+  PiecewiseCurve c({1000.0}, {0.9});
+  const TalusSplit split = ComputeTalusSplit(c, 5000.0);
+  EXPECT_FALSE(split.partitioned);
+  EXPECT_NEAR(split.expected_hit_rate, 0.9, 1e-9);
+}
+
+}  // namespace
+}  // namespace cliffhanger

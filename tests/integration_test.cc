@@ -1,0 +1,158 @@
+// End-to-end integration tests: the paper's headline behaviours reproduced
+// at reduced scale (suite scale 0.2-0.3, short traces) so they run in
+// seconds under ctest. The full-scale numbers live in the bench drivers.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "workload/memcachier_suite.h"
+
+namespace cliffhanger {
+namespace {
+
+constexpr double kScale = 0.25;
+
+TEST(Integration, ChurnAppSolverAndCliffhangerBeatDefault) {
+  // App 6 (Table 1): a one-hit churn class starves the hot class under
+  // FCFS. Both the solver and Cliffhanger fix it.
+  MemcachierSuite suite(kScale);
+  const SuiteApp& app = suite.app(6);
+  const Trace trace = suite.GenerateAppTrace(6, 400000, 42);
+
+  const SimResult fcfs = RunApp(app, trace, DefaultServerConfig());
+  const SimResult solver = RunAppWithSolver(app, trace);
+  const SimResult cliffhanger = RunApp(app, trace, CliffhangerServerConfig());
+
+  EXPECT_GT(solver.hit_rate(), fcfs.hit_rate() + 0.05);
+  EXPECT_GT(cliffhanger.hit_rate(), fcfs.hit_rate() + 0.05);
+  // Miss reduction is the paper's headline metric for this app (~90%).
+  const double reduction =
+      1.0 - static_cast<double>(cliffhanger.total.misses()) /
+                static_cast<double>(fcfs.total.misses());
+  EXPECT_GT(reduction, 0.2);
+}
+
+TEST(Integration, CliffhangerRecoversCliffApp) {
+  // App 19 (Figure 9): both classes sit on performance cliffs. Hill
+  // climbing alone gets stuck; the combined algorithm scales them.
+  MemcachierSuite suite(kScale);
+  const SuiteApp& app = suite.app(19);
+  const Trace trace = suite.GenerateAppTrace(19, 500000, 7);
+
+  const SimResult fcfs = RunApp(app, trace, DefaultServerConfig());
+  const SimResult combined = RunApp(app, trace, CliffhangerServerConfig());
+  EXPECT_GT(combined.hit_rate(), fcfs.hit_rate());
+}
+
+TEST(Integration, CombinedAtLeastAsGoodAsAblations) {
+  // Table 4's shape: combined >= max(hill-only, cliff-only) within noise.
+  // Full scale: the scaler's engagement thresholds are calibrated to
+  // full-size queues.
+  MemcachierSuite suite(1.0);
+  const SuiteApp& app = suite.app(19);
+  const Trace trace = suite.GenerateAppTrace(19, 1200000, 11);
+
+  const double combined =
+      RunApp(app, trace, CliffhangerServerConfig()).hit_rate();
+  const double hill_only =
+      RunApp(app, trace, HillClimbingOnlyConfig()).hit_rate();
+  const double cliff_only =
+      RunApp(app, trace, CliffScalingOnlyConfig()).hit_rate();
+  EXPECT_GE(combined + 0.05, hill_only);
+  EXPECT_GE(combined + 0.05, cliff_only);
+}
+
+TEST(Integration, DriftAppFavorsCliffhangerOverSolver) {
+  // App 9 (§5.2): the weekly-aggregate profile misleads the one-shot
+  // solver; the incremental algorithm tracks the drift.
+  MemcachierSuite suite(kScale);
+  const SuiteApp& app = suite.app(9);
+  const Trace trace = suite.GenerateAppTrace(9, 400000, 13);
+
+  const SimResult solver = RunAppWithSolver(app, trace);
+  const SimResult cliffhanger = RunApp(app, trace, CliffhangerServerConfig());
+  EXPECT_GT(cliffhanger.hit_rate(), solver.hit_rate() - 0.02);
+}
+
+TEST(Integration, WellProvisionedAppIsNotHurt) {
+  // Cliffhanger must not regress applications with nothing to optimize.
+  MemcachierSuite suite(kScale);
+  const SuiteApp& app = suite.app(20);
+  const Trace trace = suite.GenerateAppTrace(20, 200000, 17);
+
+  const SimResult fcfs = RunApp(app, trace, DefaultServerConfig());
+  const SimResult cliffhanger = RunApp(app, trace, CliffhangerServerConfig());
+  EXPECT_GT(cliffhanger.hit_rate(), fcfs.hit_rate() - 0.02);
+}
+
+TEST(Integration, GlobalLogBeatsSlabsOnMixedSizes) {
+  // Table 2: log-structured global LRU removes fragmentation and the
+  // per-class static split, beating default slab allocation.
+  MemcachierSuite suite(kScale);
+  const SuiteApp& app = suite.app(3);
+  const Trace trace = suite.GenerateAppTrace(3, 300000, 19);
+
+  const SimResult slab = RunApp(app, trace, DefaultServerConfig());
+  ServerConfig log_config = DefaultServerConfig();
+  log_config.eviction = EvictionScheme::kGlobalLog;
+  const SimResult log = RunApp(app, trace, log_config);
+  EXPECT_GE(log.hit_rate(), slab.hit_rate() - 0.01);
+}
+
+TEST(Integration, MidpointInsertionDoesNotRegressLru) {
+  // §5.5: the Facebook scheme performs at least comparably to plain LRU on
+  // these workloads.
+  MemcachierSuite suite(kScale);
+  const SuiteApp& app = suite.app(3);
+  const Trace trace = suite.GenerateAppTrace(3, 300000, 23);
+
+  const SimResult lru = RunApp(app, trace, DefaultServerConfig());
+  ServerConfig fb = DefaultServerConfig();
+  fb.eviction = EvictionScheme::kMidpoint;
+  const SimResult midpoint = RunApp(app, trace, fb);
+  EXPECT_GT(midpoint.hit_rate(), lru.hit_rate() - 0.03);
+}
+
+TEST(Integration, CrossAppOptimizationHelpsUnderProvisionedTenant) {
+  // Table 3: cross-application optimization takes memory from over-
+  // provisioned tenants and gives it to app 2.
+  MemcachierSuite suite(kScale);
+  const std::vector<int> ids{1, 2, 3, 4, 5};
+  const Trace trace = suite.GenerateMixedTrace(ids, 600000, 29);
+
+  // Baseline: static per-app reservations.
+  ServerConfig config = DefaultServerConfig();
+  CacheServer baseline(config);
+  for (const int id : ids) {
+    baseline.AddApp(static_cast<uint32_t>(id), suite.app(id).reservation);
+  }
+  const SimResult before = Replay(baseline, trace);
+
+  // Cross-app Cliffhanger.
+  ServerConfig cross = CliffhangerServerConfig();
+  cross.knobs.cross_app = true;
+  CacheServer optimized(cross);
+  for (const int id : ids) {
+    optimized.AddApp(static_cast<uint32_t>(id), suite.app(id).reservation);
+  }
+  const SimResult after = Replay(optimized, trace);
+
+  // App 2 (badly under-provisioned) must improve.
+  EXPECT_GT(after.app_hit_rate(2), before.app_hit_rate(2) + 0.02);
+}
+
+TEST(Integration, MemorySavingsExistForOptimizableApps) {
+  // Figure 7's right axis: Cliffhanger reaches the default hit rate with
+  // less memory.
+  MemcachierSuite suite(kScale);
+  const SuiteApp& app = suite.app(6);
+  const Trace trace = suite.GenerateAppTrace(6, 300000, 31);
+  const double default_rate =
+      RunApp(app, trace, DefaultServerConfig()).app_hit_rate(6);
+  const double fraction = FindCapacityFractionForHitRate(
+      app, trace, CliffhangerServerConfig(), default_rate,
+      {0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+  EXPECT_LE(fraction, 0.8);
+}
+
+}  // namespace
+}  // namespace cliffhanger

@@ -1,0 +1,144 @@
+// Tests for SegmentedLru: cascade demotion, capacity units, keys-only
+// charging and structural invariants.
+#include <gtest/gtest.h>
+
+#include "cache/segmented_lru.h"
+
+namespace cliffhanger {
+namespace {
+
+using Unit = SegmentedLru::Unit;
+
+SegmentedLru::Entry E(uint64_t key, uint32_t full = 64, uint32_t kb = 16) {
+  SegmentedLru::Entry e;
+  e.key = key;
+  e.full_bytes = full;
+  e.key_bytes = kb;
+  return e;
+}
+
+TEST(SegmentedLru, InsertAndFind) {
+  SegmentedLru lru({{10, Unit::kItems, false}});
+  lru.Insert(E(1));
+  EXPECT_EQ(lru.Find(1), 0);
+  EXPECT_EQ(lru.Find(2), -1);
+  EXPECT_TRUE(lru.CheckInvariants());
+}
+
+TEST(SegmentedLru, EvictsLruOrderAtCapacity) {
+  SegmentedLru lru({{3, Unit::kItems, false}});
+  lru.Insert(E(1));
+  lru.Insert(E(2));
+  lru.Insert(E(3));
+  lru.Insert(E(4));  // evicts 1
+  EXPECT_EQ(lru.Find(1), -1);
+  EXPECT_EQ(lru.Find(2), 0);
+  EXPECT_EQ(lru.total_items(), 3u);
+}
+
+TEST(SegmentedLru, MoveToFrontProtectsFromEviction) {
+  SegmentedLru lru({{3, Unit::kItems, false}});
+  lru.Insert(E(1));
+  lru.Insert(E(2));
+  lru.Insert(E(3));
+  EXPECT_TRUE(lru.MoveToFront(1));
+  lru.Insert(E(4));  // now 2 is LRU, not 1
+  EXPECT_EQ(lru.Find(1), 0);
+  EXPECT_EQ(lru.Find(2), -1);
+}
+
+TEST(SegmentedLru, CascadeDemotesThroughSegments) {
+  SegmentedLru lru({{2, Unit::kItems, false}, {2, Unit::kItems, true}});
+  lru.Insert(E(1));
+  lru.Insert(E(2));
+  lru.Insert(E(3));  // 1 demoted to shadow segment
+  EXPECT_EQ(lru.Find(3), 0);
+  EXPECT_EQ(lru.Find(1), 1);
+  lru.Insert(E(4));  // 2 to shadow
+  lru.Insert(E(5));  // 3 to shadow, 1 falls off the end
+  EXPECT_EQ(lru.Find(1), -1);
+  EXPECT_EQ(lru.Find(2), 1);
+  EXPECT_EQ(lru.Find(3), 1);
+  EXPECT_TRUE(lru.CheckInvariants());
+}
+
+TEST(SegmentedLru, KeysOnlySegmentChargesKeyBytes) {
+  SegmentedLru lru({{1, Unit::kItems, false}, {100, Unit::kItems, true}});
+  lru.Insert(E(1, /*full=*/128, /*kb=*/20));
+  lru.Insert(E(2, /*full=*/128, /*kb=*/20));  // 1 demoted
+  EXPECT_EQ(lru.segment_bytes(0), 128u);
+  EXPECT_EQ(lru.segment_bytes(1), 20u);
+}
+
+TEST(SegmentedLru, ByteUnitCapacity) {
+  SegmentedLru lru({{200, Unit::kBytes, false}});
+  lru.Insert(E(1, 100));
+  lru.Insert(E(2, 100));
+  EXPECT_EQ(lru.total_items(), 2u);
+  lru.Insert(E(3, 100));  // over 200 bytes -> evict LRU
+  EXPECT_EQ(lru.Find(1), -1);
+  EXPECT_EQ(lru.segment_bytes(0), 200u);
+}
+
+TEST(SegmentedLru, ShrinkCapacityCascades) {
+  SegmentedLru lru({{4, Unit::kItems, false}, {4, Unit::kItems, true}});
+  for (uint64_t k = 1; k <= 4; ++k) lru.Insert(E(k));
+  lru.SetCapacity(0, 2);
+  EXPECT_EQ(lru.segment_items(0), 2u);
+  EXPECT_EQ(lru.segment_items(1), 2u);
+  EXPECT_EQ(lru.Find(1), 1);  // oldest demoted
+  EXPECT_EQ(lru.Find(4), 0);  // newest kept
+  EXPECT_TRUE(lru.CheckInvariants());
+}
+
+TEST(SegmentedLru, GrowCapacityKeepsItemsInPlace) {
+  SegmentedLru lru({{2, Unit::kItems, false}, {2, Unit::kItems, true}});
+  for (uint64_t k = 1; k <= 4; ++k) lru.Insert(E(k));
+  lru.SetCapacity(0, 4);
+  // Items do not promote spontaneously; they stay until touched.
+  EXPECT_EQ(lru.Find(1), 1);
+  EXPECT_TRUE(lru.MoveToFront(1, 0));
+  EXPECT_EQ(lru.Find(1), 0);
+}
+
+TEST(SegmentedLru, EraseRemovesEverywhere) {
+  SegmentedLru lru({{1, Unit::kItems, false}, {8, Unit::kItems, true}});
+  lru.Insert(E(1));
+  lru.Insert(E(2));
+  lru.Erase(1);  // from shadow
+  lru.Erase(2);  // from physical
+  lru.Erase(3);  // absent: no-op
+  EXPECT_EQ(lru.total_items(), 0u);
+  EXPECT_TRUE(lru.CheckInvariants());
+}
+
+TEST(SegmentedLru, InsertIntoMiddleSegment) {
+  // Midpoint-insertion support: new entries can land in segment 1.
+  SegmentedLru lru({{2, Unit::kItems, false}, {2, Unit::kItems, false}});
+  lru.Insert(E(1), 1);
+  EXPECT_EQ(lru.Find(1), 1);
+  lru.Insert(E(2), 0);
+  EXPECT_EQ(lru.Find(2), 0);
+}
+
+TEST(SegmentedLru, ZeroCapacitySegmentPassesThrough) {
+  SegmentedLru lru({{0, Unit::kItems, false}, {2, Unit::kItems, false}});
+  lru.Insert(E(1));
+  EXPECT_EQ(lru.Find(1), 1);  // fell straight through segment 0
+}
+
+TEST(SegmentedLru, StressInvariantHolds) {
+  SegmentedLru lru({{50, Unit::kItems, false},
+                    {10, Unit::kItems, false},
+                    {30, Unit::kItems, true}});
+  for (uint64_t i = 0; i < 2000; ++i) {
+    lru.Insert(E(i));
+    if (i % 3 == 0) lru.MoveToFront(i / 2);
+    if (i % 7 == 0) lru.Erase(i / 3);
+    if (i % 501 == 0) lru.SetCapacity(0, 20 + (i % 40));
+  }
+  EXPECT_TRUE(lru.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace cliffhanger

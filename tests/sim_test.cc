@@ -1,0 +1,192 @@
+// Tests for the simulator and the experiment pipeline.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/simulator.h"
+#include "util/slab_geometry.h"
+#include "workload/memcachier_suite.h"
+
+namespace cliffhanger {
+namespace {
+
+Trace TinyTrace(uint32_t app_id, int n) {
+  Trace t;
+  for (int i = 0; i < n; ++i) {
+    Request r;
+    r.app_id = app_id;
+    r.op = Op::kGet;
+    r.key = static_cast<uint64_t>(i % 10);
+    r.key_size = 14;
+    r.value_size = 12;
+    r.time_us = static_cast<uint64_t>(i) * 1000;
+    t.Append(r);
+  }
+  return t;
+}
+
+TEST(Simulator, DemandFillTurnsRepeatsIntoHits) {
+  ServerConfig config = DefaultServerConfig();
+  CacheServer server(config);
+  server.AddApp(1, 1 << 20);
+  const SimResult result = Replay(server, TinyTrace(1, 100));
+  // 10 distinct keys, 100 GETs: 10 cold misses, 90 hits.
+  EXPECT_EQ(result.total.gets, 100u);
+  EXPECT_EQ(result.total.hits, 90u);
+  EXPECT_EQ(result.total.sets, 10u);  // demand fills
+}
+
+TEST(Simulator, NoDemandFillNeverHits) {
+  ServerConfig config = DefaultServerConfig();
+  CacheServer server(config);
+  server.AddApp(1, 1 << 20);
+  SimOptions options;
+  options.demand_fill = false;
+  const SimResult result = Replay(server, TinyTrace(1, 100), options);
+  EXPECT_EQ(result.total.hits, 0u);
+}
+
+TEST(Simulator, ExplicitSetsAreReplayed) {
+  ServerConfig config = DefaultServerConfig();
+  CacheServer server(config);
+  server.AddApp(1, 1 << 20);
+  Trace t;
+  Request r;
+  r.app_id = 1;
+  r.key = 42;
+  r.key_size = 14;
+  r.value_size = 12;
+  r.op = Op::kSet;
+  t.Append(r);
+  r.op = Op::kGet;
+  t.Append(r);
+  r.op = Op::kDelete;
+  t.Append(r);
+  r.op = Op::kGet;
+  t.Append(r);
+  const SimResult result = Replay(server, t, {.demand_fill = false});
+  EXPECT_EQ(result.total.gets, 2u);
+  EXPECT_EQ(result.total.hits, 1u);  // hit before delete, miss after
+}
+
+TEST(Simulator, CapacityTimeSeriesRecorded) {
+  ServerConfig config = DefaultServerConfig();
+  CacheServer server(config);
+  server.AddApp(1, 1 << 20);
+  SimOptions options;
+  options.sample_interval = 10;
+  options.track_capacity_app = 1;
+  const SimResult result = Replay(server, TinyTrace(1, 100), options);
+  ASSERT_FALSE(result.series.empty());
+  EXPECT_EQ(result.series[0].name(), "slab0");
+  EXPECT_GT(result.series[0].size(), 5u);
+}
+
+TEST(Simulator, HitRateTimeSeriesRecorded) {
+  ServerConfig config = DefaultServerConfig();
+  CacheServer server(config);
+  server.AddApp(1, 1 << 20);
+  SimOptions options;
+  options.sample_interval = 20;
+  options.track_hit_rate = {{1u, -1}};
+  const SimResult result = Replay(server, TinyTrace(1, 100), options);
+  ASSERT_FALSE(result.series.empty());
+  const TimeSeries& hr = result.series.back();
+  EXPECT_EQ(hr.name(), "hitrate");
+  // After warm-up the windowed hit rate is 1.0 (10 keys fit easily).
+  EXPECT_DOUBLE_EQ(hr.Last(), 1.0);
+}
+
+TEST(Simulator, PerAppResultsSeparated) {
+  ServerConfig config = DefaultServerConfig();
+  CacheServer server(config);
+  server.AddApp(1, 1 << 20);
+  server.AddApp(2, 1 << 20);
+  Trace t;
+  for (int i = 0; i < 50; ++i) {
+    Request r;
+    r.app_id = static_cast<uint32_t>(1 + i % 2);
+    r.op = Op::kGet;
+    r.key = static_cast<uint64_t>(i % 4);
+    r.key_size = 14;
+    r.value_size = 12;
+    t.Append(r);
+  }
+  const SimResult result = Replay(server, t);
+  EXPECT_EQ(result.apps.at(1).total.gets, 25u);
+  EXPECT_EQ(result.apps.at(2).total.gets, 25u);
+}
+
+TEST(Experiment, ProfileCountsGetsPerClass) {
+  MemcachierSuite suite(0.1);
+  const Trace trace = suite.GenerateAppTrace(4, 20000, 3);
+  const ProfileResult profile = ProfileTrace(trace, 4);
+  EXPECT_EQ(profile.total_gets, 20000u);
+  ASSERT_EQ(profile.gets_per_class.size(), 2u);  // app 4 uses classes 0, 1
+  // Class 1 carries ~91% of GETs.
+  const double share =
+      static_cast<double>(profile.gets_per_class.at(1)) / 20000.0;
+  EXPECT_NEAR(share, 0.91, 0.02);
+}
+
+TEST(Experiment, ProfileCurvesAreSane) {
+  MemcachierSuite suite(0.1);
+  const Trace trace = suite.GenerateAppTrace(8, 30000, 5);
+  for (const bool exact : {false, true}) {
+    const ProfileResult profile = ProfileTrace(trace, 8, exact);
+    ASSERT_EQ(profile.curves.size(), 1u);
+    const PiecewiseCurve& curve = profile.curves.begin()->second;
+    EXPECT_GT(curve.max_y(), 0.3);
+    EXPECT_LE(curve.max_y(), 1.0);
+    // x is in bytes: the curve should span at least a page.
+    EXPECT_GT(curve.max_x(), static_cast<double>(kPageSize));
+  }
+}
+
+TEST(Experiment, SolverAllocationRespectsReservation) {
+  MemcachierSuite suite(0.1);
+  const SuiteApp& app = suite.app(13);
+  const Trace trace = suite.GenerateAppTrace(13, 30000, 7);
+  const ProfileResult profile = ProfileTrace(trace, 13);
+  const auto allocation = SolveAppAllocation(profile, app.reservation);
+  uint64_t total = 0;
+  for (const auto& [slab_class, bytes] : allocation) total += bytes;
+  EXPECT_LE(total, app.reservation);
+  EXPECT_GT(total, app.reservation / 2);  // most memory gets used
+}
+
+TEST(Experiment, RunAppMatchesManualReplay) {
+  MemcachierSuite suite(0.1);
+  const SuiteApp& app = suite.app(20);
+  const Trace trace = suite.GenerateAppTrace(20, 20000, 9);
+  const SimResult via_helper = RunApp(app, trace, DefaultServerConfig());
+  ServerConfig config = DefaultServerConfig();
+  CacheServer server(config);
+  server.AddApp(20, app.reservation);
+  const SimResult manual = Replay(server, trace);
+  EXPECT_EQ(via_helper.total.hits, manual.total.hits);
+}
+
+TEST(Experiment, CapacityFractionScalesReservation) {
+  MemcachierSuite suite(0.1);
+  const SuiteApp& app = suite.app(20);
+  const Trace trace = suite.GenerateAppTrace(20, 20000, 9);
+  const SimResult full = RunApp(app, trace, DefaultServerConfig(), 1.0);
+  const SimResult tiny = RunApp(app, trace, DefaultServerConfig(), 0.05);
+  EXPECT_GT(full.hit_rate(), tiny.hit_rate());
+}
+
+TEST(Experiment, FindCapacityFractionIsMonotoneConsistent) {
+  MemcachierSuite suite(0.1);
+  const SuiteApp& app = suite.app(20);
+  const Trace trace = suite.GenerateAppTrace(20, 20000, 11);
+  const double full_rate =
+      RunApp(app, trace, DefaultServerConfig()).app_hit_rate(20);
+  const double fraction = FindCapacityFractionForHitRate(
+      app, trace, DefaultServerConfig(), full_rate * 0.5,
+      {0.1, 0.25, 0.5, 0.75});
+  // Reaching half the full hit rate must not need the full reservation.
+  EXPECT_LT(fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace cliffhanger

@@ -1,0 +1,250 @@
+// Tests for SlabClassQueue and PartitionedSlabQueue: region classification
+// (Figure 5 layout), midpoint insertion, partition routing and resizing.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cache/slab_class_queue.h"
+#include "util/hashing.h"
+
+namespace cliffhanger {
+namespace {
+
+ItemMeta Item(uint64_t key) {
+  ItemMeta m;
+  m.key = key;
+  m.key_size = 14;
+  m.value_size = 12;
+  return m;
+}
+
+SlabQueueConfig SmallConfig() {
+  SlabQueueConfig config;
+  config.chunk_size = 64;
+  config.tail_items = 4;
+  config.cliff_shadow_items = 4;
+  config.hill_shadow_bytes = 8 * 64;  // 8 items
+  return config;
+}
+
+TEST(SlabClassQueue, MissThenFillThenHit) {
+  SlabClassQueue q(SmallConfig());
+  q.SetCapacityItems(16);
+  EXPECT_EQ(q.Get(Item(1)).region, HitRegion::kMiss);
+  q.Fill(Item(1));
+  const GetResult r = q.Get(Item(1));
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.region, HitRegion::kPhysical);
+}
+
+TEST(SlabClassQueue, RegionsFollowFigure5Layout) {
+  // Capacity 8 = head 4 + tail 4; cliff shadow 4; hill shadow 8.
+  SlabClassQueue q(SmallConfig());
+  q.SetCapacityItems(8);
+  for (uint64_t k = 1; k <= 24; ++k) q.Fill(Item(k));
+  // Keys 24..21 in head, 20..17 in tail, 16..13 in cliff shadow,
+  // 12..5 in hill shadow, 4..1 evicted.
+  EXPECT_EQ(q.Get(Item(23)).region, HitRegion::kPhysical);
+  EXPECT_EQ(q.Get(Item(18)).region, HitRegion::kPhysicalTail);
+  EXPECT_EQ(q.Get(Item(15)).region, HitRegion::kCliffShadow);
+  EXPECT_EQ(q.Get(Item(8)).region, HitRegion::kHillShadow);
+  EXPECT_EQ(q.Get(Item(2)).region, HitRegion::kMiss);
+}
+
+TEST(SlabClassQueue, TailHitIsARealHit) {
+  SlabClassQueue q(SmallConfig());
+  q.SetCapacityItems(8);
+  for (uint64_t k = 1; k <= 8; ++k) q.Fill(Item(k));
+  const GetResult r = q.Get(Item(1));  // oldest, in tail
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.region, HitRegion::kPhysicalTail);
+}
+
+TEST(SlabClassQueue, ShadowHitIsAMiss) {
+  SlabClassQueue q(SmallConfig());
+  q.SetCapacityItems(4);
+  for (uint64_t k = 1; k <= 8; ++k) q.Fill(Item(k));
+  const GetResult r = q.Get(Item(2));
+  EXPECT_FALSE(r.hit);
+  EXPECT_EQ(r.region, HitRegion::kCliffShadow);
+  // Demand fill after the miss promotes it back to physical.
+  q.Fill(Item(2));
+  EXPECT_TRUE(q.Get(Item(2)).hit);
+}
+
+TEST(SlabClassQueue, WholeQueueIsTailWhenTiny) {
+  SlabQueueConfig config = SmallConfig();
+  SlabClassQueue q(config);
+  q.SetCapacityItems(2);  // smaller than tail_items = 4
+  q.Fill(Item(1));
+  EXPECT_EQ(q.Get(Item(1)).region, HitRegion::kPhysicalTail);
+}
+
+TEST(SlabClassQueue, CapacityBytesRoundTrips) {
+  SlabClassQueue q(SmallConfig());
+  q.SetCapacityBytes(1024);
+  EXPECT_EQ(q.capacity_items(), 16u);
+  EXPECT_EQ(q.capacity_bytes(), 1024u);
+}
+
+TEST(SlabClassQueue, UsedBytesTracksChunks) {
+  SlabClassQueue q(SmallConfig());
+  q.SetCapacityItems(16);
+  for (uint64_t k = 1; k <= 5; ++k) q.Fill(Item(k));
+  EXPECT_EQ(q.used_bytes(), 5u * 64u);
+  EXPECT_EQ(q.physical_items(), 5u);
+}
+
+TEST(SlabClassQueue, MidpointInsertsAtMiddle) {
+  SlabQueueConfig config = SmallConfig();
+  config.policy = InsertionPolicy::kMidpoint;
+  config.tail_items = 2;
+  SlabClassQueue q(config);
+  q.SetCapacityItems(10);  // head 4, mid 4, tail 2
+  // First-touch items go to the middle; a second hit promotes to the top.
+  q.Fill(Item(1));
+  // Fill more first-touch items: they push 1 down from the mid segment.
+  for (uint64_t k = 2; k <= 5; ++k) q.Fill(Item(k));
+  // Under pure LRU, 1 would still be in the physical queue of size 10; with
+  // midpoint insertion it has been pushed toward the tail by mid-inserts.
+  const GetResult r = q.Get(Item(1));
+  EXPECT_TRUE(r.hit);
+  EXPECT_EQ(r.region, HitRegion::kPhysicalTail);
+}
+
+TEST(SlabClassQueue, MidpointSecondHitGoesToTop) {
+  SlabQueueConfig config = SmallConfig();
+  config.policy = InsertionPolicy::kMidpoint;
+  config.tail_items = 2;
+  SlabClassQueue q(config);
+  q.SetCapacityItems(10);
+  q.Fill(Item(1));
+  EXPECT_TRUE(q.Get(Item(1)).hit);  // promotes to head
+  for (uint64_t k = 2; k <= 9; ++k) q.Fill(Item(k));
+  // 1 now outlives the mid-inserted churn.
+  EXPECT_EQ(q.Get(Item(1)).region, HitRegion::kPhysical);
+}
+
+TEST(SlabClassQueue, ShadowOverheadIsSmall) {
+  SlabClassQueue q(SmallConfig());
+  q.SetCapacityItems(16);
+  for (uint64_t k = 1; k <= 40; ++k) q.Fill(Item(k));
+  // 12 shadow keys max (4 cliff + 8 hill) at 14 + 8 bytes each.
+  EXPECT_LE(q.shadow_overhead_bytes(), 12u * 22u);
+  EXPECT_GT(q.shadow_overhead_bytes(), 0u);
+}
+
+PartitionConfig PartCfg() {
+  PartitionConfig pc;
+  pc.queue = SmallConfig();
+  return pc;
+}
+
+TEST(PartitionedSlabQueue, SingleModeRoutesEverythingLeft) {
+  PartitionedSlabQueue q(PartCfg());
+  q.SetCapacityBytes(64 * 64);
+  for (uint64_t k = 1; k <= 20; ++k) {
+    EXPECT_EQ(q.Route(k), Side::kLeft);
+    q.Fill(Item(k));
+  }
+  EXPECT_EQ(q.right().physical_items(), 0u);
+  EXPECT_EQ(q.left().physical_items(), 20u);
+}
+
+TEST(PartitionedSlabQueue, EnablePartitionSplitsEvenly) {
+  PartitionedSlabQueue q(PartCfg());
+  q.SetCapacityBytes(100 * 64);
+  q.EnablePartition(true);
+  EXPECT_EQ(q.left().capacity_items(), 50u);
+  EXPECT_EQ(q.right().capacity_items(), 50u);
+  EXPECT_DOUBLE_EQ(q.ratio(), 0.5);
+}
+
+TEST(PartitionedSlabQueue, RoutingFollowsRatio) {
+  PartitionedSlabQueue q(PartCfg());
+  q.SetCapacityBytes(100 * 64);
+  q.EnablePartition(true);
+  q.SetRatio(0.25);
+  int left = 0;
+  constexpr int kKeys = 20000;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    left += q.Route(k) == Side::kLeft ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(left) / kKeys, 0.25, 0.02);
+}
+
+TEST(PartitionedSlabQueue, RoutingIsStablePerKey) {
+  PartitionedSlabQueue q(PartCfg());
+  q.SetCapacityBytes(100 * 64);
+  q.EnablePartition(true);
+  q.SetRatio(0.5);
+  std::map<uint64_t, Side> first;
+  for (uint64_t k = 0; k < 100; ++k) first[k] = q.Route(k);
+  for (uint64_t k = 0; k < 100; ++k) EXPECT_EQ(q.Route(k), first[k]);
+  // Monotone under ratio moves: keys only migrate right->left as ratio grows.
+  q.SetRatio(0.8);
+  for (uint64_t k = 0; k < 100; ++k) {
+    if (first[k] == Side::kLeft) EXPECT_EQ(q.Route(k), Side::kLeft);
+  }
+}
+
+TEST(PartitionedSlabQueue, LookupFindsItemAfterBoundaryMove) {
+  PartitionedSlabQueue q(PartCfg());
+  q.SetCapacityBytes(100 * 64);
+  q.EnablePartition(true);
+  q.SetRatio(1.0);  // everything left
+  q.Fill(Item(42));
+  q.SetRatio(0.0);  // everything right now; 42 still physically left
+  const GetResult r = q.Get(Item(42));
+  EXPECT_TRUE(r.hit);  // cross-partition lookup rescued it
+}
+
+TEST(PartitionedSlabQueue, SetPartitionItemsAppliesSizes) {
+  PartitionedSlabQueue q(PartCfg());
+  q.SetCapacityBytes(100 * 64);
+  q.EnablePartition(true);
+  q.SetPartitionItems(20, 80);
+  EXPECT_EQ(q.left().capacity_items(), 20u);
+  EXPECT_EQ(q.right().capacity_items(), 80u);
+}
+
+TEST(PartitionedSlabQueue, HillShadowSplitsByTrafficRatio) {
+  // The hill shadow splits by the request ratio so each side's shadow
+  // represents the same additional bytes of queue (gradient calibration —
+  // see SetPartitionItems).
+  PartitionConfig pc = PartCfg();
+  pc.queue.hill_shadow_bytes = 100 * 64;  // 100 items worth
+  PartitionedSlabQueue q(pc);
+  q.SetCapacityBytes(100 * 64);
+  q.EnablePartition(true);
+  q.SetRatio(0.25);
+  q.SetPartitionItems(25, 75);
+  EXPECT_NEAR(static_cast<double>(q.left().lru().segment_capacity(4)), 25.0,
+              2.0);
+  EXPECT_NEAR(static_cast<double>(q.right().lru().segment_capacity(4)), 75.0,
+              2.0);
+}
+
+TEST(PartitionedSlabQueue, TotalCapacityChangePreservesSplit) {
+  PartitionedSlabQueue q(PartCfg());
+  q.SetCapacityBytes(100 * 64);
+  q.EnablePartition(true);
+  q.SetPartitionItems(20, 80);
+  q.SetCapacityBytes(50 * 64);
+  EXPECT_NEAR(static_cast<double>(q.left().capacity_items()), 10.0, 1.0);
+  EXPECT_EQ(q.left().capacity_items() + q.right().capacity_items(), 50u);
+}
+
+TEST(PartitionedSlabQueue, DeleteRemovesFromBothSides) {
+  PartitionedSlabQueue q(PartCfg());
+  q.SetCapacityBytes(100 * 64);
+  q.EnablePartition(true);
+  q.SetRatio(1.0);
+  q.Fill(Item(7));
+  q.SetRatio(0.0);
+  q.Delete(7);
+  EXPECT_FALSE(q.Get(Item(7)).hit);
+}
+
+}  // namespace
+}  // namespace cliffhanger

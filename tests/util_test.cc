@@ -1,0 +1,264 @@
+// Unit tests for the util layer: RNG, hashing, curves, concavity machinery,
+// time series, stats and table printing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/curve.h"
+#include "util/hashing.h"
+#include "util/rng.h"
+#include "util/slab_geometry.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timeseries.h"
+#include "util/units.h"
+
+namespace cliffhanger {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NextBoundedRespectsBound) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+}
+
+TEST(Rng, NextBoundedIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 100000; ++i) heads += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 100000.0, 0.3, 0.01);
+}
+
+TEST(Hashing, Mix64IsStableAndSpreads) {
+  EXPECT_EQ(Mix64(1), Mix64(1));
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Hashing, KeyToUnitIntervalUniform) {
+  double sum = 0.0;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    const double u = KeyToUnitInterval(i);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Hashing, Fnv1aStable) {
+  EXPECT_EQ(Fnv1a64("hello"), Fnv1a64("hello"));
+  EXPECT_NE(Fnv1a64("hello"), Fnv1a64("hellp"));
+}
+
+TEST(PiecewiseCurve, EvalInterpolatesLinearly) {
+  PiecewiseCurve c({10.0, 20.0}, {0.5, 1.0});
+  EXPECT_DOUBLE_EQ(c.Eval(15.0), 0.75);
+  EXPECT_DOUBLE_EQ(c.Eval(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.Eval(100.0), 1.0);   // clamp right
+  EXPECT_DOUBLE_EQ(c.Eval(5.0), 0.25);    // interpolate from the origin
+  EXPECT_DOUBLE_EQ(c.Eval(0.0), 0.0);
+}
+
+TEST(PiecewiseCurve, GradientMatchesSlopes) {
+  PiecewiseCurve c({10.0, 20.0}, {0.5, 1.0});
+  EXPECT_NEAR(c.Gradient(5.0), 0.05, 1e-12);
+  EXPECT_NEAR(c.Gradient(15.0), 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(c.Gradient(25.0), 0.0);
+}
+
+TEST(PiecewiseCurve, IsConcaveDetectsCliff) {
+  // Concave: decreasing slopes.
+  PiecewiseCurve concave({10.0, 20.0, 30.0}, {0.5, 0.8, 0.9});
+  EXPECT_TRUE(concave.IsConcave());
+  // Cliff: flat then jump.
+  PiecewiseCurve cliff({10.0, 20.0, 21.0}, {0.01, 0.02, 0.9});
+  EXPECT_FALSE(cliff.IsConcave());
+}
+
+TEST(ConcaveHull, CliffBecomesChord) {
+  // Step-like curve: low until x=100, then jumps.
+  PiecewiseCurve cliff({50.0, 100.0, 101.0, 200.0}, {0.0, 0.0, 0.9, 0.95});
+  const PiecewiseCurve hull = UpperConcaveHull(cliff);
+  EXPECT_TRUE(hull.IsConcave(1e-6));
+  // Hull dominates the curve everywhere.
+  for (double x = 0; x <= 200; x += 5) {
+    EXPECT_GE(hull.Eval(x) + 1e-9, cliff.Eval(x)) << "x=" << x;
+  }
+  // Halfway to the cliff top the hull is roughly half the cliff value.
+  EXPECT_NEAR(hull.Eval(50.5), 0.45, 0.03);
+}
+
+TEST(ConcaveHull, ConcaveCurveUnchanged) {
+  PiecewiseCurve concave({10.0, 20.0, 30.0}, {0.5, 0.8, 0.9});
+  const PiecewiseCurve hull = UpperConcaveHull(concave);
+  for (double x = 0; x <= 30; x += 1) {
+    EXPECT_NEAR(hull.Eval(x), concave.Eval(x), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(ConcaveRegression, OutputIsConcave) {
+  std::vector<double> xs, ys;
+  // A noisy cliff.
+  for (int i = 1; i <= 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(i < 60 ? 0.05 : 0.9);
+  }
+  const std::vector<double> fit = ConcaveRegression(xs, ys);
+  PiecewiseCurve fitted(xs, fit);
+  EXPECT_TRUE(fitted.IsConcave(1e-6));
+}
+
+TEST(ConcaveRegression, ConcaveInputFixedPoint) {
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::sqrt(static_cast<double>(i)) / 8.0);
+  }
+  const std::vector<double> fit = ConcaveRegression(xs, ys);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_NEAR(fit[i], ys[i], 1e-9);
+  }
+}
+
+TEST(ConcaveRegression, MisstatesCliffCurve) {
+  // The Dynacache failure mode (§3.5): the concave fit of a cliff is wrong
+  // on both sides of the cliff edge.
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 100; ++i) {
+    xs.push_back(i);
+    ys.push_back(i < 90 ? 0.0 : 0.9);
+  }
+  const std::vector<double> fit = ConcaveRegression(xs, ys);
+  // Just below the cliff the fit over-promises...
+  EXPECT_GT(fit[85], 0.5);
+  // ...which means an allocator trusting it would stop short of the top and
+  // actually collect ~0.
+}
+
+TEST(TimeSeries, MeanAndLast) {
+  TimeSeries s("x");
+  s.Push(0, 1.0);
+  s.Push(1, 3.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Last(), 3.0);
+}
+
+TEST(TimeSeries, StabilizationTime) {
+  TimeSeries s("hr");
+  s.Push(0, 0.2);
+  s.Push(10, 0.5);
+  s.Push(20, 0.95);
+  s.Push(30, 0.97);
+  s.Push(40, 0.96);
+  EXPECT_DOUBLE_EQ(s.StabilizationTime(0.95), 20.0);
+  EXPECT_DOUBLE_EQ(s.StabilizationTime(0.99), -1.0);
+}
+
+TEST(TimeSeries, CsvStepInterpolation) {
+  TimeSeries a("a"), b("b");
+  a.Push(0, 1);
+  a.Push(2, 2);
+  b.Push(1, 5);
+  const std::string csv = SeriesToCsv({a, b});
+  EXPECT_NE(csv.find("t,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("2,2,5"), std::string::npos);
+}
+
+TEST(Stats, MeanStdDevPercentile) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_NEAR(StdDev(xs), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100), 5.0);
+}
+
+TEST(Stats, CorrelationSigns) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> up{2, 4, 6, 8};
+  std::vector<double> down{8, 6, 4, 2};
+  EXPECT_NEAR(Correlation(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(Correlation(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, RatioCounter) {
+  RatioCounter c;
+  c.Add(true);
+  c.Add(false);
+  c.Add(true);
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_NEAR(c.Rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Table, FormatsCells) {
+  EXPECT_EQ(TablePrinter::Pct(0.123), "12.3%");
+  EXPECT_EQ(TablePrinter::Num(1.5, 1), "1.5");
+  EXPECT_EQ(TablePrinter::Bytes(2 * kMiB), "2.00MiB");
+}
+
+TEST(Table, PrintsAlignedRows) {
+  TablePrinter t({"App", "Hit Rate"});
+  t.AddRow({"1", "97.6%"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("App"), std::string::npos);
+  EXPECT_NE(out.find("97.6%"), std::string::npos);
+}
+
+TEST(SlabGeometry, ClassSelection) {
+  EXPECT_EQ(ChunkSize(0), 64u);
+  EXPECT_EQ(ChunkSize(9), 32768u);
+  EXPECT_EQ(SlabClassFor(64), 0);
+  EXPECT_EQ(SlabClassFor(65), 1);
+  EXPECT_EQ(SlabClassFor(128), 1);
+  EXPECT_EQ(SlabClassFor(1), 0);
+  EXPECT_LT(SlabClassFor(64ULL << 20), 0);  // too large to cache
+}
+
+TEST(SlabGeometry, FootprintUsesChunk) {
+  // key 14 + value 12 + overhead 32 = 58 -> class 0, one 64 B chunk.
+  EXPECT_EQ(ItemFootprint(14, 12), 64u);
+  EXPECT_EQ(ExactFootprint(14, 12), 58u);
+}
+
+}  // namespace
+}  // namespace cliffhanger

@@ -1,0 +1,292 @@
+// Tests for the workload layer: Zipf sampling, key streams, traces, the
+// Facebook distributions and the Memcachier-like suite.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "util/slab_geometry.h"
+#include "workload/facebook_workload.h"
+#include "workload/generators.h"
+#include "workload/memcachier_suite.h"
+#include "workload/trace.h"
+#include "workload/zipf.h"
+
+namespace cliffhanger {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  ZipfTable z(1000, 0.9);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < 1000; ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Zipf, HeadIsHotterThanTail) {
+  ZipfTable z(1000, 1.0);
+  EXPECT_GT(z.Pmf(0), z.Pmf(10));
+  EXPECT_GT(z.Pmf(10), z.Pmf(500));
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  ZipfTable z(100, 0.8);
+  Rng rng(3);
+  std::map<uint64_t, uint64_t> counts;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) ++counts[z.Sample(rng)];
+  for (const uint64_t rank : {0ULL, 1ULL, 5ULL, 20ULL}) {
+    EXPECT_NEAR(static_cast<double>(counts[rank]) / kSamples, z.Pmf(rank),
+                0.01)
+        << "rank " << rank;
+  }
+}
+
+TEST(Zipf, SharedTableCacheReturnsSameInstance) {
+  auto a = ZipfTable::Get(5000, 0.9);
+  auto b = ZipfTable::Get(5000, 0.9);
+  auto c = ZipfTable::Get(5000, 0.95);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+}
+
+TEST(KeyStream, ScanCyclesThroughUniverse) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kScan;
+  spec.universe = 5;
+  KeyStream s(spec);
+  Rng rng(1);
+  std::vector<uint64_t> first_cycle;
+  for (int i = 0; i < 5; ++i) first_cycle.push_back(s.Next(rng, i));
+  EXPECT_EQ(first_cycle, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(s.Next(rng, 5), 0u);  // wraps
+}
+
+TEST(KeyStream, OneHitNeverRepeats) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kOneHit;
+  KeyStream s(spec);
+  Rng rng(1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(s.Next(rng, i)).second);
+  }
+}
+
+TEST(KeyStream, HotspotConcentratesOnHotSet) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kHotspot;
+  spec.universe = 1000;
+  spec.hot_fraction = 0.1;
+  spec.hot_prob = 0.9;
+  KeyStream s(spec);
+  Rng rng(5);
+  int hot = 0;
+  for (int i = 0; i < 10000; ++i) hot += s.Next(rng, i) < 100 ? 1 : 0;
+  EXPECT_NEAR(hot / 10000.0, 0.9, 0.02);
+}
+
+TEST(KeyStream, DriftShiftsWorkingSet) {
+  StreamSpec spec;
+  spec.kind = StreamKind::kZipf;
+  spec.universe = 100;
+  spec.zipf_alpha = 1.2;
+  spec.drift_per_request = 1.0;  // 1 key per request
+  KeyStream s(spec);
+  Rng rng(5);
+  // At request index 10^6 every rank is offset by 10^6.
+  const uint64_t k = s.Next(rng, 1000000);
+  EXPECT_GE(k, 1000000u);
+}
+
+TEST(Trace, StatsCountOps) {
+  Trace t;
+  Request r;
+  r.op = Op::kGet;
+  r.key = 1;
+  t.Append(r);
+  r.op = Op::kSet;
+  r.key = 2;
+  r.value_size = 100;
+  t.Append(r);
+  const auto stats = t.ComputeStats();
+  EXPECT_EQ(stats.gets, 1u);
+  EXPECT_EQ(stats.sets, 1u);
+  EXPECT_EQ(stats.unique_keys, 2u);
+  EXPECT_EQ(stats.max_value_size, 100u);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  Trace t;
+  for (int i = 0; i < 10; ++i) {
+    Request r;
+    r.app_id = 3;
+    r.op = i % 2 == 0 ? Op::kGet : Op::kSet;
+    r.key = 1000 + i;
+    r.key_size = 14;
+    r.value_size = 128 * i;
+    r.time_us = i * 100;
+    t.Append(r);
+  }
+  const std::string path = testing::TempDir() + "/trace_roundtrip.csv";
+  ASSERT_TRUE(t.SaveCsv(path));
+  bool ok = false;
+  const Trace loaded = Trace::LoadCsv(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.size(), t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(loaded[i].key, t[i].key);
+    EXPECT_EQ(loaded[i].op, t[i].op);
+    EXPECT_EQ(loaded[i].value_size, t[i].value_size);
+    EXPECT_EQ(loaded[i].time_us, t[i].time_us);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, FilterApp) {
+  Trace t;
+  for (int i = 0; i < 6; ++i) {
+    Request r;
+    r.app_id = i % 3;
+    t.Append(r);
+  }
+  EXPECT_EQ(t.FilterApp(1).size(), 2u);
+}
+
+TEST(FacebookWorkload, SizesWithinPublishedClamps) {
+  Rng rng(17);
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t key_size = FacebookWorkload::SampleKeySize(rng);
+    EXPECT_GE(key_size, 1u);
+    EXPECT_LE(key_size, 250u);
+    const uint32_t value_size = FacebookWorkload::SampleValueSize(rng);
+    EXPECT_GE(value_size, 1u);
+    EXPECT_LT(value_size, 1u << 20);
+  }
+}
+
+TEST(FacebookWorkload, KeySizeMedianNearGevMode) {
+  Rng rng(19);
+  std::vector<uint32_t> sizes;
+  for (int i = 0; i < 50000; ++i) {
+    sizes.push_back(FacebookWorkload::SampleKeySize(rng));
+  }
+  std::sort(sizes.begin(), sizes.end());
+  // GEV(30.7, 8.2, 0.078) has median ~= 33.8.
+  EXPECT_NEAR(sizes[sizes.size() / 2], 34, 3);
+}
+
+TEST(FacebookWorkload, DeterministicSizesPerKey) {
+  EXPECT_EQ(FacebookWorkload::ValueSizeForKey(12345),
+            FacebookWorkload::ValueSizeForKey(12345));
+  EXPECT_EQ(FacebookWorkload::KeySizeForKey(777),
+            FacebookWorkload::KeySizeForKey(777));
+}
+
+TEST(FacebookWorkload, GetFractionHolds) {
+  FacebookWorkloadConfig config;
+  config.universe = 10000;
+  FacebookWorkload w(config);
+  const Trace t = w.GenerateTrace(100000);
+  const auto stats = t.ComputeStats();
+  EXPECT_NEAR(static_cast<double>(stats.gets) / t.size(), 0.967, 0.01);
+}
+
+TEST(FacebookWorkload, AllMissModeUsesUniqueKeys) {
+  FacebookWorkloadConfig config;
+  config.all_miss = true;
+  FacebookWorkload w(config);
+  const Trace t = w.GenerateTrace(5000);
+  EXPECT_EQ(t.ComputeStats().unique_keys, 5000u);
+}
+
+TEST(MemcachierSuite, HasTwentyAppsWithPaperStructure) {
+  MemcachierSuite suite;
+  EXPECT_EQ(MemcachierSuite::num_apps(), 20);
+  // The paper's asterisked (cliff) applications.
+  const std::set<int> cliff_apps{1, 7, 10, 11, 18, 19};
+  for (int id = 1; id <= 20; ++id) {
+    EXPECT_EQ(suite.app(id).has_cliff, cliff_apps.count(id) == 1)
+        << "app " << id;
+    EXPECT_GT(suite.app(id).reservation, 0u);
+    EXPECT_GT(suite.app(id).request_share, 0.0);
+    EXPECT_FALSE(suite.app(id).streams.empty());
+  }
+}
+
+TEST(MemcachierSuite, StreamsStayInOneSlabClass) {
+  // Each configured stream must map to exactly one slab class across the
+  // key-size jitter range (10..18 bytes) — see DESIGN.md "Units".
+  MemcachierSuite suite;
+  for (int id = 1; id <= 20; ++id) {
+    for (const SuiteStream& s : suite.app(id).streams) {
+      const int lo = SlabClassFor(ExactFootprint(10, s.value_size));
+      const int hi = SlabClassFor(ExactFootprint(18, s.value_size));
+      EXPECT_EQ(lo, hi) << "app " << id << " value " << s.value_size;
+      EXPECT_GE(lo, 0);
+    }
+  }
+}
+
+TEST(MemcachierSuite, TraceIsDeterministic) {
+  MemcachierSuite suite(0.1);
+  const Trace a = suite.GenerateAppTrace(3, 5000, 7);
+  const Trace b = suite.GenerateAppTrace(3, 5000, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].key, b[i].key);
+}
+
+TEST(MemcachierSuite, TimeSpansAWeek) {
+  MemcachierSuite suite(0.1);
+  const Trace t = suite.GenerateAppTrace(5, 10000, 1);
+  EXPECT_EQ(t[0].time_us, 0u);
+  EXPECT_NEAR(static_cast<double>(t[t.size() - 1].time_us),
+              static_cast<double>(kWeekUs), 0.01 * kWeekUs);
+}
+
+TEST(MemcachierSuite, MixedTraceFollowsShares) {
+  MemcachierSuite suite(0.1);
+  const std::vector<int> ids{1, 2, 3};
+  const Trace t = suite.GenerateMixedTrace(ids, 30000, 5);
+  std::map<uint32_t, uint64_t> counts;
+  for (const Request& r : t) ++counts[r.app_id];
+  const double total_share = suite.app(1).request_share +
+                             suite.app(2).request_share +
+                             suite.app(3).request_share;
+  for (const int id : ids) {
+    const double expected = suite.app(id).request_share / total_share;
+    EXPECT_NEAR(static_cast<double>(counts[static_cast<uint32_t>(id)]) /
+                    static_cast<double>(t.size()),
+                expected, 0.02)
+        << "app " << id;
+  }
+}
+
+TEST(MemcachierSuite, BurstWindowShiftsWeight) {
+  // App 19's class-2 streams burst in [0.6, 0.75); compare request counts
+  // per slab class inside and outside the window.
+  MemcachierSuite suite(0.25);
+  const Trace t = suite.GenerateAppTrace(19, 200000, 3);
+  uint64_t in_window_c2 = 0, out_window_c2 = 0, in_total = 0, out_total = 0;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const double progress = static_cast<double>(i) / t.size();
+    const int slab_class =
+        SlabClassFor(ExactFootprint(t[i].key_size, t[i].value_size));
+    const bool in = progress >= 0.6 && progress < 0.75;
+    (in ? in_total : out_total) += 1;
+    if (slab_class == 2) (in ? in_window_c2 : out_window_c2) += 1;
+  }
+  const double in_frac = static_cast<double>(in_window_c2) / in_total;
+  const double out_frac = static_cast<double>(out_window_c2) / out_total;
+  EXPECT_GT(in_frac, out_frac * 2.0);
+}
+
+TEST(MemcachierSuite, TotalReservationSums) {
+  MemcachierSuite suite;
+  const uint64_t total = suite.TotalReservation({1, 2});
+  EXPECT_EQ(total, suite.app(1).reservation + suite.app(2).reservation);
+}
+
+}  // namespace
+}  // namespace cliffhanger
