@@ -11,7 +11,6 @@ int main() {
   Banner("Figure 9: hit rate vs time on a cliff, Application 19 / class 0",
          "paper: starts ~70%, stabilizes ~30 virtual minutes later");
   MemcachierSuite suite;
-  const SuiteApp& app = suite.app(19);
   const Trace trace = suite.GenerateAppTrace(19, 3 * kAppTraceLen, kSeed);
 
   // Pin both classes at 8000 items (Table 4 setup), then let Cliffhanger

@@ -1,8 +1,8 @@
 // Quickstart: build a Cliffhanger-managed cache server, feed it a Zipfian
 // workload with demand-fill, and inspect the statistics.
 //
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/quickstart
 #include <cstdio>
 
 #include "core/cache_server.h"

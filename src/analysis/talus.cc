@@ -14,17 +14,12 @@ TalusSplit ComputeTalusSplit(const PiecewiseCurve& curve,
 
   // Locate the hull segment containing the capacity.
   const auto& xs = hull.xs();
-  const auto& ys = hull.ys();
-  double x1 = 0.0, y1 = 0.0, x2 = 0.0, y2 = 0.0;
+  double x1 = 0.0, x2 = 0.0;
   bool bracketed = false;
   for (size_t i = 0; i < xs.size(); ++i) {
     if (xs[i] >= capacity_items) {
       x2 = xs[i];
-      y2 = ys[i];
-      if (i > 0) {
-        x1 = xs[i - 1];
-        y1 = ys[i - 1];
-      }
+      if (i > 0) x1 = xs[i - 1];
       bracketed = true;
       break;
     }
@@ -44,7 +39,7 @@ TalusSplit ComputeTalusSplit(const PiecewiseCurve& curve,
     return split;
   }
 
-  // Talus interpolation between the anchors (x1, y1) and (x2, y2):
+  // Talus interpolation between the hull anchors at x1 and x2:
   //   rho   = fraction of requests to the small (left) queue
   //   left  simulates x1 with rho of the traffic  -> physical x1 * rho
   //   right simulates x2 with 1-rho of the traffic -> physical x2 * (1-rho)

@@ -80,7 +80,9 @@ std::map<int, uint64_t> SolveAppAllocation(const ProfileResult& profile,
   std::vector<int> class_ids;
   for (const auto& [slab_class, curve] : profile.curves) {
     SolverQueueInput in;
-    in.curve = curve;
+    // Move-assign from a fresh copy: plain copy-assignment into the
+    // default-constructed member trips a GCC 12 -Wnonnull false positive.
+    in.curve = PiecewiseCurve(curve);
     in.request_share =
         profile.total_gets == 0
             ? 0.0
@@ -119,7 +121,8 @@ std::map<uint32_t, std::map<int, uint64_t>> SolveCrossAppAllocation(
     const ProfileResult& profile = profiles[a];
     for (const auto& [slab_class, curve] : profile.curves) {
       SolverQueueInput in;
-      in.curve = curve;
+      in.curve =
+          PiecewiseCurve(curve);  // see SolveAppAllocation: GCC 12 -Wnonnull
       in.request_share =
           server_gets == 0
               ? 0.0

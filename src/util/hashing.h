@@ -2,7 +2,7 @@
 //
 // The router maps a key to a stable point in [0, 1); the same key must land on
 // the same point across the lifetime of the queue so that moving the split
-// ratio migrates only keys near the boundary (see DESIGN.md §4).
+// ratio migrates only keys near the boundary.
 #pragma once
 
 #include <cstdint>

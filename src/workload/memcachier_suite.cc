@@ -15,7 +15,7 @@ using literals::operator""_MiB;
 using literals::operator""_KiB;
 
 // Representative value sizes per slab class (key 10-18 B + 32 B overhead
-// keeps the total inside one class; see DESIGN.md "Units").
+// keeps the total inside one class).
 constexpr uint32_t kV0 = 12;      // class 0, chunk 64
 constexpr uint32_t kV1 = 70;      // class 1, chunk 128
 constexpr uint32_t kV2 = 180;     // class 2, chunk 256

@@ -3,7 +3,7 @@
 // The paper evaluates on a week-long proprietary trace of the top 20
 // applications on one Memcachier server. We cannot ship that trace, so this
 // module reconstructs a suite with the same *structural* properties the
-// paper reports (see DESIGN.md §1 for the substitution argument):
+// paper reports (see docs/ARCHITECTURE.md for the substitution argument):
 //
 //   * applications 1, 7, 10, 11, 18, 19 have performance cliffs (the paper's
 //     asterisked apps) built from cyclic sequential scans;

@@ -62,7 +62,9 @@ TEST(StackDistance, SequentialScanDistancesEqualUniverse) {
   for (int cycle = 0; cycle < 3; ++cycle) {
     for (uint64_t k = 0; k < kN; ++k) {
       const uint64_t d = a.Record(k);
-      if (cycle > 0) EXPECT_EQ(d, kN);
+      if (cycle > 0) {
+        EXPECT_EQ(d, kN);
+      }
     }
   }
 }

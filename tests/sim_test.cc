@@ -63,7 +63,9 @@ TEST(Simulator, ExplicitSetsAreReplayed) {
   t.Append(r);
   r.op = Op::kGet;
   t.Append(r);
-  const SimResult result = Replay(server, t, {.demand_fill = false});
+  SimOptions options;
+  options.demand_fill = false;
+  const SimResult result = Replay(server, t, options);
   EXPECT_EQ(result.total.gets, 2u);
   EXPECT_EQ(result.total.hits, 1u);  // hit before delete, miss after
 }

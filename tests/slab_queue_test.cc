@@ -184,7 +184,9 @@ TEST(PartitionedSlabQueue, RoutingIsStablePerKey) {
   // Monotone under ratio moves: keys only migrate right->left as ratio grows.
   q.SetRatio(0.8);
   for (uint64_t k = 0; k < 100; ++k) {
-    if (first[k] == Side::kLeft) EXPECT_EQ(q.Route(k), Side::kLeft);
+    if (first[k] == Side::kLeft) {
+      EXPECT_EQ(q.Route(k), Side::kLeft);
+    }
   }
 }
 

@@ -217,7 +217,7 @@ TEST(MemcachierSuite, HasTwentyAppsWithPaperStructure) {
 
 TEST(MemcachierSuite, StreamsStayInOneSlabClass) {
   // Each configured stream must map to exactly one slab class across the
-  // key-size jitter range (10..18 bytes) — see DESIGN.md "Units".
+  // key-size jitter range (10..18 bytes).
   MemcachierSuite suite;
   for (int id = 1; id <= 20; ++id) {
     for (const SuiteStream& s : suite.app(id).streams) {
