@@ -1,51 +1,284 @@
 // Table 7: throughput overhead when the cache is full and CPU bound, for
 // three GET/SET mixes (96.7/3.3 = Facebook's ETC mix, 50/50, 10/90),
-// comparing the default server against Cliffhanger.
-#include <benchmark/benchmark.h>
+// comparing the default server against Cliffhanger — extended with a
+// multi-threaded variant that drives a ShardedCacheServer with 1/2/4/8
+// threads, one contiguous partition of the same Zipf replay per thread,
+// so the speedup over the single-thread baseline is measured, not asserted.
+//
+// Emits machine-readable JSON on stdout (one object, `results` array) for
+// benchmark regression tracking; human-readable progress goes to stderr.
+//
+// Flags: --requests N     per-mix measured requests   (default 200000)
+//        --mt-requests N  multi-threaded trace length (default 400000)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
+#include "core/sharded_server.h"
 #include "sim/experiment.h"
 #include "workload/facebook_workload.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
 
 namespace cliffhanger {
 namespace {
 
-void RunMix(benchmark::State& state, double get_fraction, bool cliffhanger) {
+constexpr uint32_t kAppId = 1;
+constexpr uint64_t kReservation = 64ULL << 20;
+constexpr size_t kNumShards = 8;
+// GET fraction of the multi-threaded Zipf replay (ETC-like mix); single
+// source of truth for the trace, the runs, and the JSON metadata.
+constexpr double kMtGetFraction = 0.967;
+
+struct Row {
+  std::string name;
+  std::string section;  // "table7" (paper mixes) or "zipf_mt" (sharded)
+  std::string mode;     // "default" or "cliffhanger"
+  double get_fraction = 0.0;
+  size_t threads = 1;
+  size_t shards = 1;
+  uint64_t fill = 0;  // warm-up SETs before timing (table7 rows only)
+  uint64_t requests = 0;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+  double speedup = 0.0;  // vs the single-thread baseline; 0 = not applicable
+};
+
+double Secs(std::chrono::steady_clock::time_point begin,
+            std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+// --- Part 1: the paper's Table 7 (single-thread, all-miss worst case) ---
+
+Row RunMix(double get_fraction, bool cliffhanger, uint64_t requests) {
   const ServerConfig config =
       cliffhanger ? CliffhangerServerConfig() : DefaultServerConfig();
   CacheServer server(config);
-  server.AddApp(1, 64 << 20);
+  server.AddApp(kAppId, kReservation);
+
   FacebookWorkloadConfig wl;
   wl.all_miss = true;  // worst case: every request misses / evicts
   wl.get_fraction = get_fraction;
-  wl.app_id = 1;
+  wl.app_id = kAppId;
   FacebookWorkload workload(wl);
-  for (int i = 0; i < 300000; ++i) {
+  // Fill to capacity; scaled with the measured portion so a reduced
+  // --requests smoke run is not dominated by warm-up.
+  const uint64_t fill = std::min<uint64_t>(300000, 3 * requests);
+  for (uint64_t i = 0; i < fill; ++i) {
     const Request r = workload.Next();
-    server.Set(1, {r.key, r.key_size, r.value_size});
+    server.Set(kAppId, {r.key, r.key_size, r.value_size});
   }
-  for (auto _ : state) {
+
+  const auto begin = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < requests; ++i) {
     const Request r = workload.Next();
     const ItemMeta item{r.key, r.key_size, r.value_size};
     if (r.is_get()) {
-      const Outcome o = server.Get(1, item);
-      if (!o.hit && o.cacheable) server.Set(1, item);
-      benchmark::DoNotOptimize(o);
+      const Outcome o = server.Get(kAppId, item);
+      if (!o.hit && o.cacheable) server.Set(kAppId, item);
     } else {
-      server.Set(1, item);
+      server.Set(kAppId, item);
     }
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const auto end = std::chrono::steady_clock::now();
+
+  Row row;
+  char name[64];
+  std::snprintf(name, sizeof(name), "mix_%.3gget/%s", get_fraction * 100,
+                cliffhanger ? "cliffhanger" : "default");
+  row.name = name;
+  row.section = "table7";
+  row.mode = cliffhanger ? "cliffhanger" : "default";
+  row.get_fraction = get_fraction;
+  row.fill = fill;
+  row.requests = requests;
+  row.seconds = Secs(begin, end);
+  row.ops_per_sec = static_cast<double>(requests) / row.seconds;
+  return row;
 }
 
-void BM_Mix_Facebook(benchmark::State& s) { RunMix(s, 0.967, s.range(0)); }
-void BM_Mix_5050(benchmark::State& s) { RunMix(s, 0.5, s.range(0)); }
-void BM_Mix_1090(benchmark::State& s) { RunMix(s, 0.1, s.range(0)); }
+// --- Part 2: multi-threaded Zipf replay over the sharded server ---
 
-BENCHMARK(BM_Mix_Facebook)->Arg(0)->Arg(1)->Name("mix_96.7get/cliffhanger");
-BENCHMARK(BM_Mix_5050)->Arg(0)->Arg(1)->Name("mix_50get/cliffhanger");
-BENCHMARK(BM_Mix_1090)->Arg(0)->Arg(1)->Name("mix_10get/cliffhanger");
+// One fixed Zipf trace (ETC-like GET/SET mix, two slab classes, via the
+// shared canonical builder); thread t replays the t-th contiguous
+// partition. The single-thread baseline replays the identical trace
+// through a plain CacheServer.
+Trace MakeZipfTrace(uint64_t requests, double get_fraction) {
+  ZipfTraceSpec spec;
+  spec.requests = requests;
+  spec.universe = 200000;
+  spec.zipf_alpha = 0.99;
+  spec.seed = 0x7AB7E7;
+  spec.app_id = kAppId;
+  spec.get_fraction = get_fraction;
+  return MakeZipfMixTrace(spec);
+}
+
+template <typename ServerT>
+void ReplayRange(ServerT& server, const Trace& trace, size_t begin,
+                 size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    const Request& r = trace[i];
+    const ItemMeta item{r.key, r.key_size, r.value_size};
+    if (r.is_get()) {
+      const Outcome o = server.Get(r.app_id, item);
+      if (!o.hit && o.cacheable) server.Set(r.app_id, item);
+    } else {
+      server.Set(r.app_id, item);
+    }
+  }
+}
+
+Row RunSingleThreadBaseline(const Trace& trace, bool cliffhanger) {
+  const ServerConfig config =
+      cliffhanger ? CliffhangerServerConfig() : DefaultServerConfig();
+  CacheServer server(config);
+  server.AddApp(kAppId, kReservation);
+  const auto begin = std::chrono::steady_clock::now();
+  ReplayRange(server, trace, 0, trace.size());
+  const auto end = std::chrono::steady_clock::now();
+
+  Row row;
+  row.name = std::string("zipf_replay/single_thread/") +
+             (cliffhanger ? "cliffhanger" : "default");
+  row.section = "zipf_mt";
+  row.mode = cliffhanger ? "cliffhanger" : "default";
+  row.get_fraction = kMtGetFraction;
+  row.requests = trace.size();
+  row.seconds = Secs(begin, end);
+  row.ops_per_sec = static_cast<double>(trace.size()) / row.seconds;
+  return row;
+}
+
+Row RunSharded(const Trace& trace, bool cliffhanger, size_t threads,
+               double baseline_ops_per_sec) {
+  ShardedServerConfig config;
+  config.server =
+      cliffhanger ? CliffhangerServerConfig() : DefaultServerConfig();
+  config.num_shards = kNumShards;
+  config.rebalance_interval_ops = 100000;
+  ShardedCacheServer server(config);
+  server.AddApp(kAppId, kReservation);
+
+  const size_t chunk = (trace.size() + threads - 1) / threads;
+  const auto begin = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t t = 0; t < threads; ++t) {
+      const size_t lo = t * chunk;
+      const size_t hi = std::min(trace.size(), lo + chunk);
+      workers.emplace_back(
+          [&server, &trace, lo, hi] { ReplayRange(server, trace, lo, hi); });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  Row row;
+  char name[64];
+  std::snprintf(name, sizeof(name), "zipf_replay/sharded/%s/t%zu",
+                cliffhanger ? "cliffhanger" : "default", threads);
+  row.name = name;
+  row.section = "zipf_mt";
+  row.mode = cliffhanger ? "cliffhanger" : "default";
+  row.get_fraction = kMtGetFraction;
+  row.threads = threads;
+  row.shards = kNumShards;
+  row.requests = trace.size();
+  row.seconds = Secs(begin, end);
+  row.ops_per_sec = static_cast<double>(trace.size()) / row.seconds;
+  if (baseline_ops_per_sec > 0) {
+    row.speedup = row.ops_per_sec / baseline_ops_per_sec;
+  }
+  return row;
+}
+
+void PrintJson(const std::vector<Row>& rows) {
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"table7_throughput\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("    {\"name\": \"%s\", \"section\": \"%s\", "
+                "\"mode\": \"%s\", \"get_fraction\": %.3f, "
+                "\"threads\": %zu, \"shards\": %zu, \"requests\": %llu, "
+                "\"seconds\": %.6f, \"ops_per_sec\": %.1f",
+                r.name.c_str(), r.section.c_str(), r.mode.c_str(),
+                r.get_fraction, r.threads, r.shards,
+                static_cast<unsigned long long>(r.requests), r.seconds,
+                r.ops_per_sec);
+    if (r.fill > 0) {
+      // Reduced smoke runs shrink the warm-up and may not reach the
+      // full-cache regime; record the fill so runs at different sizes
+      // are never naively compared.
+      std::printf(", \"fill\": %llu",
+                  static_cast<unsigned long long>(r.fill));
+    }
+    if (r.speedup > 0) {
+      std::printf(", \"speedup_vs_single_thread\": %.3f", r.speedup);
+    }
+    std::printf("}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+int Main(int argc, char** argv) {
+  uint64_t requests = 200000;
+  uint64_t mt_requests = 400000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mt-requests") == 0 && i + 1 < argc) {
+      mt_requests = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--requests N] [--mt-requests N]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (requests == 0 || mt_requests == 0) {
+    std::fprintf(stderr, "--requests / --mt-requests must be > 0\n");
+    return 1;
+  }
+
+  std::vector<Row> rows;
+  for (const double get_fraction : {0.967, 0.5, 0.1}) {
+    for (const bool cliffhanger : {false, true}) {
+      std::fprintf(stderr, "table7: mix %.3g%% GET, %s...\n",
+                   get_fraction * 100,
+                   cliffhanger ? "cliffhanger" : "default");
+      rows.push_back(RunMix(get_fraction, cliffhanger, requests));
+    }
+  }
+
+  const Trace trace = MakeZipfTrace(mt_requests, kMtGetFraction);
+  for (const bool cliffhanger : {false, true}) {
+    std::fprintf(stderr, "zipf_mt: single-thread baseline, %s...\n",
+                 cliffhanger ? "cliffhanger" : "default");
+    const Row baseline = RunSingleThreadBaseline(trace, cliffhanger);
+    rows.push_back(baseline);
+    for (const size_t threads : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+      std::fprintf(stderr, "zipf_mt: sharded, %s, %zu thread(s)...\n",
+                   cliffhanger ? "cliffhanger" : "default", threads);
+      rows.push_back(
+          RunSharded(trace, cliffhanger, threads, baseline.ops_per_sec));
+    }
+  }
+  PrintJson(rows);
+  return 0;
+}
 
 }  // namespace
 }  // namespace cliffhanger
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return cliffhanger::Main(argc, argv); }

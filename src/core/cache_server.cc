@@ -194,20 +194,21 @@ Outcome AppCache::Get(const ItemMeta& item) {
   return outcome;
 }
 
-void AppCache::Set(const ItemMeta& item) {
+bool AppCache::Set(const ItemMeta& item) {
   if (config_.eviction == EvictionScheme::kGlobalLog) {
     auto& entry = GetOrCreateEntry(0);
     ++entry.stats.sets;
     entry.queue->Fill(item);
-    return;
+    return true;
   }
   const int slab_class =
       SlabClassFor(ExactFootprint(item.key_size, item.value_size));
-  if (slab_class < 0) return;  // uncacheable
+  if (slab_class < 0) return false;  // uncacheable
   auto& entry = GetOrCreateEntry(slab_class);
   ++entry.stats.sets;
   EnsureCapacityFor(entry, ChunkSize(slab_class));
   entry.queue->Fill(item);
+  return true;
 }
 
 void AppCache::Delete(const ItemMeta& item) {
@@ -315,14 +316,7 @@ std::vector<AppCache::ClassInfo> AppCache::ClassInfos() const {
 
 ClassStats AppCache::TotalStats() const {
   ClassStats total;
-  for (const auto& [slab_class, entry] : classes_) {
-    total.gets += entry->stats.gets;
-    total.hits += entry->stats.hits;
-    total.sets += entry->stats.sets;
-    total.tail_hits += entry->stats.tail_hits;
-    total.cliff_shadow_hits += entry->stats.cliff_shadow_hits;
-    total.hill_shadow_hits += entry->stats.hill_shadow_hits;
-  }
+  for (const auto& [slab_class, entry] : classes_) total += entry->stats;
   return total;
 }
 
@@ -399,10 +393,10 @@ Outcome CacheServer::Get(uint32_t app_id, const ItemMeta& item) {
   return a->Get(item);
 }
 
-void CacheServer::Set(uint32_t app_id, const ItemMeta& item) {
+bool CacheServer::Set(uint32_t app_id, const ItemMeta& item) {
   AppCache* a = app(app_id);
   assert(a != nullptr);
-  a->Set(item);
+  return a->Set(item);
 }
 
 void CacheServer::Delete(uint32_t app_id, const ItemMeta& item) {
@@ -417,15 +411,7 @@ void CacheServer::OnAppShadowHit(size_t app_index) {
 
 ClassStats CacheServer::TotalStats() const {
   ClassStats total;
-  for (const auto& [id, app] : apps_) {
-    const ClassStats s = app->TotalStats();
-    total.gets += s.gets;
-    total.hits += s.hits;
-    total.sets += s.sets;
-    total.tail_hits += s.tail_hits;
-    total.cliff_shadow_hits += s.cliff_shadow_hits;
-    total.hill_shadow_hits += s.hill_shadow_hits;
-  }
+  for (const auto& [id, app] : apps_) total += app->TotalStats();
   return total;
 }
 

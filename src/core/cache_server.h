@@ -70,6 +70,15 @@ struct ClassStats {
   [[nodiscard]] double hit_rate() const {
     return gets == 0 ? 0.0 : static_cast<double>(hits) / gets;
   }
+  ClassStats& operator+=(const ClassStats& other) {
+    gets += other.gets;
+    hits += other.hits;
+    sets += other.sets;
+    tail_hits += other.tail_hits;
+    cliff_shadow_hits += other.cliff_shadow_hits;
+    hill_shadow_hits += other.hill_shadow_hits;
+    return *this;
+  }
 };
 
 struct Outcome {
@@ -92,7 +101,10 @@ class AppCache {
   AppCache& operator=(const AppCache&) = delete;
 
   Outcome Get(const ItemMeta& item);
-  void Set(const ItemMeta& item);
+  // Returns true when the SET was admitted and counted in the per-class
+  // statistics; false when no slab class fits the item. (kGlobalLog packs
+  // items contiguously, so it admits any size and always returns true.)
+  bool Set(const ItemMeta& item);
   void Delete(const ItemMeta& item);
 
   // Fixed allocation for AllocationMode::kStatic (bytes per slab class).
@@ -129,7 +141,12 @@ class AppCache {
   uint32_t app_id_;
   uint64_t reservation_;
   uint64_t free_bytes_;
-  const ServerConfig& config_;
+  // Value copy, not a reference into the owning server, so the tenant's
+  // config can never dangle regardless of how the caller constructed the
+  // ServerConfig it passed in (e.g. a temporary, or a per-shard copy).
+  // The server_ back-pointer is safe by ownership: AppCache lives inside
+  // its CacheServer and cannot outlive it.
+  ServerConfig config_;
   CacheServer* server_;
 
   std::map<int, std::unique_ptr<ClassEntry>> classes_;
@@ -147,9 +164,10 @@ class CacheServer {
   [[nodiscard]] AppCache* app(uint32_t app_id);
   [[nodiscard]] const AppCache* app(uint32_t app_id) const;
 
-  // Routed operations (dispatch on item/app ids).
+  // Routed operations (dispatch on item/app ids). Set returns true when the
+  // item was cacheable (counted in the per-class statistics).
   Outcome Get(uint32_t app_id, const ItemMeta& item);
-  void Set(uint32_t app_id, const ItemMeta& item);
+  bool Set(uint32_t app_id, const ItemMeta& item);
   void Delete(uint32_t app_id, const ItemMeta& item);
 
   [[nodiscard]] const ServerConfig& config() const { return config_; }

@@ -1,0 +1,280 @@
+#include "core/sharded_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace cliffhanger {
+
+// Mirror of ClassStats with relaxed atomic fields, one per shard, padded to
+// a cache line so two shards' hot counters never share one (false sharing
+// would serialize otherwise independent shards).
+struct alignas(64) ShardedCacheServer::Shard {
+  mutable std::mutex mu;
+  std::unique_ptr<CacheServer> server;  // guarded by mu
+  // Hill-shadow hit totals per app at the last rebalance (guarded by mu).
+  std::map<uint32_t, uint64_t> shadow_baseline;
+
+  // Lock-free-read statistics mirror; updated outside the shard lock.
+  std::atomic<uint64_t> ops{0};  // rebalance trigger (all op kinds)
+  std::atomic<uint64_t> gets{0};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> sets{0};
+  std::atomic<uint64_t> tail_hits{0};
+  std::atomic<uint64_t> cliff_shadow_hits{0};
+  std::atomic<uint64_t> hill_shadow_hits{0};
+
+  [[nodiscard]] ClassStats CounterSnapshot() const {
+    ClassStats s;
+    s.gets = gets.load(std::memory_order_relaxed);
+    s.hits = hits.load(std::memory_order_relaxed);
+    s.sets = sets.load(std::memory_order_relaxed);
+    s.tail_hits = tail_hits.load(std::memory_order_relaxed);
+    s.cliff_shadow_hits = cliff_shadow_hits.load(std::memory_order_relaxed);
+    s.hill_shadow_hits = hill_shadow_hits.load(std::memory_order_relaxed);
+    return s;
+  }
+};
+
+ShardedCacheServer::ShardedCacheServer(const ShardedServerConfig& config)
+    : config_(config), num_shards_(std::max<size_t>(1, config.num_shards)) {
+  config_.num_shards = num_shards_;  // keep config() consistent when 0 passed
+  shards_.reserve(num_shards_);
+  for (size_t i = 0; i < num_shards_; ++i) {
+    auto shard = std::make_unique<Shard>();
+    ServerConfig shard_config = config_.server;
+    // Decorrelate the shards' controller RNG streams (Algorithm 1 picks
+    // random victims; identical streams would move memory in lockstep).
+    shard_config.seed = HashCombine(config_.server.seed, 0x5AD0000 + i);
+    shard->server = std::make_unique<CacheServer>(shard_config);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedCacheServer::~ShardedCacheServer() = default;
+
+void ShardedCacheServer::AddApp(uint32_t app_id, uint64_t reservation) {
+  std::lock_guard<std::mutex> apps_lock(apps_mu_);
+  assert(app_totals_.find(app_id) == app_totals_.end());
+  app_totals_[app_id] = reservation;
+  // Largest-remainder split: every shard gets floor(total/N), the first
+  // (total % N) shards one byte more, so the shares sum to the total.
+  const uint64_t base = reservation / num_shards_;
+  const uint64_t remainder = reservation % num_shards_;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    const uint64_t share = base + (i < remainder ? 1 : 0);
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    shards_[i]->server->AddApp(app_id, share);
+    shards_[i]->shadow_baseline[app_id] = 0;
+  }
+}
+
+Outcome ShardedCacheServer::Get(uint32_t app_id, const ItemMeta& item) {
+  Shard& shard = *shards_[ShardForKey(item.key)];
+  Outcome outcome;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    outcome = shard.server->Get(app_id, item);
+  }
+  if (outcome.cacheable) {
+    shard.gets.fetch_add(1, std::memory_order_relaxed);
+    if (outcome.hit) {
+      shard.hits.fetch_add(1, std::memory_order_relaxed);
+      if (outcome.region == HitRegion::kPhysicalTail) {
+        shard.tail_hits.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (outcome.region == HitRegion::kCliffShadow) {
+      shard.cliff_shadow_hits.fetch_add(1, std::memory_order_relaxed);
+    } else if (outcome.region == HitRegion::kHillShadow) {
+      shard.hill_shadow_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  BumpOpCount(shard);
+  return outcome;
+}
+
+bool ShardedCacheServer::Set(uint32_t app_id, const ItemMeta& item) {
+  Shard& shard = *shards_[ShardForKey(item.key)];
+  bool counted;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    counted = shard.server->Set(app_id, item);
+  }
+  // Mirror exactly what the shard's own statistics counted, so the
+  // lock-free TotalStats() stays equal to MergedStats() at quiescence.
+  if (counted) shard.sets.fetch_add(1, std::memory_order_relaxed);
+  BumpOpCount(shard);
+  return counted;
+}
+
+void ShardedCacheServer::Delete(uint32_t app_id, const ItemMeta& item) {
+  Shard& shard = *shards_[ShardForKey(item.key)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.server->Delete(app_id, item);
+  }
+  BumpOpCount(shard);
+}
+
+ClassStats ShardedCacheServer::TotalStats() const {
+  ClassStats total;
+  for (const auto& shard : shards_) total += shard->CounterSnapshot();
+  return total;
+}
+
+std::vector<std::unique_lock<std::mutex>> ShardedCacheServer::LockAllShards()
+    const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(num_shards_);
+  for (const auto& shard : shards_) locks.emplace_back(shard->mu);
+  return locks;
+}
+
+ClassStats ShardedCacheServer::MergedStats() const {
+  const auto locks = LockAllShards();
+  ClassStats total;
+  for (const auto& shard : shards_) total += shard->server->TotalStats();
+  return total;
+}
+
+ClassStats ShardedCacheServer::ShardStats(size_t shard) const {
+  assert(shard < num_shards_);
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->server->TotalStats();
+}
+
+ClassStats ShardedCacheServer::AppStats(uint32_t app_id) const {
+  const auto locks = LockAllShards();
+  ClassStats total;
+  for (const auto& shard : shards_) {
+    const AppCache* app = shard->server->app(app_id);
+    if (app != nullptr) total += app->TotalStats();
+  }
+  return total;
+}
+
+// The registered total, read under apps_mu_ alone — monitoring callers must
+// not stall all N shards for a value AddApp records and Rebalance conserves
+// by construction. The conservation invariant itself (per-shard shares sum
+// to this) is what sharded_server_test checks via AppShardReservation.
+uint64_t ShardedCacheServer::AppReservation(uint32_t app_id) const {
+  std::lock_guard<std::mutex> apps_lock(apps_mu_);
+  const auto it = app_totals_.find(app_id);
+  return it == app_totals_.end() ? 0 : it->second;
+}
+
+uint64_t ShardedCacheServer::AppShardReservation(uint32_t app_id,
+                                                 size_t shard) const {
+  assert(shard < num_shards_);
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  const AppCache* app = shards_[shard]->server->app(app_id);
+  return app == nullptr ? 0 : app->reservation();
+}
+
+std::vector<uint32_t> ShardedCacheServer::app_ids() const {
+  std::lock_guard<std::mutex> apps_lock(apps_mu_);
+  std::vector<uint32_t> ids;
+  ids.reserve(app_totals_.size());
+  for (const auto& [id, total] : app_totals_) ids.push_back(id);
+  return ids;
+}
+
+uint64_t ShardedCacheServer::rebalance_count() const {
+  return rebalances_.load(std::memory_order_relaxed);
+}
+
+// Counted on the shard's own padded line so the hot path never contends on
+// a process-global counter; the busiest shard drives the cadence.
+void ShardedCacheServer::BumpOpCount(Shard& shard) {
+  const uint64_t interval = config_.rebalance_interval_ops;
+  if (interval == 0) return;
+  if ((shard.ops.fetch_add(1, std::memory_order_relaxed) + 1) % interval ==
+      0) {
+    Rebalance();
+  }
+}
+
+void ShardedCacheServer::Rebalance() {
+  std::lock_guard<std::mutex> apps_lock(apps_mu_);
+  const auto locks = LockAllShards();
+  for (const auto& [app_id, total] : app_totals_) {
+    RebalanceAppLocked(app_id, total);
+  }
+  rebalances_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Pre: apps_mu_ and every shard lock held.
+//
+// Each shard's hill-shadow hits since the last rebalance estimate how much
+// that shard's slice of the app would gain from more memory (§3.4: the
+// shadow hit rate approximates the request-weighted hit-rate-curve
+// gradient). The app's total moves a `rebalance_step` fraction toward the
+// shadow-share target; with no signal anywhere the +1 smoothing makes the
+// target an even split, so a skewed initial division decays geometrically.
+void ShardedCacheServer::RebalanceAppLocked(uint32_t app_id,
+                                            uint64_t total_reservation) {
+  const size_t n = num_shards_;
+  if (n <= 1 || total_reservation == 0) return;
+
+  std::vector<uint64_t> current(n, 0);
+  std::vector<double> weight(n, 0.0);
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    AppCache* app = shards_[i]->server->app(app_id);
+    if (app == nullptr) return;
+    current[i] = app->reservation();
+    const uint64_t shadow = app->TotalStats().hill_shadow_hits;
+    uint64_t& baseline = shards_[i]->shadow_baseline[app_id];
+    const uint64_t delta = shadow - baseline;
+    baseline = shadow;
+    weight[i] = 1.0 + static_cast<double>(delta);
+    weight_sum += weight[i];
+  }
+
+  // Blend toward the shadow-share target, then integerize with the
+  // largest-remainder method so the shares sum to the total exactly.
+  const double step = std::clamp(config_.rebalance_step, 0.0, 1.0);
+  const double total = static_cast<double>(total_reservation);
+  std::vector<double> desired(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    desired[i] = (1.0 - step) * static_cast<double>(current[i]) +
+                 step * total * (weight[i] / weight_sum);
+  }
+  std::vector<uint64_t> next(n, 0);
+  std::vector<std::pair<double, size_t>> fractions;
+  fractions.reserve(n);
+  uint64_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double floored = std::floor(desired[i]);
+    next[i] = static_cast<uint64_t>(std::max(0.0, floored));
+    assigned += next[i];
+    fractions.emplace_back(desired[i] - floored, i);
+  }
+  std::sort(fractions.begin(), fractions.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  size_t cursor = 0;
+  while (assigned < total_reservation && cursor < fractions.size()) {
+    ++next[fractions[cursor++].second];
+    ++assigned;
+  }
+  // Defensive: absorb any residual rounding drift into shard 0 so the
+  // invariant sum(next) == total_reservation always holds.
+  if (assigned < total_reservation) next[0] += total_reservation - assigned;
+  while (assigned > total_reservation) {
+    for (size_t i = 0; i < n && assigned > total_reservation; ++i) {
+      if (next[i] > 0) {
+        --next[i];
+        --assigned;
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (next[i] != current[i]) {
+      shards_[i]->server->app(app_id)->SetReservation(next[i]);
+    }
+  }
+}
+
+}  // namespace cliffhanger

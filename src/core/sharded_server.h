@@ -1,0 +1,119 @@
+// ShardedCacheServer: a thread-safe front over N independent CacheServer
+// shards, selected by key hash (ShardIndexForKey). Each shard owns the full
+// §4.3 controller state (hill climber, cliff scalers) for its slice of every
+// application's key space, behind one per-shard mutex, so the paper's
+// incremental algorithms keep running unmodified under concurrent traffic.
+//
+// Concurrency model:
+//  - Get/Set/Delete lock only the shard the key hashes to.
+//  - Aggregate statistics are mirrored into per-shard cache-line-padded
+//    atomic counters, so TotalStats() is a lock-free read; MergedStats()
+//    and the per-app accessors take every shard lock (in index order) for
+//    an exact, mutually consistent snapshot.
+//  - An application's reservation is split across shards (largest-remainder,
+//    so the split always sums to the registered total). A periodic rebalance
+//    re-divides each app's total in proportion to the shards' hill-shadow
+//    hit rates — the same signal Algorithm 1 uses — so static hash
+//    partitioning cannot starve a shard that would profit from more memory.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/cache_server.h"
+#include "util/hashing.h"
+
+namespace cliffhanger {
+
+struct ShardedServerConfig {
+  // Template for every shard; each shard's RNG seed is decorrelated by
+  // hashing the shard index into `server.seed`.
+  ServerConfig server;
+  size_t num_shards = 4;
+  // A rebalance triggers whenever any single shard has processed this many
+  // operations since its last trigger (counted per shard so the hot path
+  // never touches a shared counter line). 0 = only explicit Rebalance().
+  uint64_t rebalance_interval_ops = 0;
+  // Fraction of the gap between a shard's current reservation and its
+  // shadow-signal target that one rebalance closes. Small steps keep the
+  // split stable against noisy shadow hits (same spirit as §5.1).
+  double rebalance_step = 0.25;
+};
+
+class ShardedCacheServer {
+ public:
+  explicit ShardedCacheServer(const ShardedServerConfig& config);
+  ~ShardedCacheServer();
+  ShardedCacheServer(const ShardedCacheServer&) = delete;
+  ShardedCacheServer& operator=(const ShardedCacheServer&) = delete;
+
+  // Registers the app on every shard, splitting `reservation` across them.
+  // Not safe to call concurrently with traffic for the same app: finish
+  // registration before serving it (as with CacheServer::AddApp).
+  void AddApp(uint32_t app_id, uint64_t reservation);
+
+  // Thread-safe routed operations; the app must have been added. Set
+  // returns true when the item was cacheable (same as CacheServer::Set).
+  Outcome Get(uint32_t app_id, const ItemMeta& item);
+  bool Set(uint32_t app_id, const ItemMeta& item);
+  void Delete(uint32_t app_id, const ItemMeta& item);
+
+  [[nodiscard]] size_t num_shards() const { return num_shards_; }
+  [[nodiscard]] size_t ShardForKey(uint64_t key) const {
+    return ShardIndexForKey(key, num_shards_);
+  }
+  [[nodiscard]] const ShardedServerConfig& config() const { return config_; }
+
+  // Lock-free aggregate snapshot from the padded per-shard counters. Exact
+  // once writers are quiescent; during traffic it may trail in-flight
+  // operations by a few counts (each op updates its counters after
+  // releasing the shard lock).
+  [[nodiscard]] ClassStats TotalStats() const;
+  // Exact snapshots straight from the shards' own statistics. MergedStats
+  // holds every shard lock at once, so the merge is mutually consistent.
+  [[nodiscard]] ClassStats MergedStats() const;
+  [[nodiscard]] ClassStats ShardStats(size_t shard) const;
+
+  // Per-app views. AppStats holds every shard lock for a consistent
+  // cross-shard sum; AppReservation is the registered total (O(1), no
+  // shard locks — rebalancing conserves it by construction);
+  // AppShardReservation reads one shard's current share.
+  [[nodiscard]] ClassStats AppStats(uint32_t app_id) const;
+  [[nodiscard]] uint64_t AppReservation(uint32_t app_id) const;
+  [[nodiscard]] uint64_t AppShardReservation(uint32_t app_id,
+                                             size_t shard) const;
+  [[nodiscard]] std::vector<uint32_t> app_ids() const;
+
+  // Re-divides every app's total reservation across shards toward each
+  // shard's share of hill-shadow hits since the previous rebalance. Also
+  // runs automatically every `rebalance_interval_ops` operations.
+  void Rebalance();
+  [[nodiscard]] uint64_t rebalance_count() const;
+
+ private:
+  struct Shard;
+
+  void BumpOpCount(Shard& shard);
+  void RebalanceAppLocked(uint32_t app_id, uint64_t total_reservation);
+  // Acquires every shard mutex in ascending index order (the lock-order
+  // rule); all whole-server snapshots and the rebalancer go through this.
+  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> LockAllShards()
+      const;
+
+  ShardedServerConfig config_;
+  size_t num_shards_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Lock order: apps_mu_ first, then shard mutexes in ascending index order.
+  mutable std::mutex apps_mu_;
+  std::map<uint32_t, uint64_t> app_totals_;  // registered reservation per app
+
+  std::atomic<uint64_t> rebalances_{0};
+};
+
+}  // namespace cliffhanger

@@ -5,6 +5,7 @@
 // ratio migrates only keys near the boundary.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -41,6 +42,20 @@ constexpr uint64_t Fnv1a64(std::string_view s) {
 constexpr double KeyToUnitInterval(uint64_t key) {
   return static_cast<double>(Mix64(key ^ 0xa0761d6478bd642fULL) >> 11) *
          0x1.0p-53;
+}
+
+// Route a key to one of `num_shards` server shards. The dedicated salt keeps
+// shard routing independent of the hash-index buckets and the Talus router
+// points above; multiply-shift range reduction avoids modulo bias and is
+// stable for the lifetime of the process (same key -> same shard, always).
+constexpr size_t ShardIndexForKey(uint64_t key, size_t num_shards) {
+  return num_shards <= 1
+             ? 0
+             : static_cast<size_t>(
+                   (static_cast<__uint128_t>(
+                        Mix64(key ^ 0x5ca1ab1e0ddba11ULL)) *
+                    num_shards) >>
+                   64);
 }
 
 }  // namespace cliffhanger

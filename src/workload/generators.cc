@@ -3,7 +3,34 @@
 #include <cassert>
 #include <cmath>
 
+#include "workload/trace.h"
+
 namespace cliffhanger {
+
+Trace MakeZipfMixTrace(const ZipfTraceSpec& spec) {
+  StreamSpec stream_spec;
+  stream_spec.kind = StreamKind::kZipf;
+  stream_spec.universe = spec.universe;
+  stream_spec.zipf_alpha = spec.zipf_alpha;
+  KeyStream stream(stream_spec);
+  Rng rng(spec.seed);
+  Trace trace;
+  trace.Reserve(spec.requests);
+  for (uint64_t i = 0; i < spec.requests; ++i) {
+    Request r;
+    r.key = stream.Next(rng, i);
+    r.app_id = spec.app_id;
+    r.key_size = spec.key_size;
+    r.value_size =
+        (r.key % 2 == 0) ? spec.small_value_size : spec.large_value_size;
+    if (spec.get_fraction < 1.0) {
+      r.op = rng.NextBernoulli(spec.get_fraction) ? Op::kGet : Op::kSet;
+    }
+    r.time_us = i;
+    trace.Append(r);
+  }
+  return trace;
+}
 
 KeyStream::KeyStream(const StreamSpec& spec) : spec_(spec) {
   assert(spec_.universe > 0 || spec_.kind == StreamKind::kOneHit);

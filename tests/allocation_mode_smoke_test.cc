@@ -20,27 +20,13 @@ constexpr uint32_t kAppId = 1;
 constexpr uint64_t kReservation = 4ULL << 20;  // 4 MiB
 constexpr size_t kRequests = 60000;
 
-// Zipf GET stream over two value sizes, so the server exercises (at least)
-// two slab classes.
+// Zipf GET stream over two value sizes (the shared canonical builder), so
+// the server exercises (at least) two slab classes.
 Trace MakeZipfTrace() {
-  StreamSpec spec;
-  spec.kind = StreamKind::kZipf;
-  spec.universe = 30000;
-  spec.zipf_alpha = 0.9;
-  KeyStream stream(spec);
-  Rng rng(2026);
-  Trace trace;
-  trace.Reserve(kRequests);
-  for (size_t i = 0; i < kRequests; ++i) {
-    Request r;
-    r.key = stream.Next(rng, i);
-    r.app_id = kAppId;
-    r.key_size = 16;
-    r.value_size = (r.key % 2 == 0) ? 64 : 400;
-    r.time_us = i;
-    trace.Append(r);
-  }
-  return trace;
+  ZipfTraceSpec spec;
+  spec.requests = kRequests;
+  spec.app_id = kAppId;
+  return MakeZipfMixTrace(spec);
 }
 
 struct ModeCase {

@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "analysis/hit_rate_curve.h"
 #include "analysis/stack_distance.h"
@@ -257,6 +259,60 @@ INSTANTIATE_TEST_SUITE_P(CliffSweep, ManualTalusSplit,
                                            CliffParam{8000, 3000},
                                            CliffParam{2000, 1500},
                                            CliffParam{10000, 2500}));
+
+// --- Property 5: shard routing is stable, in-range, and balanced ---
+
+TEST(ShardRouting, SameKeyAlwaysRoutesToSameShard) {
+  Rng rng(0x5AAD);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t key = rng();
+    const size_t first = ShardIndexForKey(key, 8);
+    EXPECT_LT(first, 8u);
+    EXPECT_EQ(ShardIndexForKey(key, 8), first);
+  }
+  // Edge keys and the degenerate shard count stay in range; the routing
+  // function is constexpr, so compile-time and run-time agree by checking
+  // a constant-evaluated result against a runtime-evaluated one.
+  constexpr size_t kMaxKeyShard = ShardIndexForKey(~uint64_t{0}, 16);
+  for (const uint64_t key : {uint64_t{0}, ~uint64_t{0}, uint64_t{1}}) {
+    EXPECT_EQ(ShardIndexForKey(key, 1), 0u);
+    EXPECT_LT(ShardIndexForKey(key, 16), 16u);
+  }
+  volatile uint64_t runtime_max_key = ~uint64_t{0};
+  EXPECT_EQ(ShardIndexForKey(runtime_max_key, 16), kMaxKeyShard);
+}
+
+class ShardBalance : public ::testing::TestWithParam<size_t> {};
+
+// Both sequential key ids (what the trace generators emit) and random
+// 64-bit keys must spread within 2x of the ideal per-shard load — the
+// routing hash, not the key distribution, provides the balance.
+TEST_P(ShardBalance, LoadWithinTwiceIdealFor10kKeys) {
+  const size_t num_shards = GetParam();
+  constexpr size_t kKeys = 20000;
+  const double ideal = static_cast<double>(kKeys) / num_shards;
+
+  std::vector<size_t> sequential(num_shards, 0);
+  std::vector<size_t> random(num_shards, 0);
+  Rng rng(0xBA1A);
+  for (size_t i = 0; i < kKeys; ++i) {
+    ++sequential[ShardIndexForKey(i, num_shards)];
+    ++random[ShardIndexForKey(rng(), num_shards)];
+  }
+  for (size_t s = 0; s < num_shards; ++s) {
+    EXPECT_LT(sequential[s], 2.0 * ideal)
+        << "sequential keys, shard " << s << "/" << num_shards;
+    EXPECT_GT(sequential[s], 0.5 * ideal)
+        << "sequential keys, shard " << s << "/" << num_shards;
+    EXPECT_LT(random[s], 2.0 * ideal)
+        << "random keys, shard " << s << "/" << num_shards;
+    EXPECT_GT(random[s], 0.5 * ideal)
+        << "random keys, shard " << s << "/" << num_shards;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardBalance,
+                         ::testing::Values(2, 3, 4, 8, 16));
 
 }  // namespace
 }  // namespace cliffhanger
