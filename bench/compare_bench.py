@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Diff two benchmark JSON files and flag regressions.
+
+The fig*/table* binaries that support regression tracking emit one JSON
+object: {"benchmark": <name>, ..., "results": [{"name": ..., ...}, ...]}.
+This script matches `results` rows by `name` between a baseline file and a
+candidate file, compares their throughput metric (`ops_per_sec`, falling
+back to the inverse of `ns_per_op` or `seconds`), and exits nonzero when
+any row regressed by more than the threshold (default 10%).
+
+Usage:
+    compare_bench.py BASELINE.json CANDIDATE.json [--threshold PCT]
+                     [--require-improvement PCT]
+
+`--require-improvement PCT` additionally demands that the *geometric mean*
+over all matched rows improved by at least PCT percent — used to assert a
+claimed optimization actually landed, not just that nothing regressed.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "results" not in doc or not isinstance(doc["results"], list):
+        sys.exit(f"{path}: no 'results' array (not a benchmark JSON?)")
+    rows = {}
+    for row in doc["results"]:
+        name = row.get("name")
+        if name is None:
+            sys.exit(f"{path}: result row without 'name': {row}")
+        if name in rows:
+            sys.exit(f"{path}: duplicate result name {name!r}")
+        rows[name] = row
+    return doc.get("benchmark", "?"), rows
+
+
+def throughput(row):
+    """Higher-is-better metric for a row."""
+    if row.get("ops_per_sec"):
+        return float(row["ops_per_sec"])
+    if row.get("ns_per_op"):
+        return 1e9 / float(row["ns_per_op"])
+    if row.get("seconds"):
+        return 1.0 / float(row["seconds"])
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max tolerated per-row slowdown in percent "
+                             "(default: 10)")
+    parser.add_argument("--require-improvement", type=float, default=None,
+                        metavar="PCT",
+                        help="also fail unless the geometric-mean speedup "
+                             "is at least PCT percent")
+    args = parser.parse_args()
+
+    base_name, base = load_rows(args.baseline)
+    cand_name, cand = load_rows(args.candidate)
+    if base_name != cand_name:
+        print(f"warning: comparing different benchmarks "
+              f"({base_name!r} vs {cand_name!r})", file=sys.stderr)
+
+    matched = sorted(set(base) & set(cand))
+    if not matched:
+        sys.exit("no result names in common between the two files")
+    for name in sorted(set(base) ^ set(cand)):
+        which = args.baseline if name in base else args.candidate
+        print(f"note: {name!r} only in {which}", file=sys.stderr)
+
+    regressions = []
+    log_ratios = []
+    width = max(len(n) for n in matched)
+    print(f"{'row':<{width}}  {'baseline':>12}  {'candidate':>12}  {'delta':>8}")
+    for name in matched:
+        b, c = throughput(base[name]), throughput(cand[name])
+        if b is None or c is None or b <= 0 or c <= 0:
+            print(f"{name:<{width}}  (no comparable throughput metric)")
+            continue
+        delta_pct = (c / b - 1.0) * 100.0
+        log_ratios.append(math.log(c / b))
+        flag = ""
+        if delta_pct < -args.threshold:
+            regressions.append((name, delta_pct))
+            flag = "  <-- REGRESSION"
+        print(f"{name:<{width}}  {b:>12.1f}  {c:>12.1f}  "
+              f"{delta_pct:>+7.1f}%{flag}")
+
+    status = 0
+    if log_ratios:
+        gmean_pct = (math.exp(sum(log_ratios) / len(log_ratios)) - 1.0) * 100
+        print(f"geometric-mean throughput delta: {gmean_pct:+.1f}% "
+              f"over {len(log_ratios)} rows")
+        if (args.require_improvement is not None
+                and gmean_pct < args.require_improvement):
+            print(f"FAIL: geomean {gmean_pct:+.1f}% is below the required "
+                  f"+{args.require_improvement:.1f}%")
+            status = 1
+    for name, delta in regressions:
+        print(f"FAIL: {name} regressed {delta:+.1f}% "
+              f"(threshold -{args.threshold:.1f}%)")
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Merge N runs of one benchmark JSON into a best-of-N capture.
+
+Benchmark numbers on busy machines are noise-dominated; the standard remedy
+is several runs with a per-row best (max throughput ≈ least interference).
+Rows are matched by `name` across files; each output row is the input row
+with the highest `ops_per_sec` (ties: first file wins). Top-level metadata
+is taken from the first file and annotated with `"merged_runs": N`.
+
+Usage: merge_bench.py RUN1.json RUN2.json ... > BEST.json
+"""
+
+import json
+import sys
+
+
+def main(paths):
+    if len(paths) < 2:
+        sys.exit("usage: merge_bench.py RUN1.json RUN2.json ... > BEST.json")
+    docs = []
+    for path in paths:
+        with open(path) as f:
+            docs.append(json.load(f))
+    names = [row["name"] for row in docs[0]["results"]]
+    # Strict row matching in both directions: a best-of-N capture feeding
+    # the regression gate must not silently degrade to best-of-(N-1) or
+    # drop rows that only appear in later runs.
+    for path, doc in zip(paths[1:], docs[1:]):
+        extra = {r["name"] for r in doc["results"]} - set(names)
+        if extra:
+            sys.exit(f"{path}: rows {sorted(extra)} not present in {paths[0]}")
+    merged = []
+    for name in names:
+        candidates = []
+        for path, doc in zip(paths, docs):
+            rows = [r for r in doc["results"] if r["name"] == name]
+            if not rows:
+                sys.exit(f"{path}: row {name!r} missing")
+            candidates.extend(rows)
+        merged.append(max(candidates, key=lambda r: r.get("ops_per_sec", 0)))
+    out = dict(docs[0])
+    out["merged_runs"] = len(docs)
+    out["results"] = merged
+    json.dump(out, sys.stdout, indent=1)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -2,17 +2,55 @@
 // the paper's worst case — a unique-key all-miss stream (the cache is full,
 // every GET walks the shadow queues, every SET evicts).
 //
-// google-benchmark measures GET and SET paths with the algorithms off
-// (baseline), hill climbing only, and full Cliffhanger; the overhead
-// percentages printed at the end correspond to the paper's Table 6 rows
-// (paper: 1.4%-4.8% on misses, ~0 on hits).
-#include <benchmark/benchmark.h>
+// Self-timed (no Google Benchmark dependency): measures the GET-miss,
+// SET-miss and GET-hit paths with the algorithms off (baseline), hill
+// climbing only, and full Cliffhanger. The overhead percentages correspond
+// to the paper's Table 6 rows (paper: 1.4%-4.8% on misses, ~0 on hits).
+//
+// Emits machine-readable JSON on stdout (one object, `results` array, same
+// shape as table7_throughput) for benchmark regression tracking via
+// bench/compare_bench.py; human-readable progress goes to stderr.
+//
+// Flags: --requests N  measured requests per row (default 400000)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "sim/experiment.h"
 #include "workload/facebook_workload.h"
 
 namespace cliffhanger {
 namespace {
+
+constexpr uint32_t kAppId = 1;
+constexpr uint64_t kReservation = 64ULL << 20;
+constexpr uint64_t kWarmupSets = 400000;  // fill to capacity (paper: 100 s)
+
+struct Row {
+  std::string name;
+  std::string op;    // "GET_miss", "SET_miss", "GET_hit"
+  std::string mode;  // "default", "hill_only", "cliffhanger"
+  uint64_t requests = 0;
+  double seconds = 0.0;
+  double ns_per_op = 0.0;
+  double ops_per_sec = 0.0;
+  double overhead_pct = 0.0;  // vs the "default" row of the same op
+};
+
+const char* ModeName(int mode) {
+  switch (mode) {
+    case 1:
+      return "hill_only";
+    case 2:
+      return "cliffhanger";
+    default:
+      return "default";
+  }
+}
 
 ServerConfig ConfigFor(int mode) {
   switch (mode) {
@@ -25,64 +63,147 @@ ServerConfig ConfigFor(int mode) {
   }
 }
 
-// Worst case: all-miss GETs (plus demand-fill SETs) on a full cache.
-void BM_GetMiss(benchmark::State& state) {
-  const ServerConfig config = ConfigFor(static_cast<int>(state.range(0)));
-  CacheServer server(config);
-  server.AddApp(1, 64 << 20);
+FacebookWorkload MissWorkload() {
   FacebookWorkloadConfig wl;
   wl.all_miss = true;
-  wl.app_id = 1;
-  FacebookWorkload workload(wl);
-  // Warm up until the cache is full (paper: 100 s warm-up).
-  for (int i = 0; i < 400000; ++i) {
-    const Request r = workload.Next();
-    server.Set(1, {r.key, r.key_size, r.value_size});
-  }
-  for (auto _ : state) {
-    const Request r = workload.Next();
-    const Outcome o = server.Get(1, {r.key, r.key_size, r.value_size});
-    benchmark::DoNotOptimize(o);
-  }
+  wl.app_id = kAppId;
+  return FacebookWorkload(wl);
 }
-BENCHMARK(BM_GetMiss)->Arg(0)->Arg(1)->Arg(2)->Name("GET_miss/mode");
 
-void BM_SetMiss(benchmark::State& state) {
-  const ServerConfig config = ConfigFor(static_cast<int>(state.range(0)));
-  CacheServer server(config);
-  server.AddApp(1, 64 << 20);
-  FacebookWorkloadConfig wl;
-  wl.all_miss = true;
-  wl.app_id = 1;
-  FacebookWorkload workload(wl);
-  for (int i = 0; i < 400000; ++i) {
+void Warmup(CacheServer& server, FacebookWorkload& workload) {
+  for (uint64_t i = 0; i < kWarmupSets; ++i) {
     const Request r = workload.Next();
-    server.Set(1, {r.key, r.key_size, r.value_size});
-  }
-  for (auto _ : state) {
-    const Request r = workload.Next();
-    server.Set(1, {r.key, r.key_size, r.value_size});
+    server.Set(kAppId, {r.key, r.key_size, r.value_size});
   }
 }
-BENCHMARK(BM_SetMiss)->Arg(0)->Arg(1)->Arg(2)->Name("SET_miss/mode");
+
+Row Finish(Row row, std::chrono::steady_clock::time_point begin,
+           std::chrono::steady_clock::time_point end, uint64_t requests) {
+  row.requests = requests;
+  row.seconds = std::chrono::duration<double>(end - begin).count();
+  row.ns_per_op = row.seconds * 1e9 / static_cast<double>(requests);
+  row.ops_per_sec = static_cast<double>(requests) / row.seconds;
+  row.name = row.op + "/" + row.mode;
+  return row;
+}
+
+// Worst case: all-miss GETs on a full cache (every GET walks the shadows).
+Row RunGetMiss(int mode, uint64_t requests) {
+  CacheServer server(ConfigFor(mode));
+  server.AddApp(kAppId, kReservation);
+  FacebookWorkload workload = MissWorkload();
+  Warmup(server, workload);
+  uint64_t sink = 0;
+  const auto begin = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < requests; ++i) {
+    const Request r = workload.Next();
+    const Outcome o = server.Get(kAppId, {r.key, r.key_size, r.value_size});
+    sink += o.hit ? 1 : 0;
+  }
+  const auto end = std::chrono::steady_clock::now();
+  // Keep the measured loop from being optimized away.
+  if (sink > requests) std::fprintf(stderr, "impossible\n");
+  Row row;
+  row.op = "GET_miss";
+  row.mode = ModeName(mode);
+  return Finish(row, begin, end, requests);
+}
+
+// All-miss SETs on a full cache (every SET evicts).
+Row RunSetMiss(int mode, uint64_t requests) {
+  CacheServer server(ConfigFor(mode));
+  server.AddApp(kAppId, kReservation);
+  FacebookWorkload workload = MissWorkload();
+  Warmup(server, workload);
+  const auto begin = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < requests; ++i) {
+    const Request r = workload.Next();
+    server.Set(kAppId, {r.key, r.key_size, r.value_size});
+  }
+  const auto end = std::chrono::steady_clock::now();
+  Row row;
+  row.op = "SET_miss";
+  row.mode = ModeName(mode);
+  return Finish(row, begin, end, requests);
+}
 
 // Hit path: hot keys — shadow queues are never consulted on a hit.
-void BM_GetHit(benchmark::State& state) {
-  const ServerConfig config = ConfigFor(static_cast<int>(state.range(0)));
-  CacheServer server(config);
-  server.AddApp(1, 64 << 20);
+Row RunGetHit(int mode, uint64_t requests) {
+  CacheServer server(ConfigFor(mode));
+  server.AddApp(kAppId, kReservation);
   for (uint64_t k = 0; k < 1024; ++k) {
-    server.Set(1, {k, 16, 100});
+    server.Set(kAppId, {k, 16, 100});
   }
+  uint64_t sink = 0;
   uint64_t k = 0;
-  for (auto _ : state) {
-    const Outcome o = server.Get(1, {k++ & 1023, 16, 100});
-    benchmark::DoNotOptimize(o);
+  const auto begin = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < requests; ++i) {
+    const Outcome o = server.Get(kAppId, {k++ & 1023, 16, 100});
+    sink += o.hit ? 1 : 0;
   }
+  const auto end = std::chrono::steady_clock::now();
+  if (sink != requests) std::fprintf(stderr, "warning: hit path missed\n");
+  Row row;
+  row.op = "GET_hit";
+  row.mode = ModeName(mode);
+  return Finish(row, begin, end, requests);
 }
-BENCHMARK(BM_GetHit)->Arg(0)->Arg(1)->Arg(2)->Name("GET_hit/mode");
+
+void PrintJson(const std::vector<Row>& rows) {
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"table6_latency\",\n");
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::printf("    {\"name\": \"%s\", \"op\": \"%s\", \"mode\": \"%s\", "
+                "\"requests\": %llu, \"seconds\": %.6f, "
+                "\"ns_per_op\": %.1f, \"ops_per_sec\": %.1f, "
+                "\"overhead_pct\": %.2f}%s\n",
+                r.name.c_str(), r.op.c_str(), r.mode.c_str(),
+                static_cast<unsigned long long>(r.requests), r.seconds,
+                r.ns_per_op, r.ops_per_sec, r.overhead_pct,
+                i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+int Main(int argc, char** argv) {
+  uint64_t requests = 400000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: %s [--requests N]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (requests == 0) {
+    std::fprintf(stderr, "--requests must be > 0\n");
+    return 1;
+  }
+
+  std::vector<Row> rows;
+  using Runner = Row (*)(int, uint64_t);
+  const Runner runners[] = {&RunGetMiss, &RunSetMiss, &RunGetHit};
+  for (const Runner run : runners) {
+    double baseline_ns = 0.0;
+    for (int mode = 0; mode < 3; ++mode) {
+      Row row = run(mode, requests);
+      if (mode == 0) {
+        baseline_ns = row.ns_per_op;
+      } else if (baseline_ns > 0.0) {
+        row.overhead_pct = (row.ns_per_op / baseline_ns - 1.0) * 100.0;
+      }
+      std::fprintf(stderr, "table6: %-22s %8.1f ns/op (%+.2f%%)\n",
+                   row.name.c_str(), row.ns_per_op, row.overhead_pct);
+      rows.push_back(row);
+    }
+  }
+  PrintJson(rows);
+  return 0;
+}
 
 }  // namespace
 }  // namespace cliffhanger
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return cliffhanger::Main(argc, argv); }

@@ -6,14 +6,19 @@
 // Full four-list implementation: resident T1 (recency) and T2 (frequency),
 // ghost lists B1 and B2 holding keys only, and the adaptive target p.
 // Capacities are in items, matching slab-class semantics (uniform chunks).
+//
+// All four lists are intrusive chains through one NodeArena, with a
+// FlatIndex key index — no per-item heap allocation, and a list transition
+// (T1 -> T2, T1 -> B1, ...) is a pure relink of the same 24-byte node.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 
 #include "cache/types.h"
+#include "util/flat_index.h"
+#include "util/node_arena.h"
 
 namespace cliffhanger {
 
@@ -33,29 +38,42 @@ class ArcQueue final : public ClassQueue {
     return capacity_bytes_;  // exact, not rounded to chunks
   }
   [[nodiscard]] uint64_t used_bytes() const override {
-    return (t1_.size() + t2_.size()) * chunk_size_;
+    return (t1_items() + t2_items()) * chunk_size_;
   }
   [[nodiscard]] size_t physical_items() const override {
-    return t1_.size() + t2_.size();
+    return t1_items() + t2_items();
   }
 
   [[nodiscard]] double p() const { return p_; }
-  [[nodiscard]] size_t t1_items() const { return t1_.size(); }
-  [[nodiscard]] size_t t2_items() const { return t2_.size(); }
-  [[nodiscard]] size_t b1_items() const { return b1_.size(); }
-  [[nodiscard]] size_t b2_items() const { return b2_.size(); }
+  [[nodiscard]] size_t t1_items() const { return ChainOf(List::kT1).count; }
+  [[nodiscard]] size_t t2_items() const { return ChainOf(List::kT2).count; }
+  [[nodiscard]] size_t b1_items() const { return ChainOf(List::kB1).count; }
+  [[nodiscard]] size_t b2_items() const { return ChainOf(List::kB2).count; }
   [[nodiscard]] bool CheckInvariants() const;
 
  private:
   enum class List : uint8_t { kT1, kT2, kB1, kB2 };
-  struct Locator {
-    List list;
-    std::list<uint64_t>::iterator it;
+
+  struct Node {
+    uint64_t key = 0;
+    uint32_t prev = kNullNode;
+    uint32_t next = kNullNode;
+    uint32_t list = 0;  // List enum value
   };
 
-  std::list<uint64_t>& ListRef(List list);
-  void Remove(uint64_t key);
-  void PushMru(List list, uint64_t key);
+  [[nodiscard]] IntrusiveChain<Node>& ChainOf(List list) {
+    return chains_[static_cast<size_t>(list)];
+  }
+  [[nodiscard]] const IntrusiveChain<Node>& ChainOf(List list) const {
+    return chains_[static_cast<size_t>(list)];
+  }
+
+  // Fully remove `idx` (chain + index + node).
+  void Remove(uint32_t idx);
+  // Relink an existing node to the MRU end of `list` (no index churn).
+  void MoveToMru(uint32_t idx, List list);
+  // Admit a new key at the MRU end of `list`.
+  void InsertMru(List list, uint64_t key);
   // Demote one resident item to the appropriate ghost list.
   void Replace(bool in_b2);
   void EvictGhostLru(List list);
@@ -65,8 +83,9 @@ class ArcQueue final : public ClassQueue {
   uint64_t capacity_items_ = 0;
   double p_ = 0.0;  // target size of T1, in items
 
-  std::list<uint64_t> t1_, t2_, b1_, b2_;
-  std::unordered_map<uint64_t, Locator> index_;
+  std::array<IntrusiveChain<Node>, 4> chains_;
+  NodeArena<Node> arena_;
+  FlatIndex index_;
 };
 
 }  // namespace cliffhanger

@@ -1,17 +1,33 @@
 #include "cache/global_log_queue.h"
 
+#include <algorithm>
+
 #include "util/slab_geometry.h"
 
 namespace cliffhanger {
 
 GlobalLogQueue::GlobalLogQueue(uint64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes),
-      lru_({{capacity_bytes, SegmentedLru::Unit::kBytes, false}}) {}
+      lru_({{capacity_bytes, SegmentedLru::Unit::kBytes, false}}) {
+  ReserveFromCapacity();
+}
+
+void GlobalLogQueue::ReserveFromCapacity() {
+  // Item footprints are exact (variable) here, so the item count is not
+  // knowable from bytes alone; hint the arena for a ~1 KiB mean item,
+  // capped at 1M entries. The hint is deliberately conservative: an
+  // under-estimate costs nothing (the pool grows geometrically, never per
+  // item), while an aggressive guess would pin bookkeeping memory
+  // proportional to capacity on large-item workloads.
+  lru_.ReserveItems(static_cast<size_t>(
+      std::min<uint64_t>(capacity_bytes_ >> 10, 1u << 20)));
+}
 
 GetResult GlobalLogQueue::Get(const ItemMeta& item) {
   GetResult result;
-  if (lru_.Find(item.key) == 0) {
-    lru_.MoveToFront(item.key, 0);
+  const SegmentedLru::Handle h = lru_.FindHandle(item.key);
+  if (h != SegmentedLru::kNoHandle) {
+    lru_.Promote(h, 0);
     result.hit = true;
     result.region = HitRegion::kPhysical;
   }
@@ -34,6 +50,7 @@ void GlobalLogQueue::Delete(uint64_t key) { lru_.Erase(key); }
 void GlobalLogQueue::SetCapacityBytes(uint64_t bytes) {
   capacity_bytes_ = bytes;
   lru_.SetCapacity(0, bytes);
+  ReserveFromCapacity();
 }
 
 }  // namespace cliffhanger

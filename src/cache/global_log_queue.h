@@ -34,6 +34,8 @@ class GlobalLogQueue final : public ClassQueue {
   }
 
  private:
+  void ReserveFromCapacity();
+
   uint64_t capacity_bytes_;
   SegmentedLru lru_;
 };

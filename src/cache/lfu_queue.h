@@ -1,15 +1,21 @@
 // O(1) LFU queue with LRU tie-breaking within a frequency bucket.
 // Cliffhanger "supports any eviction policy, including LRU, LFU or hybrid
 // policies such as ARC" (§1); this queue backs the LFU comparisons.
+//
+// Layout: the classic two-level intrusive structure. Frequency buckets form
+// a chain ordered by ascending frequency; each bucket owns a chain of item
+// nodes (MRU at the front). Both node kinds live in NodeArenas and the key
+// index is a FlatIndex, so neither a GET (frequency bump), a fill, nor an
+// eviction allocates: a bump relinks the item into the adjacent bucket
+// (creating/recycling at most one bucket node from the bucket free-list).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <map>
-#include <unordered_map>
 
 #include "cache/types.h"
+#include "util/flat_index.h"
+#include "util/node_arena.h"
 
 namespace cliffhanger {
 
@@ -36,20 +42,34 @@ class LfuQueue final : public ClassQueue {
   [[nodiscard]] bool CheckInvariants() const;
 
  private:
-  struct Locator {
-    uint64_t freq;
-    std::list<uint64_t>::iterator it;
+  struct ItemNode {
+    uint64_t key = 0;
+    uint32_t prev = kNullNode;
+    uint32_t next = kNullNode;
+    uint32_t bucket = kNullNode;  // owning BucketNode index
+  };
+  struct BucketNode {
+    uint64_t freq = 0;
+    IntrusiveChain<ItemNode> items;  // MRU at the front
+    uint32_t prev = kNullNode;
+    uint32_t next = kNullNode;
   };
 
-  void Bump(uint64_t key);
+  // Move `idx` from its bucket to frequency `freq + 1`, creating or
+  // reusing the successor bucket and dropping the old one if emptied.
+  void Bump(uint32_t idx);
   void EvictOne();
+  // Detach item `idx` from its bucket; frees the bucket when emptied.
+  void DetachItem(uint32_t idx);
 
   uint32_t chunk_size_;
   uint64_t capacity_bytes_ = 0;
   uint64_t capacity_items_ = 0;
-  // freq -> MRU-ordered list of keys at that frequency.
-  std::map<uint64_t, std::list<uint64_t>> buckets_;
-  std::unordered_map<uint64_t, Locator> index_;
+  // Bucket chain ordered by strictly ascending frequency.
+  IntrusiveChain<BucketNode> buckets_;
+  NodeArena<BucketNode> bucket_arena_;
+  NodeArena<ItemNode> item_arena_;
+  FlatIndex index_;
 };
 
 }  // namespace cliffhanger

@@ -13,43 +13,63 @@ SegmentedLru::SegmentedLru(std::vector<SegmentConfig> segments) {
 }
 
 int SegmentedLru::Find(uint64_t key) const {
-  const auto it = index_.find(key);
-  return it == index_.end() ? -1 : static_cast<int>(it->second.seg);
+  const uint32_t idx = index_.Find(key);
+  return idx == FlatIndex::kNotFound ? -1
+                                     : static_cast<int>(arena_[idx].seg);
 }
 
-void SegmentedLru::Detach(const Locator& loc) {
-  Segment& s = segments_[loc.seg];
-  s.bytes -= Charge(s, *loc.it);
-  s.entries.erase(loc.it);
+SegmentedLru::Handle SegmentedLru::FindHandle(uint64_t key) const {
+  const uint32_t idx = index_.Find(key);
+  return idx == FlatIndex::kNotFound ? kNoHandle : idx;
 }
 
-void SegmentedLru::AttachFront(size_t seg, const Entry& entry) {
+int SegmentedLru::HandleSegment(Handle h) const {
+  return static_cast<int>(arena_[h].seg);
+}
+
+void SegmentedLru::Promote(Handle h, size_t target_seg) {
+  Detach(h);
+  AttachFront(target_seg, h);
+  Cascade(target_seg);
+}
+
+void SegmentedLru::Detach(uint32_t idx) {
+  Segment& s = segments_[arena_[idx].seg];
+  s.bytes -= Charge(s, arena_[idx]);
+  s.chain.Remove(arena_, idx);
+}
+
+void SegmentedLru::AttachFront(size_t seg, uint32_t idx) {
   Segment& s = segments_[seg];
-  s.entries.push_front(entry);
-  s.bytes += Charge(s, entry);
-  index_[entry.key] = Locator{seg, s.entries.begin()};
+  arena_[idx].seg = static_cast<uint32_t>(seg);
+  s.chain.PushFront(arena_, idx);
+  s.bytes += Charge(s, arena_[idx]);
 }
 
 void SegmentedLru::Erase(uint64_t key) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return;
-  Detach(it->second);
-  index_.erase(it);
+  const uint32_t idx = index_.Find(key);
+  if (idx == FlatIndex::kNotFound) return;
+  Detach(idx);
+  index_.Erase(key);
+  arena_.Free(idx);
 }
 
 bool SegmentedLru::MoveToFront(uint64_t key, size_t target_seg) {
-  const auto it = index_.find(key);
-  if (it == index_.end()) return false;
-  const Entry entry = *it->second.it;
-  Detach(it->second);
-  AttachFront(target_seg, entry);
-  Cascade(target_seg);
+  const Handle h = FindHandle(key);
+  if (h == kNoHandle) return false;
+  Promote(h, target_seg);
   return true;
 }
 
 void SegmentedLru::Insert(const Entry& entry, size_t target_seg) {
-  assert(index_.find(entry.key) == index_.end());
-  AttachFront(target_seg, entry);
+  assert(!index_.Contains(entry.key));
+  const uint32_t idx = arena_.Allocate();
+  Node& n = arena_[idx];
+  n.key = entry.key;
+  n.full_bytes = entry.full_bytes;
+  n.key_bytes = entry.key_bytes;
+  index_.Insert(entry.key, idx);
+  AttachFront(target_seg, idx);
   Cascade(target_seg);
 }
 
@@ -58,20 +78,24 @@ void SegmentedLru::SetCapacity(size_t seg, uint64_t capacity) {
   Cascade(seg);
 }
 
+void SegmentedLru::ReserveItems(size_t items) {
+  arena_.Reserve(items);
+  index_.Reserve(items);
+}
+
 void SegmentedLru::Cascade(size_t seg) {
   for (size_t i = seg; i < segments_.size(); ++i) {
     Segment& s = segments_[i];
-    while (!s.entries.empty() && Load(s) > s.config.capacity) {
-      const Entry victim = s.entries.back();
-      s.bytes -= Charge(s, victim);
-      s.entries.pop_back();
+    while (!s.chain.empty() && Load(s) > s.config.capacity) {
+      const uint32_t victim = s.chain.tail;
+      Detach(victim);
       if (i + 1 < segments_.size()) {
-        Segment& next = segments_[i + 1];
-        next.entries.push_front(victim);
-        next.bytes += Charge(next, victim);
-        index_[victim.key] = Locator{i + 1, next.entries.begin()};
+        // Pure relink: the node index (and the key's index entry) survive
+        // the demotion; only the segment chain and charge change.
+        AttachFront(i + 1, victim);
       } else {
-        index_.erase(victim.key);
+        index_.Erase(arena_[victim].key);
+        arena_.Free(victim);
       }
     }
   }
@@ -86,7 +110,7 @@ uint64_t SegmentedLru::segment_load(size_t seg) const {
 }
 
 size_t SegmentedLru::segment_items(size_t seg) const {
-  return segments_[seg].entries.size();
+  return segments_[seg].chain.count;
 }
 
 uint64_t SegmentedLru::segment_bytes(size_t seg) const {
@@ -96,7 +120,7 @@ uint64_t SegmentedLru::segment_bytes(size_t seg) const {
 size_t SegmentedLru::physical_items() const {
   size_t n = 0;
   for (const Segment& s : segments_) {
-    if (!s.config.keys_only) n += s.entries.size();
+    if (!s.config.keys_only) n += s.chain.count;
   }
   return n;
 }
@@ -113,17 +137,27 @@ bool SegmentedLru::CheckInvariants() const {
   size_t total = 0;
   for (size_t i = 0; i < segments_.size(); ++i) {
     const Segment& s = segments_[i];
-    total += s.entries.size();
-    if (Load(s) > s.config.capacity && s.entries.size() > 1) return false;
+    total += s.chain.count;
+    if (Load(s) > s.config.capacity && s.chain.count > 1) return false;
     uint64_t bytes = 0;
-    for (const Entry& e : s.entries) {
-      bytes += Charge(s, e);
-      const auto it = index_.find(e.key);
-      if (it == index_.end() || it->second.seg != i) return false;
+    size_t walked = 0;
+    uint32_t prev = kNullNode;
+    for (uint32_t idx = s.chain.head; idx != kNullNode;
+         idx = arena_[idx].next) {
+      const Node& n = arena_[idx];
+      if (n.prev != prev || n.seg != i) return false;
+      if (index_.Find(n.key) != idx) return false;
+      bytes += Charge(s, n);
+      prev = idx;
+      if (++walked > s.chain.count) return false;  // cycle / count drift
     }
+    if (walked != s.chain.count || s.chain.tail != prev) return false;
     if (bytes != s.bytes) return false;
   }
-  return total == index_.size();
+  if (total != index_.size()) return false;
+  // Arena accounting: every pool node is either in exactly one chain (the
+  // walks above visited `total` distinct live nodes) or on the free-list.
+  return arena_.live_count() == total && arena_.CheckFreeList();
 }
 
 }  // namespace cliffhanger

@@ -14,13 +14,23 @@
 // Cliffhanger algorithms need: a tail hit is a hit "left of the pointer", a
 // cliff-shadow hit is "right of the pointer", a hill-shadow hit earns the
 // queue a credit (Algorithms 1-2).
+//
+// Memory layout: nodes live in a NodeArena (one contiguous pool, 32-bit
+// prev/next links, free-list recycling) and the key index is a FlatIndex
+// (open addressing, no per-entry allocation) — see util/node_arena.h and
+// docs/ARCHITECTURE.md "Memory layout & hot path". Every mutation is pure
+// relinking: a GET promotion or a cascade demotion moves node *indexes*
+// between segment chains and never copies an Entry or touches the heap.
+// The demotion/eviction order is identical to the former std::list
+// implementation, so replay results are bit-for-bit unchanged.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
 #include <vector>
+
+#include "util/flat_index.h"
+#include "util/node_arena.h"
 
 namespace cliffhanger {
 
@@ -45,6 +55,18 @@ class SegmentedLru {
   // Segment index containing `key`, or -1. Does not change recency.
   [[nodiscard]] int Find(uint64_t key) const;
 
+  // Handle-based fast path: a Handle names the key's pool node and stays
+  // valid until that key is erased or evicted (relinking between segments
+  // never moves nodes). Lets a caller resolve the key once and then act on
+  // it — the Find + MoveToFront hit path costs one index probe, not two.
+  using Handle = uint32_t;
+  static constexpr Handle kNoHandle = kNullNode;
+  [[nodiscard]] Handle FindHandle(uint64_t key) const;
+  [[nodiscard]] int HandleSegment(Handle h) const;
+  // Move the node behind `h` to the front of `target_seg`; `h` must be
+  // valid (obtained from FindHandle and not erased/evicted since).
+  void Promote(Handle h, size_t target_seg);
+
   // Remove `key` from whichever segment holds it. No-op when absent.
   void Erase(uint64_t key);
 
@@ -58,6 +80,11 @@ class SegmentedLru {
   // Adjust one segment's capacity; overflow cascades immediately.
   void SetCapacity(size_t seg, uint64_t capacity);
 
+  // Capacity hint: pre-size the node pool and the key index for `items`
+  // simultaneously-resident entries (physical + shadows), so a replay at
+  // that size never grows or rehashes mid-stream. Grows only.
+  void ReserveItems(size_t items);
+
   [[nodiscard]] size_t num_segments() const { return segments_.size(); }
   [[nodiscard]] uint64_t segment_capacity(size_t seg) const;
   [[nodiscard]] uint64_t segment_load(size_t seg) const;  // in its own unit
@@ -69,34 +96,51 @@ class SegmentedLru {
   [[nodiscard]] size_t physical_items() const;
   [[nodiscard]] uint64_t physical_bytes() const;
 
-  // Debug/test invariant: every segment is within capacity and the index is
-  // consistent with the lists.
+  // Debug/test invariant: every segment is within capacity, the chains are
+  // well-linked, the index is consistent with the chains, and the arena
+  // free-list is intact (no leaks, no double-free, live + free == pool).
   [[nodiscard]] bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    uint64_t key = 0;
+    uint32_t full_bytes = 0;
+    uint32_t key_bytes = 0;
+    uint32_t prev = kNullNode;
+    uint32_t next = kNullNode;
+    uint32_t seg = 0;
+  };
+
+ public:
+  // Honest per-item bookkeeping footprint of this implementation: one pool
+  // node (whose 8-byte stored key is charged separately via key bytes) plus
+  // one flat-index slot. Feeds the §5.7 shadow-overhead accounting.
+  static constexpr uint32_t kPerItemOverheadBytes = static_cast<uint32_t>(
+      sizeof(Node) - sizeof(uint64_t) + FlatIndex::kSlotBytes);
 
  private:
   struct Segment {
     SegmentConfig config;
-    std::list<Entry> entries;
+    IntrusiveChain<Node> chain;
     uint64_t bytes = 0;  // charged bytes (full or key bytes per keys_only)
   };
-  struct Locator {
-    size_t seg = 0;
-    std::list<Entry>::iterator it;
-  };
 
-  [[nodiscard]] static uint64_t Charge(const Segment& s, const Entry& e) {
-    return s.config.keys_only ? e.key_bytes : e.full_bytes;
+  [[nodiscard]] static uint64_t Charge(const Segment& s, const Node& n) {
+    return s.config.keys_only ? n.key_bytes : n.full_bytes;
   }
   [[nodiscard]] static uint64_t Load(const Segment& s) {
-    return s.config.unit == Unit::kItems ? s.entries.size() : s.bytes;
+    return s.config.unit == Unit::kItems ? s.chain.count : s.bytes;
   }
+  // Unlink node `idx` from its current segment (charge released).
+  void Detach(uint32_t idx);
+  // Link node `idx` at the front of segment `seg` (charge applied).
+  void AttachFront(size_t seg, uint32_t idx);
   // Demote overflow starting at segment `seg` down the chain.
   void Cascade(size_t seg);
-  void Detach(const Locator& loc);
-  void AttachFront(size_t seg, const Entry& entry);
 
   std::vector<Segment> segments_;
-  std::unordered_map<uint64_t, Locator> index_;
+  NodeArena<Node> arena_;
+  FlatIndex index_;
 };
 
 }  // namespace cliffhanger

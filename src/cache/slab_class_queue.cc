@@ -9,9 +9,12 @@ namespace cliffhanger {
 
 namespace {
 
-// Per-key bookkeeping bytes in a shadow queue: the key itself plus a hash
-// node (paper §5.7: "keys of 14 bytes" dominate, plus structure overhead).
-constexpr uint32_t kShadowNodeOverhead = 8;
+// Per-key bookkeeping bytes in a shadow queue beyond the key itself (paper
+// §5.7: "keys of 14 bytes" dominate, plus structure overhead). Derived from
+// the arena implementation's real footprint — one 32-byte pool node plus
+// one 12-byte flat-index slot — so the reported overhead tracks what this
+// code would actually spend, not a guessed constant.
+constexpr uint32_t kShadowNodeOverhead = SegmentedLru::kPerItemOverheadBytes;
 
 std::vector<SegmentedLru::SegmentConfig> MakeSegments(
     const SlabQueueConfig& config) {
@@ -50,6 +53,18 @@ void SlabClassQueue::ApplyCapacity() {
   lru_.SetCapacity(kTail, tail);
   lru_.SetCapacity(kMid, mid);
   lru_.SetCapacity(kHead, head);
+  ReserveFromCapacity();
+}
+
+void SlabClassQueue::ReserveFromCapacity() {
+  // Capacity hint: at most capacity_items_ physical entries plus the two
+  // shadows can be resident at once; pre-size the arena and index so the
+  // replay that fills this queue never grows or rehashes mid-stream. The
+  // hint flows down from the app's reservation through SetCapacityBytes /
+  // SetCapacityItems (page grants, static allocations, climber transfers).
+  lru_.ReserveItems(static_cast<size_t>(
+      capacity_items_ + lru_.segment_capacity(kCliffShadow) +
+      lru_.segment_capacity(kHillShadow)));
 }
 
 void SlabClassQueue::SetCapacityBytes(uint64_t bytes) {
@@ -66,22 +81,26 @@ void SlabClassQueue::SetHillShadowBytes(uint64_t represented_bytes) {
   lru_.SetCapacity(kHillShadow,
                    std::max<uint64_t>(1, represented_bytes /
                                              config_.chunk_size));
+  ReserveFromCapacity();
 }
 
 GetResult SlabClassQueue::Get(const ItemMeta& item) {
   GetResult result;
-  const int seg = lru_.Find(item.key);
+  // One index probe for the whole GET: the handle both classifies the hit
+  // region and drives the promotion.
+  const SegmentedLru::Handle h = lru_.FindHandle(item.key);
+  const int seg = h == SegmentedLru::kNoHandle ? -1 : lru_.HandleSegment(h);
   switch (seg) {
     case kHead:
     case kMid:
       result.hit = true;
       result.region = HitRegion::kPhysical;
-      lru_.MoveToFront(item.key, kHead);
+      lru_.Promote(h, kHead);
       break;
     case kTail:
       result.hit = true;
       result.region = HitRegion::kPhysicalTail;
-      lru_.MoveToFront(item.key, kHead);
+      lru_.Promote(h, kHead);
       break;
     case kCliffShadow:
       result.region = HitRegion::kCliffShadow;

@@ -61,6 +61,8 @@ class SlabClassQueue final : public ClassQueue {
   static constexpr size_t kHillShadow = 4;
 
   void ApplyCapacity();
+  // Pre-size the arena/index from the current physical + shadow capacity.
+  void ReserveFromCapacity();
 
   SlabQueueConfig config_;
   uint64_t capacity_items_ = 0;

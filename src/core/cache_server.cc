@@ -128,7 +128,12 @@ void AppCache::EnsureCapacityFor(ClassEntry& entry, uint64_t needed_bytes) {
   if (config_.allocation == AllocationMode::kStatic) return;
   if (config_.eviction == EvictionScheme::kGlobalLog) return;
   // FCFS page grants: grow the class while the app still has free memory
-  // and the queue cannot hold the incoming item.
+  // and the queue cannot hold the incoming item. Deliberately page-by-page
+  // — the scaler's OnCapacityChanged advances its cliff-exit hysteresis
+  // per call, so batching a multi-page grant (chunk_size > page_size
+  // classes) into one capacity step would change controller dynamics.
+  // Per-page resizes are cheap now: the arena/index reserve underneath
+  // grows geometrically, never by a page's worth of copying.
   while (entry.queue->used_bytes() + needed_bytes >
              entry.queue->capacity_bytes() &&
          free_bytes_ >= config_.page_size) {

