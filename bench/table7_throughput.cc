@@ -206,6 +206,13 @@ void PrintJson(const std::vector<Row>& rows) {
   std::printf("  \"benchmark\": \"table7_throughput\",\n");
   std::printf("  \"hardware_concurrency\": %u,\n",
               std::thread::hardware_concurrency());
+  if (std::thread::hardware_concurrency() <= 1) {
+    // Keep the interpretation with the data: on one CPU the multi-thread
+    // rows show lock/routing overhead, not scaling, and any downstream
+    // comparison tool must not read speedup_vs_single_thread as scaling.
+    std::printf("  \"caveat\": \"single-CPU host: sharded rows measure "
+                "lock/routing overhead, not scaling\",\n");
+  }
   std::printf("  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];

@@ -1,0 +1,384 @@
+// Table 8 (beyond the paper): end-to-end network performance of the
+// memcached-ASCII front-end. A closed-loop load generator — C connections,
+// each a thread with its own AsciiClient replaying a seeded Zipf mix with
+// demand-fill semantics (get; on miss, set) — measures throughput and
+// per-op latency percentiles through the full stack: parser, poll loop,
+// adapter, ShardedCacheServer.
+//
+// By default the server runs in-process on an ephemeral loopback port; with
+// --connect HOST:PORT the load is aimed at an external cliffhangerd (the CI
+// smoke job does exactly that). Emits one JSON object on stdout in the
+// table7 shape ({"benchmark", "hardware_concurrency", "results": [...]});
+// progress goes to stderr.
+//
+// Flags: --connect HOST:PORT  drive an external server (default: in-process)
+//        --connections N      fixed connection count (default: sweep 1,2,4)
+//        --requests N         logical requests per connection (default 20000)
+//        --universe N         key universe per connection stream (default 20000)
+//        --get-fraction F     GET share of the mix (default 0.967)
+//        --workers N          in-process server worker threads (default 2)
+//        --shards N           in-process server shards (default 4)
+//        --mode M             default | cliffhanger (default cliffhanger)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_server.h"
+#include "net/ascii_client.h"
+#include "net/cache_adapter.h"
+#include "net/replay_keys.h"
+#include "net/socket_server.h"
+#include "sim/experiment.h"
+#include "util/argparse.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace cliffhanger {
+namespace {
+
+constexpr uint32_t kAppId = 1;
+constexpr uint64_t kReservation = 32ULL << 20;
+
+struct Options {
+  std::string connect_host;  // empty = in-process server
+  uint16_t connect_port = 0;
+  size_t connections = 0;  // 0 = sweep {1, 2, 4}
+  uint64_t requests = 20000;
+  uint64_t universe = 20000;
+  double get_fraction = 0.967;
+  size_t workers = 2;
+  size_t shards = 4;
+  bool cliffhanger_mode = true;
+  uint64_t seed = 0x7AB8E7;
+};
+
+struct Row {
+  std::string name;
+  size_t connections = 0;
+  uint64_t ops = 0;          // client calls actually issued (gets + sets)
+  uint64_t hits = 0;
+  uint64_t gets = 0;
+  double seconds = 0.0;
+  double ops_per_sec = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct WorkerResult {
+  std::vector<double> latencies_us;  // one sample per client call
+  uint64_t hits = 0;
+  uint64_t gets = 0;
+  uint64_t errors = 0;
+};
+
+// One connection's closed loop: replay a private Zipf stream demand-fill.
+WorkerResult RunConnection(const std::string& host, uint16_t port,
+                           const Options& opt, size_t conn_index) {
+  WorkerResult result;
+  net::AsciiClient client;
+  if (!client.Connect(host, port)) {
+    result.errors = opt.requests;
+    std::fprintf(stderr, "netperf: connect failed: %s\n",
+                 client.last_error().c_str());
+    return result;
+  }
+
+  ZipfTraceSpec spec;
+  spec.requests = opt.requests;
+  spec.universe = opt.universe;
+  spec.zipf_alpha = 0.99;
+  spec.seed = opt.seed + 0x1000 * (conn_index + 1);
+  spec.app_id = kAppId;
+  spec.get_fraction = opt.get_fraction;
+  const Trace trace = MakeZipfMixTrace(spec);
+
+  result.latencies_us.reserve(trace.size() + trace.size() / 4);
+  using clock = std::chrono::steady_clock;
+  for (const Request& r : trace) {
+    const std::string key = net::ReplayKeyString(r.key);
+    if (r.is_get()) {
+      ++result.gets;
+      const auto begin = clock::now();
+      const auto value = client.Get(key);
+      result.latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(clock::now() - begin)
+              .count());
+      if (value.has_value()) {
+        ++result.hits;
+      } else {
+        const std::string data = net::ReplayValueBytes(r.key, r.value_size);
+        const auto set_begin = clock::now();
+        if (client.Set(key, data) != net::AsciiClient::StoreResult::kStored) {
+          ++result.errors;
+        }
+        result.latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(clock::now() -
+                                                      set_begin)
+                .count());
+      }
+    } else {
+      const std::string data = net::ReplayValueBytes(r.key, r.value_size);
+      const auto begin = clock::now();
+      if (client.Set(key, data) != net::AsciiClient::StoreResult::kStored) {
+        ++result.errors;
+      }
+      result.latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(clock::now() - begin)
+              .count());
+    }
+  }
+  client.Quit();
+  return result;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Row RunLoad(const std::string& host, uint16_t port, const Options& opt,
+            size_t connections) {
+  std::fprintf(stderr, "netperf: %zu connection(s), %llu requests each...\n",
+               connections,
+               static_cast<unsigned long long>(opt.requests));
+  std::vector<WorkerResult> results(connections);
+  const auto begin = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (size_t c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        results[c] = RunConnection(host, port, opt, c);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  Row row;
+  row.connections = connections;
+  row.name = "netperf/c" + std::to_string(connections);
+  std::vector<double> all;
+  uint64_t errors = 0;
+  for (const WorkerResult& r : results) {
+    all.insert(all.end(), r.latencies_us.begin(), r.latencies_us.end());
+    row.hits += r.hits;
+    row.gets += r.gets;
+    errors += r.errors;
+  }
+  if (errors > 0) {
+    std::fprintf(stderr, "netperf: %llu request errors\n",
+                 static_cast<unsigned long long>(errors));
+    std::exit(1);
+  }
+  row.ops = all.size();
+  row.seconds = std::chrono::duration<double>(end - begin).count();
+  row.ops_per_sec = static_cast<double>(row.ops) / row.seconds;
+  double sum = 0.0;
+  for (const double v : all) sum += v;
+  row.mean_us = all.empty() ? 0.0 : sum / static_cast<double>(all.size());
+  std::sort(all.begin(), all.end());
+  row.p50_us = Percentile(all, 0.50);
+  row.p95_us = Percentile(all, 0.95);
+  row.p99_us = Percentile(all, 0.99);
+  return row;
+}
+
+void PrintJson(const Options& opt, const std::vector<Row>& rows) {
+  std::printf("{\n");
+  std::printf("  \"benchmark\": \"table8_netperf\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  if (std::thread::hardware_concurrency() <= 1) {
+    std::printf("  \"caveat\": \"single-CPU host: client and server share "
+                "one core, so multi-connection rows measure scheduling "
+                "overhead, not scaling\",\n");
+  }
+  std::printf("  \"transport\": \"%s\",\n",
+              opt.connect_host.empty() ? "loopback_inprocess" : "remote");
+  // In-process rows each get a fresh server; --connect rows replay into
+  // one external daemon whose cache warms across rows. Record that, so
+  // cross-row (or cross-mode) comparisons can't silently mix the two.
+  std::printf("  \"rows_share_server\": %s,\n",
+              opt.connect_host.empty() ? "false" : "true");
+  std::printf("  \"mode\": \"%s\",\n",
+              opt.cliffhanger_mode ? "cliffhanger" : "default");
+  std::printf("  \"get_fraction\": %.3f,\n", opt.get_fraction);
+  std::printf("  \"requests_per_connection\": %llu,\n",
+              static_cast<unsigned long long>(opt.requests));
+  std::printf("  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    // "ops", not "requests": gets plus demand-fill sets, i.e. the number
+    // of client calls actually measured — hit-rate dependent by design.
+    std::printf(
+        "    {\"name\": \"%s\", \"connections\": %zu, \"ops\": %llu, "
+        "\"gets\": %llu, \"hit_rate\": %.4f, \"seconds\": %.6f, "
+        "\"ops_per_sec\": %.1f, \"mean_us\": %.2f, \"p50_us\": %.2f, "
+        "\"p95_us\": %.2f, \"p99_us\": %.2f}%s\n",
+        r.name.c_str(), r.connections,
+        static_cast<unsigned long long>(r.ops),
+        static_cast<unsigned long long>(r.gets),
+        r.gets == 0 ? 0.0
+                    : static_cast<double>(r.hits) / static_cast<double>(
+                                                        r.gets),
+        r.seconds, r.ops_per_sec, r.mean_us, r.p50_us, r.p95_us, r.p99_us,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (std::strcmp(argv[i], "--connect") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 1;
+      const char* colon = std::strrchr(v, ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "--connect expects HOST:PORT\n");
+        return 1;
+      }
+      opt.connect_host.assign(v, static_cast<size_t>(colon - v));
+      if (opt.connect_host.empty()) {
+        // ":PORT" must not silently fall back to the in-process server.
+        std::fprintf(stderr, "--connect needs an explicit host\n");
+        return 1;
+      }
+      if (!ParsePort(colon + 1, /*allow_zero=*/false, &opt.connect_port)) {
+        std::fprintf(stderr, "--connect port %s is out of range (1-65535)\n",
+                     colon + 1);
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--connections") == 0) {
+      const char* v = next();
+      uint64_t parsed = 0;
+      if (v == nullptr || !ParseUint(v, &parsed)) return 1;
+      opt.connections = parsed;
+    } else if (std::strcmp(argv[i], "--requests") == 0) {
+      const char* v = next();
+      uint64_t parsed = 0;
+      if (v == nullptr || !ParseUint(v, &parsed)) return 1;
+      opt.requests = parsed;
+    } else if (std::strcmp(argv[i], "--universe") == 0) {
+      const char* v = next();
+      uint64_t parsed = 0;
+      if (v == nullptr || !ParseUint(v, &parsed)) return 1;
+      opt.universe = parsed;
+    } else if (std::strcmp(argv[i], "--get-fraction") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 1;
+      char* end = nullptr;
+      opt.get_fraction = std::strtod(v, &end);
+      if (end == v || *end != '\0' || opt.get_fraction < 0.0 ||
+          opt.get_fraction > 1.0) {
+        std::fprintf(stderr, "--get-fraction expects a number in [0,1]\n");
+        return 1;
+      }
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      const char* v = next();
+      uint64_t parsed = 0;
+      if (v == nullptr || !ParseUint(v, &parsed) || parsed == 0) {
+        std::fprintf(stderr, "--workers expects a positive integer\n");
+        return 1;
+      }
+      opt.workers = parsed;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* v = next();
+      uint64_t parsed = 0;
+      if (v == nullptr || !ParseUint(v, &parsed) || parsed == 0) {
+        std::fprintf(stderr, "--shards expects a positive integer\n");
+        return 1;
+      }
+      opt.shards = parsed;
+    } else if (std::strcmp(argv[i], "--mode") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 1;
+      if (std::strcmp(v, "default") == 0) {
+        opt.cliffhanger_mode = false;
+      } else if (std::strcmp(v, "cliffhanger") == 0) {
+        opt.cliffhanger_mode = true;
+      } else {
+        std::fprintf(stderr, "--mode expects default|cliffhanger\n");
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--connect HOST:PORT] [--connections N] "
+                   "[--requests N] [--universe N] [--get-fraction F] "
+                   "[--workers N] [--shards N] [--mode default|cliffhanger]\n",
+                   argv[0]);
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
+    }
+  }
+  if (opt.requests == 0 || opt.universe == 0) {
+    std::fprintf(stderr, "--requests / --universe must be > 0\n");
+    return 1;
+  }
+
+  std::vector<size_t> sweep;
+  if (opt.connections > 0) {
+    sweep.push_back(opt.connections);
+  } else {
+    sweep = {1, 2, 4};
+  }
+
+  std::vector<Row> rows;
+  for (const size_t connections : sweep) {
+    std::string host = opt.connect_host;
+    uint16_t port = opt.connect_port;
+    // In-process mode: a fresh server per row, so rows are independent.
+    std::unique_ptr<ShardedCacheServer> server;
+    std::unique_ptr<net::CacheAdapter> adapter;
+    std::unique_ptr<net::SocketServer> socket_server;
+    if (host.empty()) {
+      ShardedServerConfig config;
+      config.server = opt.cliffhanger_mode ? CliffhangerServerConfig()
+                                           : DefaultServerConfig();
+      config.num_shards = opt.shards;
+      config.rebalance_interval_ops = 100000;
+      server = std::make_unique<ShardedCacheServer>(config);
+      server->AddApp(kAppId, kReservation);
+      adapter = std::make_unique<net::CacheAdapter>(
+          server.get(), net::CacheAdapterConfig{kAppId, true});
+      net::SocketServerConfig net_config;
+      net_config.port = 0;
+      net_config.num_workers = opt.workers;
+      socket_server =
+          std::make_unique<net::SocketServer>(net_config, adapter.get());
+      std::string error;
+      if (!socket_server->Start(&error)) {
+        std::fprintf(stderr, "netperf: server start failed: %s\n",
+                     error.c_str());
+        return 1;
+      }
+      host = "127.0.0.1";
+      port = socket_server->port();
+    }
+    rows.push_back(RunLoad(host, port, opt, connections));
+    if (socket_server) socket_server->Stop();
+  }
+  PrintJson(opt, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace cliffhanger
+
+int main(int argc, char** argv) { return cliffhanger::Main(argc, argv); }

@@ -1,0 +1,314 @@
+#include "net/ascii_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/ascii_protocol.h"
+
+namespace cliffhanger {
+namespace net {
+
+namespace {
+constexpr size_t kRecvChunk = 64 * 1024;
+}
+
+AsciiClient::~AsciiClient() { Close(); }
+
+bool AsciiClient::Connect(const std::string& host, uint16_t port,
+                          int timeout_ms) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    error_ = std::string("socket: ") + strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    error_ = "inet_pton: invalid address " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    error_ = std::string("connect: ") + strerror(errno);
+    Close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  buf_.clear();
+  buf_offset_ = 0;
+  error_.clear();
+  return true;
+}
+
+void AsciiClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void AsciiClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool AsciiClient::SendRaw(std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("send: ") + strerror(errno);
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool AsciiClient::FillBuffer() {
+  char chunk[kRecvChunk];
+  while (true) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<size_t>(n));
+      return true;
+    }
+    if (n == 0) {
+      error_ = "connection closed by server";
+      return false;
+    }
+    if (errno == EINTR) continue;
+    error_ = std::string("recv: ") + strerror(errno);
+    return false;
+  }
+}
+
+bool AsciiClient::ReadLine(std::string* line) {
+  while (true) {
+    const size_t pos = buf_.find("\r\n", buf_offset_);
+    if (pos != std::string::npos) {
+      line->assign(buf_, buf_offset_, pos - buf_offset_);
+      buf_offset_ = pos + 2;
+      if (buf_offset_ == buf_.size()) {
+        buf_.clear();
+        buf_offset_ = 0;
+      }
+      return true;
+    }
+    if (!FillBuffer()) return false;
+  }
+}
+
+bool AsciiClient::ReadBytes(size_t n, std::string* data) {
+  while (buf_.size() - buf_offset_ < n) {
+    if (!FillBuffer()) return false;
+  }
+  data->assign(buf_, buf_offset_, n);
+  buf_offset_ += n;
+  if (buf_offset_ == buf_.size()) {
+    buf_.clear();
+    buf_offset_ = 0;
+  }
+  return true;
+}
+
+bool AsciiClient::ReadValues(std::map<std::string, Value>* out) {
+  std::string line;
+  while (true) {
+    if (!ReadLine(&line)) return false;
+    if (line == "END") return true;
+    // "VALUE <key> <flags> <bytes>[ <cas>]"
+    char key[256];
+    unsigned long long flags = 0;
+    unsigned long long bytes = 0;
+    unsigned long long cas = 0;
+    const int fields = std::sscanf(line.c_str(), "VALUE %255s %llu %llu %llu",
+                                   key, &flags, &bytes, &cas);
+    if (fields < 3) {
+      error_ = "unexpected response line: " + line;
+      return false;
+    }
+    if (bytes > kMaxValueBytes) {
+      // Never trust a declared size past the protocol limit: a corrupt or
+      // hostile server must not make the client buffer without bound.
+      error_ = "VALUE size exceeds protocol limit: " + line;
+      return false;
+    }
+    Value v;
+    v.flags = static_cast<uint32_t>(flags);
+    v.cas = cas;
+    if (!ReadBytes(static_cast<size_t>(bytes), &v.data)) return false;
+    std::string crlf;
+    if (!ReadLine(&crlf) || !crlf.empty()) {
+      error_ = "data block not CRLF-terminated";
+      return false;
+    }
+    (*out)[key] = std::move(v);
+  }
+}
+
+std::optional<AsciiClient::Value> AsciiClient::RetrieveOne(
+    std::string_view verb, std::string_view key) {
+  error_.clear();  // last_error() always describes the current call
+  std::string req(verb);
+  req.push_back(' ');
+  req.append(key);
+  req.append("\r\n");
+  if (!SendRaw(req)) return std::nullopt;
+  std::map<std::string, Value> values;
+  if (!ReadValues(&values)) return std::nullopt;
+  const auto it = values.find(std::string(key));
+  if (it == values.end()) return std::nullopt;
+  return std::move(it->second);
+}
+
+std::optional<AsciiClient::Value> AsciiClient::Get(std::string_view key) {
+  return RetrieveOne("get", key);
+}
+
+std::optional<AsciiClient::Value> AsciiClient::Gets(std::string_view key) {
+  return RetrieveOne("gets", key);
+}
+
+std::map<std::string, AsciiClient::Value> AsciiClient::MultiGet(
+    const std::vector<std::string>& keys) {
+  std::map<std::string, Value> values;
+  error_.clear();
+  // Batch to the server's per-command key cap AND its request-line cap, so
+  // any number of keys of any legal length succeeds. On a stream error the
+  // partial result is returned and last_error() says what broke (an empty
+  // map with empty last_error() means every key missed).
+  size_t begin = 0;
+  while (begin < keys.size()) {
+    std::string req = "get";
+    size_t batched = 0;
+    while (begin + batched < keys.size() && batched < kMaxKeysPerGet &&
+           req.size() + 1 + keys[begin + batched].size() + 2 <=
+               kMaxLineBytes) {
+      req.push_back(' ');
+      req.append(keys[begin + batched]);
+      ++batched;
+    }
+    if (batched == 0) {  // single key longer than any legal line
+      error_ = "key too long for a request line: " + keys[begin];
+      break;
+    }
+    req.append("\r\n");
+    if (!SendRaw(req) || !ReadValues(&values)) break;
+    begin += batched;
+  }
+  return values;
+}
+
+AsciiClient::StoreResult AsciiClient::StoreCommand(
+    std::string_view verb, std::string_view key, std::string_view value,
+    uint32_t flags, int64_t exptime, bool noreply) {
+  error_.clear();
+  std::string req;
+  req.reserve(key.size() + value.size() + 64);
+  req.append(verb);
+  req.push_back(' ');
+  req.append(key);
+  char meta[80];
+  std::snprintf(meta, sizeof(meta), " %u %lld %zu", flags,
+                static_cast<long long>(exptime), value.size());
+  req.append(meta);
+  if (noreply) req.append(" noreply");
+  req.append("\r\n");
+  req.append(value);
+  req.append("\r\n");
+  if (!SendRaw(req)) return StoreResult::kError;
+  if (noreply) return StoreResult::kStored;
+  std::string line;
+  if (!ReadLine(&line)) return StoreResult::kError;
+  if (line == "STORED") return StoreResult::kStored;
+  if (line == "NOT_STORED") return StoreResult::kNotStored;
+  error_ = "store response: " + line;
+  return StoreResult::kError;
+}
+
+AsciiClient::StoreResult AsciiClient::Set(std::string_view key,
+                                          std::string_view value,
+                                          uint32_t flags, int64_t exptime,
+                                          bool noreply) {
+  return StoreCommand("set", key, value, flags, exptime, noreply);
+}
+
+AsciiClient::StoreResult AsciiClient::Add(std::string_view key,
+                                          std::string_view value,
+                                          uint32_t flags, int64_t exptime,
+                                          bool noreply) {
+  return StoreCommand("add", key, value, flags, exptime, noreply);
+}
+
+AsciiClient::StoreResult AsciiClient::Replace(std::string_view key,
+                                              std::string_view value,
+                                              uint32_t flags, int64_t exptime,
+                                              bool noreply) {
+  return StoreCommand("replace", key, value, flags, exptime, noreply);
+}
+
+bool AsciiClient::Delete(std::string_view key, bool noreply) {
+  error_.clear();
+  std::string req = "delete ";
+  req.append(key);
+  if (noreply) req.append(" noreply");
+  req.append("\r\n");
+  if (!SendRaw(req)) return false;
+  if (noreply) return true;
+  std::string line;
+  if (!ReadLine(&line)) return false;
+  return line == "DELETED";
+}
+
+std::map<std::string, std::string> AsciiClient::Stats() {
+  std::map<std::string, std::string> stats;
+  error_.clear();
+  if (!SendRaw("stats\r\n")) return stats;
+  std::string line;
+  while (ReadLine(&line)) {
+    if (line == "END") break;
+    // "STAT <name> <value>"
+    if (line.compare(0, 5, "STAT ") != 0) break;
+    const size_t space = line.find(' ', 5);
+    if (space == std::string::npos) break;
+    stats[line.substr(5, space - 5)] = line.substr(space + 1);
+  }
+  return stats;
+}
+
+std::string AsciiClient::Version() {
+  error_.clear();
+  if (!SendRaw("version\r\n")) return "";
+  std::string line;
+  if (!ReadLine(&line)) return "";
+  if (line.compare(0, 8, "VERSION ") == 0) return line.substr(8);
+  return line;
+}
+
+void AsciiClient::Quit() {
+  if (fd_ >= 0) SendRaw("quit\r\n");
+  Close();
+}
+
+}  // namespace net
+}  // namespace cliffhanger

@@ -1,0 +1,318 @@
+#include "net/cache_adapter.h"
+
+#include <algorithm>
+
+#include "util/hashing.h"
+
+namespace cliffhanger {
+namespace net {
+
+namespace {
+
+// "app<digits>:<rest>" -> app id. Returns false when the key does not use
+// the namespace convention (including overflowing ids).
+bool ParseAppPrefix(std::string_view key, uint32_t* app_id) {
+  if (key.size() < 5 || key.compare(0, 3, "app") != 0) return false;
+  uint64_t id = 0;
+  size_t pos = 3;
+  while (pos < key.size() && key[pos] >= '0' && key[pos] <= '9') {
+    id = id * 10 + static_cast<uint64_t>(key[pos] - '0');
+    if (id > UINT32_MAX) return false;
+    ++pos;
+  }
+  if (pos == 3 || pos >= key.size() || key[pos] != ':') return false;
+  *app_id = static_cast<uint32_t>(id);
+  return true;
+}
+
+}  // namespace
+
+// Value-byte side table, sharded by the same key routing as the core so a
+// store shard's working set mirrors a cache shard's.
+//
+// Lock order: a store-shard mutex is held ACROSS the core call for the
+// same key (store mutex -> core shard mutex / core rebalance locks), which
+// serializes same-key operations from different connections — the side
+// table can never disagree with the core about a key's slab class or
+// liveness. This nests safely because the core never calls back into the
+// adapter and no thread ever takes a store mutex while holding a core
+// lock (stats readers take core locks only).
+struct CacheAdapter::StoreShard {
+  struct Entry {
+    std::string value;        // cleared lazily after an observed core miss
+    uint32_t value_size = 0;  // survives reclamation: keeps GETs in class
+    uint32_t flags = 0;
+    uint64_t cas = 0;
+    bool live = false;
+  };
+  std::mutex mu;
+  std::unordered_map<uint64_t, Entry> map;
+};
+
+CacheAdapter::CacheAdapter(ShardedCacheServer* server,
+                           const CacheAdapterConfig& config)
+    : server_(server), config_(config), app_ids_(server->app_ids()) {
+  std::sort(app_ids_.begin(), app_ids_.end());
+  store_.reserve(server_->num_shards());
+  for (size_t i = 0; i < server_->num_shards(); ++i) {
+    store_.push_back(std::make_unique<StoreShard>());
+  }
+}
+
+CacheAdapter::~CacheAdapter() = default;
+
+CacheAdapter::RoutedKey CacheAdapter::Route(std::string_view key) const {
+  RoutedKey rk;
+  rk.key_id = Fnv1a64(key);
+  rk.app_id = config_.default_app_id;
+  if (config_.parse_app_prefix) {
+    uint32_t prefixed = 0;
+    if (ParseAppPrefix(key, &prefixed)) rk.app_id = prefixed;
+  }
+  rk.app_known = std::binary_search(app_ids_.begin(), app_ids_.end(),
+                                    rk.app_id);
+  return rk;
+}
+
+void CacheAdapter::HandleGet(const Command& cmd, std::string* out,
+                             bool with_cas) {
+  for (const std::string_view key : cmd.keys) {
+    cmd_get_.fetch_add(1, std::memory_order_relaxed);
+    const RoutedKey rk = Route(key);
+    if (!rk.app_known) {
+      get_misses_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
+
+    // One shard lock around the side-table read, the core probe and the
+    // response/reclaim: concurrent operations on the same key from other
+    // connections are serialized, so the side table can never disagree
+    // with the core about this key (see the lock-order note on StoreShard).
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(rk.key_id);
+    // The stored value_size keeps the core probe in the right slab class
+    // even for keys the core has evicted.
+    const uint32_t value_size =
+        it == shard.map.end() ? 0 : it->second.value_size;
+    const ItemMeta item{rk.key_id, static_cast<uint32_t>(key.size()),
+                        value_size};
+    const Outcome outcome = server_->Get(rk.app_id, item);
+
+    if (outcome.hit && it != shard.map.end() && it->second.live) {
+      get_hits_.fetch_add(1, std::memory_order_relaxed);
+      // Serialize straight from the entry — *out is connection-local, so
+      // no intermediate copy of the value bytes is needed.
+      if (with_cas) {
+        AppendValueResponseCas(out, key, it->second.flags, it->second.value,
+                               it->second.cas);
+      } else {
+        AppendValueResponse(out, key, it->second.flags, it->second.value);
+      }
+      continue;
+    }
+    get_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (!outcome.hit && it != shard.map.end() && it->second.live) {
+      // The core evicted this key: the value bytes can never be served
+      // again (only a new SET restores residency), so reclaim them now.
+      bytes_stored_.fetch_sub(it->second.value.size(),
+                              std::memory_order_relaxed);
+      std::string().swap(it->second.value);
+      it->second.live = false;
+    }
+  }
+  out->append(kEndLine);
+}
+
+void CacheAdapter::HandleStore(const Command& cmd, std::string* out) {
+  cmd_set_.fetch_add(1, std::memory_order_relaxed);
+  const std::string_view key = cmd.key();
+  const RoutedKey rk = Route(key);
+  if (!rk.app_known) {
+    store_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) AppendErrorLine(out, "SERVER_ERROR unknown application");
+    return;
+  }
+  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
+
+  // Held across presence check, core Delete/Set and side-table update:
+  // without it, two same-key SETs of different sizes could both delete the
+  // old incarnation and then leave the key resident in two slab classes.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(rk.key_id);
+  const bool exists = it != shard.map.end();
+  const bool live = exists && it->second.live;
+  const uint32_t old_size = exists ? it->second.value_size : 0;
+
+  if ((cmd.type == CommandType::kAdd && live) ||
+      (cmd.type == CommandType::kReplace && !live)) {
+    store_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) out->append(kNotStoredLine);
+    return;
+  }
+
+  const auto key_size = static_cast<uint32_t>(key.size());
+  const auto new_size = static_cast<uint32_t>(cmd.data.size());
+  // A size change moves the item to a different slab class; the core's
+  // Fill only replaces within one class, so evict the old incarnation
+  // explicitly or it would linger in the old class's queue.
+  if (exists && old_size != new_size) {
+    server_->Delete(rk.app_id, ItemMeta{rk.key_id, key_size, old_size});
+  }
+  const bool admitted =
+      server_->Set(rk.app_id, ItemMeta{rk.key_id, key_size, new_size});
+  if (!admitted) {
+    store_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (exists) {
+      if (live) {
+        bytes_stored_.fetch_sub(it->second.value.size(),
+                                std::memory_order_relaxed);
+      }
+      shard.map.erase(it);
+    }
+    if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
+    return;
+  }
+
+  const uint64_t cas = cas_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  StoreShard::Entry& entry = shard.map[rk.key_id];
+  const size_t old_bytes = entry.live ? entry.value.size() : 0;
+  bytes_stored_.fetch_add(cmd.data.size() - old_bytes,
+                          std::memory_order_relaxed);
+  entry.value.assign(cmd.data.data(), cmd.data.size());
+  entry.value_size = new_size;
+  entry.flags = cmd.flags;
+  entry.cas = cas;
+  entry.live = true;
+  if (!cmd.noreply) out->append(kStoredLine);
+}
+
+void CacheAdapter::HandleDelete(const Command& cmd, std::string* out) {
+  cmd_delete_.fetch_add(1, std::memory_order_relaxed);
+  const std::string_view key = cmd.key();
+  const RoutedKey rk = Route(key);
+  if (!rk.app_known) {
+    if (!cmd.noreply) out->append(kNotFoundLine);
+    return;
+  }
+  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
+
+  bool live = false;
+  uint32_t value_size = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(rk.key_id);
+    if (it != shard.map.end()) {
+      live = it->second.live;
+      value_size = it->second.value_size;
+      if (it->second.live) {
+        bytes_stored_.fetch_sub(it->second.value.size(),
+                                std::memory_order_relaxed);
+      }
+      shard.map.erase(it);
+    }
+    // Forward under the same lock (same-key serialization as the other
+    // handlers): even a not-live key may still occupy a shadow segment,
+    // and the core's Delete is a no-op for absent keys.
+    server_->Delete(rk.app_id, ItemMeta{rk.key_id,
+                                        static_cast<uint32_t>(key.size()),
+                                        value_size});
+  }
+  if (live) {
+    delete_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) out->append(kDeletedLine);
+  } else {
+    if (!cmd.noreply) out->append(kNotFoundLine);
+  }
+}
+
+void CacheAdapter::HandleStats(std::string* out) {
+  AppendStat(out, "version", kServerVersion);
+  AppendStat(out, "pointer_size", static_cast<uint64_t>(8 * sizeof(void*)));
+  AppendStat(out, "num_shards", static_cast<uint64_t>(server_->num_shards()));
+
+  AppendStat(out, "cmd_get", cmd_get_.load(std::memory_order_relaxed));
+  AppendStat(out, "get_hits", get_hits_.load(std::memory_order_relaxed));
+  AppendStat(out, "get_misses", get_misses_.load(std::memory_order_relaxed));
+  AppendStat(out, "cmd_set", cmd_set_.load(std::memory_order_relaxed));
+  AppendStat(out, "store_rejected",
+             store_rejected_.load(std::memory_order_relaxed));
+  AppendStat(out, "cmd_delete", cmd_delete_.load(std::memory_order_relaxed));
+  AppendStat(out, "delete_hits",
+             delete_hits_.load(std::memory_order_relaxed));
+  AppendStat(out, "protocol_errors",
+             protocol_errors_.load(std::memory_order_relaxed));
+  AppendStat(out, "bytes_stored",
+             bytes_stored_.load(std::memory_order_relaxed));
+
+  // The paper's signals, straight from the core (exact snapshot: MergedStats
+  // holds every shard lock at once).
+  const ClassStats core = server_->MergedStats();
+  AppendStat(out, "cliffhanger_gets", core.gets);
+  AppendStat(out, "cliffhanger_hits", core.hits);
+  AppendStat(out, "cliffhanger_sets", core.sets);
+  AppendStat(out, "cliffhanger_tail_hits", core.tail_hits);
+  AppendStat(out, "cliffhanger_cliff_shadow_hits", core.cliff_shadow_hits);
+  AppendStat(out, "cliffhanger_hill_shadow_hits", core.hill_shadow_hits);
+  AppendStat(out, "cliffhanger_rebalances", server_->rebalance_count());
+  for (const uint32_t app_id : app_ids_) {
+    std::string name = "app_" + std::to_string(app_id) + "_reservation_bytes";
+    AppendStat(out, name, server_->AppReservation(app_id));
+  }
+  out->append(kEndLine);
+}
+
+bool CacheAdapter::Handle(const Command& cmd, std::string* out) {
+  switch (cmd.type) {
+    case CommandType::kGet:
+      HandleGet(cmd, out, /*with_cas=*/false);
+      return true;
+    case CommandType::kGets:
+      HandleGet(cmd, out, /*with_cas=*/true);
+      return true;
+    case CommandType::kSet:
+    case CommandType::kAdd:
+    case CommandType::kReplace:
+      HandleStore(cmd, out);
+      return true;
+    case CommandType::kDelete:
+      HandleDelete(cmd, out);
+      return true;
+    case CommandType::kStats:
+      HandleStats(out);
+      return true;
+    case CommandType::kVersion:
+      out->append("VERSION ");
+      out->append(kServerVersion);
+      out->append(kCrlf);
+      return true;
+    case CommandType::kQuit:
+      return false;
+    case CommandType::kProtocolError:
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      // noreply is set only when the rejected command's line parsed
+      // cleanly enough to carry it; like memcached, such a command gets
+      // no reply at all — an unexpected error line would desync clients
+      // that count one response per non-noreply command.
+      if (!cmd.noreply) AppendErrorLine(out, cmd.error);
+      return true;
+  }
+  return true;
+}
+
+CacheAdapter::Counters CacheAdapter::counters() const {
+  Counters c;
+  c.cmd_get = cmd_get_.load(std::memory_order_relaxed);
+  c.get_hits = get_hits_.load(std::memory_order_relaxed);
+  c.get_misses = get_misses_.load(std::memory_order_relaxed);
+  c.cmd_set = cmd_set_.load(std::memory_order_relaxed);
+  c.store_rejected = store_rejected_.load(std::memory_order_relaxed);
+  c.cmd_delete = cmd_delete_.load(std::memory_order_relaxed);
+  c.delete_hits = delete_hits_.load(std::memory_order_relaxed);
+  c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  c.bytes_stored = bytes_stored_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace net
+}  // namespace cliffhanger

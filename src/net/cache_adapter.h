@@ -1,0 +1,120 @@
+// Maps memcached ASCII commands onto a ShardedCacheServer.
+//
+// The core server is a cache *simulation*: it tracks residency, eviction
+// and the Cliffhanger signals for (key hash, key_size, value_size) tuples —
+// it does not hold value bytes. The adapter supplies the missing pieces so
+// a real client sees real memcached semantics:
+//
+//  - Key mapping. A text key maps to the core's 64-bit key id via Fnv1a64
+//    over the full key string (stable, process-independent). 64-bit FNV
+//    collisions alias two text keys to one cache slot (last writer wins);
+//    at memcached-realistic key counts the probability is negligible.
+//  - App routing. Keys of the form "app<digits>:<rest>" route to that
+//    registered application; everything else goes to the default app (the
+//    listen port's tenant). Ops for unregistered apps fail softly (miss /
+//    SERVER_ERROR) rather than mutating anything.
+//  - Value store. Value bytes, flags and cas live in a sharded side table.
+//    The core decides hit/miss; the table only serves the payload. Because
+//    the core evicts internally without callbacks, a dead value is
+//    reclaimed *lazily*: the first GET that the core answers with a miss
+//    frees the value bytes. The per-key size metadata is kept (~32 B per
+//    unique key ever stored) so later GETs for the key keep probing the
+//    correct slab class — which is exactly what makes a socket replay
+//    bit-identical to a library replay (tests/net_e2e_test.cc).
+//  - add/replace presence. Decided from the value store's live flag (the
+//    adapter's best knowledge of residency without issuing a statistics-
+//    mutating core lookup). An eviction is noticed at the next GET, so an
+//    `add` in the narrow window between eviction and that GET can return
+//    NOT_STORED where real memcached would store.
+//
+// Determinism contract (relied on by the e2e test): for a single
+// connection, the sequence of core Get/Set/Delete calls — including the
+// ItemMeta sizes — is a pure function of the command stream. GET uses the
+// stored value_size when the key is known and 0 otherwise; SET deletes the
+// old item first when the value size changed (slab-class move); DELETE
+// always forwards to the core with the best-known size.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sharded_server.h"
+#include "net/socket_server.h"
+
+namespace cliffhanger {
+namespace net {
+
+inline constexpr std::string_view kServerVersion = "cliffhanger-0.4.0";
+
+struct CacheAdapterConfig {
+  uint32_t default_app_id = 1;
+  // Recognize the "app<digits>:" key-namespace prefix for app routing.
+  bool parse_app_prefix = true;
+};
+
+class CacheAdapter final : public CommandHandler {
+ public:
+  // `server` must outlive the adapter; its apps must be registered before
+  // traffic starts (same contract as ShardedCacheServer::AddApp).
+  CacheAdapter(ShardedCacheServer* server, const CacheAdapterConfig& config);
+  ~CacheAdapter() override;
+  CacheAdapter(const CacheAdapter&) = delete;
+  CacheAdapter& operator=(const CacheAdapter&) = delete;
+
+  bool Handle(const Command& cmd, std::string* out) override;
+
+  // Protocol-level counters (what `stats` reports as cmd_*/get_*).
+  struct Counters {
+    uint64_t cmd_get = 0;        // keys requested via get/gets
+    uint64_t get_hits = 0;
+    uint64_t get_misses = 0;
+    uint64_t cmd_set = 0;        // set/add/replace commands
+    uint64_t store_rejected = 0; // NOT_STORED + SERVER_ERROR outcomes
+    uint64_t cmd_delete = 0;
+    uint64_t delete_hits = 0;
+    uint64_t protocol_errors = 0;
+    uint64_t bytes_stored = 0;   // live value bytes in the side table
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  struct StoreShard;
+  struct RoutedKey {
+    uint32_t app_id = 0;
+    uint64_t key_id = 0;
+    bool app_known = false;
+  };
+
+  [[nodiscard]] RoutedKey Route(std::string_view key) const;
+
+  void HandleGet(const Command& cmd, std::string* out, bool with_cas);
+  void HandleStore(const Command& cmd, std::string* out);
+  void HandleDelete(const Command& cmd, std::string* out);
+  void HandleStats(std::string* out);
+
+  ShardedCacheServer* server_;
+  CacheAdapterConfig config_;
+  std::vector<uint32_t> app_ids_;  // registered apps, snapshot at ctor
+
+  std::vector<std::unique_ptr<StoreShard>> store_;
+  std::atomic<uint64_t> cas_counter_{0};
+
+  std::atomic<uint64_t> cmd_get_{0};
+  std::atomic<uint64_t> get_hits_{0};
+  std::atomic<uint64_t> get_misses_{0};
+  std::atomic<uint64_t> cmd_set_{0};
+  std::atomic<uint64_t> store_rejected_{0};
+  std::atomic<uint64_t> cmd_delete_{0};
+  std::atomic<uint64_t> delete_hits_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> bytes_stored_{0};
+};
+
+}  // namespace net
+}  // namespace cliffhanger

@@ -1,0 +1,39 @@
+// Client-side canonical encoding for replaying simulator traces over the
+// wire: a Request's 64-bit key id becomes a 16-char lowercase-hex text key
+// (whose length equals the canonical ZipfTraceSpec key_size of 16, so the
+// on-the-wire key_size matches the trace's), and value bytes are a
+// deterministic function of (key id, size) so any hit's payload can be
+// verified byte-for-byte. Used by tests/net_e2e_test.cc and
+// bench/table8_netperf.cc; the server needs no knowledge of this scheme.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/hashing.h"
+
+namespace cliffhanger {
+namespace net {
+
+inline std::string ReplayKeyString(uint64_t key_id) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string key(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    key[static_cast<size_t>(i)] = kHex[key_id & 0xF];
+    key_id >>= 4;
+  }
+  return key;
+}
+
+inline std::string ReplayValueBytes(uint64_t key_id, uint32_t size) {
+  std::string value(size, '\0');
+  uint64_t state = Mix64(key_id ^ 0x5eedf00dULL);
+  for (uint32_t i = 0; i < size; ++i) {
+    if (i % 8 == 0) state = Mix64(state + 1);
+    value[i] = static_cast<char>('a' + ((state >> (8 * (i % 8))) & 0xF));
+  }
+  return value;
+}
+
+}  // namespace net
+}  // namespace cliffhanger

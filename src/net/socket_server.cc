@@ -1,0 +1,370 @@
+#include "net/socket_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace cliffhanger {
+namespace net {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+// Writing to a peer that already closed must surface as EPIPE, not a
+// process-killing SIGPIPE; done once, process-wide, on first Start().
+void IgnoreSigpipeOnce() {
+  static const bool done = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+
+// One TCP connection, owned by exactly one worker thread.
+struct SocketServer::Connection {
+  int fd = -1;
+  std::string rd;       // unconsumed inbound bytes (parser input)
+  size_t rd_offset = 0; // parsed prefix of rd, compacted after the drain loop
+  std::string wr;       // pending outbound bytes
+  size_t wr_offset = 0;
+  AsciiParser parser;
+  bool closing = false;   // quit/abuse: stop parsing, flush wr, close
+  bool peer_eof = false;  // FIN seen: stop reading, but keep parsing and
+                          // answering the frames already buffered — even
+                          // across write-backpressure pauses
+};
+
+struct SocketServer::Worker {
+  std::thread thread;
+  int wake_rd = -1;
+  int wake_wr = -1;
+  std::mutex mu;
+  std::vector<int> mailbox;  // fds accepted for this worker
+  std::vector<std::unique_ptr<Connection>> conns;
+};
+
+SocketServer::SocketServer(const SocketServerConfig& config,
+                           CommandHandler* handler)
+    : config_(config), handler_(handler) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+bool SocketServer::Start(std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + strerror(errno);
+    }
+    Stop();
+    return false;
+  };
+  if (running_.exchange(true)) {
+    if (error != nullptr) *error = "already started";
+    return false;
+  }
+  stopping_.store(false);
+  IgnoreSigpipeOnce();
+
+  // Non-blocking listen socket: the acceptor drains accept4 until EAGAIN,
+  // which must never block (it would wedge Stop's join).
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) return fail("listen");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  if (::pipe2(accept_wake_, O_NONBLOCK | O_CLOEXEC) != 0) {
+    return fail("pipe2");
+  }
+
+  const size_t n_workers = std::max<size_t>(1, config_.num_workers);
+  workers_.reserve(n_workers);
+  for (size_t i = 0; i < n_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    int wake[2];
+    if (::pipe2(wake, O_NONBLOCK | O_CLOEXEC) != 0) return fail("pipe2");
+    worker->wake_rd = wake[0];
+    worker->wake_wr = wake[1];
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { WorkerLoop(w); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void SocketServer::Stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  // Wake everyone: the acceptor and each worker re-check stopping_ and exit.
+  if (accept_wake_[1] >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] ssize_t n = ::write(accept_wake_[1], &b, 1);
+  }
+  for (auto& worker : workers_) {
+    if (worker->wake_wr >= 0) {
+      const char b = 'x';
+      [[maybe_unused]] ssize_t n = ::write(worker->wake_wr, &b, 1);
+    }
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  for (auto& worker : workers_) {
+    for (auto& conn : worker->conns) {
+      if (conn->fd >= 0) ::close(conn->fd);
+    }
+    worker->conns.clear();
+    for (const int fd : worker->mailbox) ::close(fd);
+    worker->mailbox.clear();
+    if (worker->wake_rd >= 0) ::close(worker->wake_rd);
+    if (worker->wake_wr >= 0) ::close(worker->wake_wr);
+  }
+  workers_.clear();
+  for (int& fd : accept_wake_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  active_connections_.store(0);
+  running_.store(false);
+}
+
+void SocketServer::AcceptLoop() {
+  pollfd fds[2];
+  fds[0] = {listen_fd_, POLLIN, 0};
+  fds[1] = {accept_wake_[0], POLLIN, 0};
+  while (!stopping_.load()) {
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    while (true) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                               SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno != EAGAIN && errno != EWOULDBLOCK) {
+          // EMFILE/ENFILE and friends: the pending connection keeps the
+          // listen fd readable, so poll would return immediately and spin
+          // a core. Back off briefly before polling again.
+          ::poll(nullptr, 0, 50);
+        }
+        break;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Worker* w = workers_[next_worker_].get();
+      next_worker_ = (next_worker_ + 1) % workers_.size();
+      {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->mailbox.push_back(fd);
+      }
+      const char b = 'x';
+      [[maybe_unused]] ssize_t n = ::write(w->wake_wr, &b, 1);
+      total_connections_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool SocketServer::DrainCommands(Connection* conn) {
+  bool backpressured = false;
+  Command cmd;  // hoisted: Next resets it in place, keys keeps capacity
+  while (true) {
+    if (conn->wr.size() - conn->wr_offset >= config_.max_write_buffer) {
+      // Stop producing responses until the peer drains some; any complete
+      // frames still in rd are picked up after the next flush.
+      backpressured = true;
+      break;
+    }
+    const std::string_view unparsed(conn->rd.data() + conn->rd_offset,
+                                    conn->rd.size() - conn->rd_offset);
+    size_t consumed = 0;
+    const ParseStatus status = conn->parser.Next(unparsed, &consumed, &cmd);
+    conn->rd_offset += consumed;
+    if (status == ParseStatus::kCommand) {
+      if (!handler_->Handle(cmd, &conn->wr)) return false;
+      continue;
+    }
+    if (consumed > 0) continue;  // resync progress; try again on this buffer
+    break;                       // genuinely need more bytes
+  }
+  // Compact: discard the parsed prefix once per drain, not per command.
+  if (conn->rd_offset > 0) {
+    conn->rd.erase(0, conn->rd_offset);
+    conn->rd_offset = 0;
+  }
+  if (backpressured) return true;  // rd may legitimately hold whole frames
+  // A frame that cannot complete within the cap means a broken or hostile
+  // client; cut it off rather than buffering without bound.
+  return conn->rd.size() <= config_.max_read_buffer;
+}
+
+bool SocketServer::FlushWrites(Connection* conn) {
+  while (conn->wr_offset < conn->wr.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->wr.data() + conn->wr_offset,
+               conn->wr.size() - conn->wr_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->wr_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;  // peer gone
+  }
+  conn->wr.clear();
+  conn->wr_offset = 0;
+  return true;
+}
+
+void SocketServer::CloseConnection(Worker* worker, size_t index) {
+  ::close(worker->conns[index]->fd);
+  worker->conns.erase(worker->conns.begin() +
+                      static_cast<ptrdiff_t>(index));
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void SocketServer::WorkerLoop(Worker* worker) {
+  std::vector<pollfd> fds;
+  std::vector<char> read_buf(kReadChunk);
+  while (!stopping_.load()) {
+    fds.clear();
+    fds.push_back({worker->wake_rd, POLLIN, 0});
+    for (const auto& conn : worker->conns) {
+      // Stop arming POLLIN once the read buffer is full (it can only be
+      // full while write-backpressured — otherwise DrainCommands already
+      // closed the connection): reading further would grow rd without
+      // bound on a client that pipelines but never drains responses.
+      // No stall: rd-full implies wr non-empty, so POLLOUT stays armed
+      // and the parse cycle resumes after every flush.
+      short events = 0;
+      if (!conn->closing && !conn->peer_eof &&
+          conn->rd.size() <= config_.max_read_buffer) {
+        events |= POLLIN;
+      }
+      if (!conn->wr.empty()) events |= POLLOUT;
+      fds.push_back({conn->fd, events, 0});
+    }
+    const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load()) break;
+
+    if (fds[0].revents & POLLIN) {
+      char drain[64];
+      while (::read(worker->wake_rd, drain, sizeof(drain)) > 0) {
+      }
+      std::vector<int> incoming;
+      {
+        std::lock_guard<std::mutex> lock(worker->mu);
+        incoming.swap(worker->mailbox);
+      }
+      for (const int fd : incoming) {
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        worker->conns.push_back(std::move(conn));
+        active_connections_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    // Iterate backwards so CloseConnection's erase cannot skip an entry.
+    // fds[i + 1] corresponds to conns[i] for the pre-mailbox prefix.
+    const size_t polled = fds.size() - 1;
+    for (size_t i = polled; i-- > 0;) {
+      if (i >= worker->conns.size()) continue;
+      Connection* conn = worker->conns[i].get();
+      const short revents = fds[i + 1].revents;
+      if (revents == 0) continue;
+      if (revents & (POLLERR | POLLNVAL)) {
+        CloseConnection(worker, i);
+        continue;
+      }
+      bool alive = true;
+      if (!conn->closing && !conn->peer_eof &&
+          (revents & (POLLIN | POLLHUP)) &&
+          conn->rd.size() <= config_.max_read_buffer) {
+        while (true) {
+          const ssize_t n = ::recv(conn->fd, read_buf.data(),
+                                   read_buf.size(), 0);
+          if (n > 0) {
+            conn->rd.append(read_buf.data(), static_cast<size_t>(n));
+            if (conn->rd.size() > config_.max_read_buffer) break;
+            continue;
+          }
+          if (n == 0) {
+            conn->peer_eof = true;
+            break;
+          }
+          if (errno == EINTR) continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          alive = false;
+          break;
+        }
+      }
+      if (alive && !conn->wr.empty()) alive = FlushWrites(conn);
+      // Parse → respond → flush until no complete frame remains or write
+      // backpressure holds (POLLOUT resumes the cycle on a later event).
+      // Runs even after EOF — including EOF seen during an earlier,
+      // backpressured iteration: a client may pipeline its whole session
+      // and FIN immediately (printf | nc); every buffered command still
+      // deserves its response before the close below.
+      while (alive && !conn->closing &&
+             conn->wr.size() - conn->wr_offset < config_.max_write_buffer) {
+        const size_t rd_before = conn->rd.size();
+        if (!DrainCommands(conn)) conn->closing = true;
+        if (alive && !conn->wr.empty()) alive = FlushWrites(conn);
+        if (conn->rd.size() == rd_before) break;  // nothing consumable left
+      }
+      // peer_eof close only fires once wr is fully flushed, and the cycle
+      // above only leaves wr empty when no complete frame remains — so no
+      // buffered command is ever dropped.
+      if (!alive ||
+          ((conn->closing || conn->peer_eof) && conn->wr.empty())) {
+        CloseConnection(worker, i);
+      }
+    }
+  }
+}
+
+}  // namespace net
+}  // namespace cliffhanger

@@ -1,0 +1,114 @@
+// Poll-based TCP front: one acceptor thread plus N worker threads, each
+// worker owning its connections outright (read buffer, write buffer, parser
+// state), so no connection state is ever shared between threads. The layer
+// knows nothing about caches — it feeds parsed Commands to a CommandHandler
+// and writes back whatever the handler appended.
+//
+// Connection lifecycle:
+//  - The acceptor poll()s the listen socket, accepts, sets O_NONBLOCK +
+//    TCP_NODELAY, and hands the fd to a worker round-robin via a mutexed
+//    mailbox + wake pipe.
+//  - A worker poll()s its wake pipe and every connection (POLLIN always,
+//    POLLOUT while the write buffer is non-empty). Reads append to the
+//    connection's read buffer; the parse loop then drains every complete
+//    pipelined frame, calling the handler per command. Partial frames stay
+//    buffered; partial writes stay queued.
+//  - `quit` (handler returns false) flushes the pending write buffer and
+//    closes. A read buffer driven past its cap without completing a frame
+//    closes the connection (protocol abuse guard).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/ascii_protocol.h"
+
+namespace cliffhanger {
+namespace net {
+
+class CommandHandler {
+ public:
+  virtual ~CommandHandler() = default;
+  // Appends the response for `cmd` (if any) to *out. Returns false to close
+  // the connection after *out is flushed (quit).
+  virtual bool Handle(const Command& cmd, std::string* out) = 0;
+};
+
+struct SocketServerConfig {
+  uint16_t port = 0;  // 0 = ephemeral; the bound port is port() after Start
+  size_t num_workers = 2;
+  int backlog = 128;
+  // Read-buffer cap: must fit a full storage frame (line + max value + 2).
+  size_t max_read_buffer = kMaxLineBytes + kMaxValueBytes + 16;
+  // Write-buffer cap: once this many response bytes are pending, the
+  // worker stops parsing further pipelined commands until the peer drains
+  // some (a non-reading client must not balloon server memory). Parsing
+  // resumes automatically after a flush makes room. The check runs between
+  // commands, so the true per-connection bound is this cap plus one
+  // command's worst-case response — kMaxKeysPerGet × kMaxValueBytes for a
+  // multiget of maximal values.
+  size_t max_write_buffer = 4 * (1 << 20);
+};
+
+class SocketServer {
+ public:
+  SocketServer(const SocketServerConfig& config, CommandHandler* handler);
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  // Binds, listens and spawns the threads. Returns false (with *error set)
+  // if the socket setup fails. Calling Start twice is an error.
+  bool Start(std::string* error);
+  // Stops accepting, closes every connection, joins all threads. Idempotent.
+  void Stop();
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const { return running_.load(); }
+  // Connections currently open across all workers (tests/stats).
+  [[nodiscard]] size_t active_connections() const {
+    return active_connections_.load();
+  }
+  [[nodiscard]] uint64_t total_connections() const {
+    return total_connections_.load();
+  }
+
+ private:
+  struct Connection;
+  struct Worker;
+
+  void AcceptLoop();
+  void WorkerLoop(Worker* worker);
+  // Parse + handle complete frames in the read buffer until none remain or
+  // the write buffer hits its cap (backpressure; complete frames may stay
+  // buffered and are resumed after a flush). Returns false when the
+  // connection must close (quit or protocol abuse).
+  bool DrainCommands(Connection* conn);
+  // Non-blocking flush of the write buffer. Returns false on a dead socket.
+  static bool FlushWrites(Connection* conn);
+  void CloseConnection(Worker* worker, size_t index);
+
+  SocketServerConfig config_;
+  CommandHandler* handler_;
+
+  int listen_fd_ = -1;
+  int accept_wake_[2] = {-1, -1};
+  uint16_t port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<uint64_t> total_connections_{0};
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::thread acceptor_;
+  size_t next_worker_ = 0;
+};
+
+}  // namespace net
+}  // namespace cliffhanger

@@ -1,0 +1,44 @@
+// Strict argv numeric parsing shared by the CLI binaries (cliffhangerd,
+// the bench drivers): full-string parses only, so trailing garbage
+// ("113l1", "two") is an error instead of a silent truncation to the
+// digits seen so far — the strtoul failure mode that sends a daemon to
+// the wrong port.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cliffhanger {
+
+// The one strict unsigned-decimal grammar, shared by CLI flags and the
+// wire-protocol parser (net/ascii_protocol): digits only — no sign, no
+// whitespace, no trailing garbage — and overflow rejected.
+inline bool ParseDecimalU64(std::string_view token, uint64_t* value) {
+  if (token.empty()) return false;
+  uint64_t v = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *value = v;
+  return true;
+}
+
+inline bool ParseUint(const char* s, uint64_t* out) {
+  return s != nullptr && ParseDecimalU64(s, out);
+}
+
+// TCP port: full-string numeric and within range. allow_zero admits the
+// "pick an ephemeral port" convention.
+inline bool ParsePort(const char* s, bool allow_zero, uint16_t* out) {
+  uint64_t v = 0;
+  if (!ParseUint(s, &v) || v > 65535 || (v == 0 && !allow_zero)) {
+    return false;
+  }
+  *out = static_cast<uint16_t>(v);
+  return true;
+}
+
+}  // namespace cliffhanger

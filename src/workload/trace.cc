@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <unordered_set>
 
 namespace cliffhanger {
@@ -91,8 +92,17 @@ Trace Trace::LoadCsv(const std::string& path, bool* ok) {
   char line[512];
   bool first = true;
   while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // Tolerate CRLF files and trailing blank lines: strip the line ending,
+    // skip lines that are empty once stripped. (A blank line is not data —
+    // editors and `echo >>` routinely add one at EOF.)
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    if (len == 0) continue;  // before the header skip: a leading blank
+                             // line must not swallow the real header
     if (first) {
-      first = false;  // skip header
+      first = false;  // skip header (the first non-blank line)
       continue;
     }
     unsigned app_id = 0;

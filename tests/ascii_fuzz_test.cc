@@ -1,0 +1,320 @@
+// Property/fuzz tests for the ASCII frame parser: randomized byte-split
+// schedules over valid command streams must parse identically to the
+// one-shot parse, and corrupted/garbage streams (split mid-token, oversized
+// keys, bad numbers, missing CRLF, binary noise) must never crash the
+// parser, never make it over-read (every probe runs on an exact-sized heap
+// buffer so ASan red-zones fence the ends), never let it stall without
+// consuming input, and must produce errors exactly where the protocol
+// demands them. The CI ASan+UBSan job runs this suite; see
+// .github/workflows/ci.yml.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/ascii_protocol.h"
+#include "util/rng.h"
+
+namespace cliffhanger {
+namespace net {
+namespace {
+
+struct OwnedCommand {
+  CommandType type;
+  std::vector<std::string> keys;
+  uint32_t flags = 0;
+  int64_t exptime = 0;
+  bool noreply = false;
+  std::string data;
+  std::string error;
+
+  bool operator==(const OwnedCommand& o) const {
+    return type == o.type && keys == o.keys && flags == o.flags &&
+           exptime == o.exptime && noreply == o.noreply && data == o.data &&
+           error == o.error;
+  }
+};
+
+OwnedCommand Materialize(const Command& cmd) {
+  OwnedCommand out;
+  out.type = cmd.type;
+  for (const auto key : cmd.keys) out.keys.emplace_back(key);
+  out.flags = cmd.flags;
+  out.exptime = cmd.exptime;
+  out.noreply = cmd.noreply;
+  out.data = std::string(cmd.data);
+  out.error = std::string(cmd.error);
+  return out;
+}
+
+// Drives the parser the way a connection would, with the unconsumed buffer
+// copied into an exact-sized heap allocation before every probe (so any
+// out-of-bounds read trips ASan). Asserts liveness: between two reads the
+// parser either produces commands or consumes bytes; it never loops.
+class FuzzHarness {
+ public:
+  void Feed(std::string_view bytes) { buffer_.append(bytes); Drain(); }
+
+  void Drain() {
+    size_t safety = 0;
+    while (true) {
+      ASSERT_LT(++safety, 1u << 20) << "parser failed to make progress";
+      const auto exact = std::make_unique<char[]>(buffer_.size());
+      std::memcpy(exact.get(), buffer_.data(), buffer_.size());
+      const std::string_view view(exact.get(), buffer_.size());
+      size_t consumed = 0;
+      Command cmd;
+      const ParseStatus status = parser_.Next(view, &consumed, &cmd);
+      ASSERT_LE(consumed, buffer_.size()) << "parser over-consumed";
+      if (status == ParseStatus::kCommand) {
+        commands_.push_back(Materialize(cmd));
+        ASSERT_GT(consumed + cmd.data.size() + cmd.error.size(), 0u)
+            << "zero-width command";
+        buffer_.erase(0, consumed);
+        continue;
+      }
+      buffer_.erase(0, consumed);
+      if (consumed == 0) break;
+    }
+  }
+
+  [[nodiscard]] const std::vector<OwnedCommand>& commands() const {
+    return commands_;
+  }
+  [[nodiscard]] size_t buffered() const { return buffer_.size(); }
+
+ private:
+  AsciiParser parser_;
+  std::string buffer_;
+  std::vector<OwnedCommand> commands_;
+};
+
+std::vector<OwnedCommand> ReferenceParse(const std::string& stream) {
+  FuzzHarness harness;
+  harness.Feed(stream);
+  return harness.commands();
+}
+
+// --- Valid-stream generation ---------------------------------------------
+
+std::string RandomKey(Rng& rng) {
+  // Mostly short keys; occasionally right at the 250-byte limit.
+  const size_t len = rng.NextBernoulli(0.05)
+                         ? kMaxKeyBytes
+                         : 1 + rng.NextBounded(24);
+  std::string key(len, 'x');
+  for (char& c : key) {
+    c = static_cast<char>('!' + rng.NextBounded(94));  // printable, no space
+  }
+  return key;
+}
+
+std::string RandomValue(Rng& rng) {
+  const size_t len = rng.NextBounded(600);
+  std::string value(len, '\0');
+  for (char& c : value) {
+    c = static_cast<char>(rng.NextBounded(256));  // fully binary
+  }
+  return value;
+}
+
+std::string RandomCommand(Rng& rng) {
+  switch (rng.NextBounded(8)) {
+    case 0: {
+      std::string cmd = rng.NextBernoulli(0.5) ? "get" : "gets";
+      const size_t keys = 1 + rng.NextBounded(4);
+      for (size_t i = 0; i < keys; ++i) cmd += " " + RandomKey(rng);
+      return cmd + "\r\n";
+    }
+    case 1:
+    case 2:
+    case 3: {
+      const char* verbs[] = {"set", "add", "replace"};
+      const std::string value = RandomValue(rng);
+      std::string cmd = std::string(verbs[rng.NextBounded(3)]) + " " +
+                        RandomKey(rng) + " " +
+                        std::to_string(rng.NextBounded(1u << 16)) + " " +
+                        std::to_string(static_cast<int64_t>(
+                            rng.NextBounded(1000)) - 500) +
+                        " " + std::to_string(value.size());
+      if (rng.NextBernoulli(0.3)) cmd += " noreply";
+      return cmd + "\r\n" + value + "\r\n";
+    }
+    case 4:
+      return "delete " + RandomKey(rng) +
+             (rng.NextBernoulli(0.3) ? " noreply\r\n" : "\r\n");
+    case 5:
+      return "stats\r\n";
+    case 6:
+      return "version\r\n";
+    default:
+      return "get " + RandomKey(rng) + "\r\n";
+  }
+}
+
+TEST(AsciiFuzzTest, RandomSplitsOfValidStreamsParseIdentically) {
+  Rng rng(0xF0221);
+  for (int round = 0; round < 40; ++round) {
+    std::string stream;
+    const size_t n_commands = 1 + rng.NextBounded(20);
+    for (size_t i = 0; i < n_commands; ++i) stream += RandomCommand(rng);
+    const auto reference = ReferenceParse(stream);
+    EXPECT_EQ(reference.size(), n_commands);
+
+    for (int schedule = 0; schedule < 10; ++schedule) {
+      FuzzHarness harness;
+      size_t fed = 0;
+      while (fed < stream.size()) {
+        const size_t n = std::min<size_t>(1 + rng.NextBounded(23),
+                                          stream.size() - fed);
+        harness.Feed(std::string_view(stream).substr(fed, n));
+        if (testing::Test::HasFatalFailure()) return;
+        fed += n;
+      }
+      ASSERT_EQ(harness.commands().size(), reference.size())
+          << "round " << round << " schedule " << schedule;
+      for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_TRUE(harness.commands()[i] == reference[i])
+            << "round " << round << " schedule " << schedule << " cmd " << i;
+      }
+      EXPECT_EQ(harness.buffered(), 0u);
+    }
+  }
+}
+
+// --- Corruption ----------------------------------------------------------
+
+std::string Corrupt(const std::string& stream, Rng& rng) {
+  std::string corrupted = stream;
+  const size_t mutations = 1 + rng.NextBounded(8);
+  for (size_t m = 0; m < mutations && !corrupted.empty(); ++m) {
+    const size_t pos = rng.NextBounded(corrupted.size());
+    switch (rng.NextBounded(4)) {
+      case 0:  // flip a byte
+        corrupted[pos] = static_cast<char>(rng.NextBounded(256));
+        break;
+      case 1:  // delete a byte (breaks declared lengths / terminators)
+        corrupted.erase(pos, 1);
+        break;
+      case 2:  // insert garbage
+        corrupted.insert(pos, std::string(1 + rng.NextBounded(5),
+                                          static_cast<char>(
+                                              rng.NextBounded(256))));
+        break;
+      default:  // duplicate a slice (mid-token splits, repeated CRLF)
+        corrupted.insert(pos, corrupted.substr(
+                                  pos, rng.NextBounded(corrupted.size() -
+                                                       pos + 1)));
+        break;
+    }
+  }
+  return corrupted;
+}
+
+TEST(AsciiFuzzTest, CorruptedStreamsNeverCrashOrStall) {
+  Rng rng(0xBADF00D);
+  for (int round = 0; round < 150; ++round) {
+    std::string stream;
+    const size_t n_commands = 1 + rng.NextBounded(10);
+    for (size_t i = 0; i < n_commands; ++i) stream += RandomCommand(rng);
+    const std::string corrupted = Corrupt(stream, rng);
+
+    FuzzHarness harness;
+    size_t fed = 0;
+    while (fed < corrupted.size()) {
+      const size_t n = std::min<size_t>(1 + rng.NextBounded(97),
+                                        corrupted.size() - fed);
+      harness.Feed(std::string_view(corrupted).substr(fed, n));
+      if (testing::Test::HasFatalFailure()) return;
+      fed += n;
+    }
+    // Whatever was buffered at EOF must be an incomplete frame the parser
+    // is still entitled to wait on — never more than one storage frame
+    // (line + declared data + terminator, with read-chunk slack on the
+    // line, since rejection triggers on the probe after the cap crossing).
+    EXPECT_LE(harness.buffered(), kMaxLineBytes + kMaxValueBytes + 256);
+  }
+}
+
+TEST(AsciiFuzzTest, PureBinaryGarbageNeverCrashes) {
+  Rng rng(0x6A2BA6E);
+  for (int round = 0; round < 30; ++round) {
+    std::string garbage(1 + rng.NextBounded(8000), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.NextBounded(256));
+    FuzzHarness harness;
+    size_t fed = 0;
+    while (fed < garbage.size()) {
+      const size_t n = std::min<size_t>(1 + rng.NextBounded(509),
+                                        garbage.size() - fed);
+      harness.Feed(std::string_view(garbage).substr(fed, n));
+      if (testing::Test::HasFatalFailure()) return;
+      fed += n;
+    }
+    // Any emitted command from garbage must be an error, a (coincidental)
+    // retrieval, or an admin word that happened to assemble.
+    for (const auto& cmd : harness.commands()) {
+      if (cmd.type == CommandType::kProtocolError) {
+        EXPECT_FALSE(cmd.error.empty());
+      }
+    }
+  }
+}
+
+// After arbitrary corruption, a clean newline boundary must always bring
+// the parser back: a valid sentinel command appended after a resync point
+// parses. (Swallowed data blocks are exempt — a corrupted declared length
+// legitimately eats trailing bytes.)
+TEST(AsciiFuzzTest, ParserResyncsAfterCorruptionAtLineBoundary) {
+  Rng rng(0x5EC04E3);
+  for (int round = 0; round < 60; ++round) {
+    // Line-shaped corruption only (no storage commands), so no swallow
+    // state can survive past the final newline.
+    std::string noise;
+    const size_t lines = 1 + rng.NextBounded(6);
+    for (size_t i = 0; i < lines; ++i) {
+      std::string line(rng.NextBounded(300), '\0');
+      for (char& c : line) {
+        c = static_cast<char>(rng.NextBounded(255) + 1);  // no NUL
+        if (c == '\n') c = 'x';
+      }
+      noise += line + "\r\n";
+    }
+    const std::string stream = noise + "version\r\n";
+    const auto commands = ReferenceParse(stream);
+    ASSERT_FALSE(commands.empty());
+    EXPECT_EQ(commands.back().type, CommandType::kVersion)
+        << "round " << round;
+  }
+}
+
+// Targeted memcached-equivalence table: the exact error for each canonical
+// protocol violation.
+TEST(AsciiFuzzTest, CanonicalViolationsProduceMemcachedErrors) {
+  struct Case {
+    const char* input;
+    std::string_view expected_error;
+  };
+  const Case cases[] = {
+      {"frobnicate\r\n", kErrError},
+      {"\r\n", kErrError},
+      {"stats reset\r\n", kErrError},
+      {"get\r\n", kErrError},
+      {"set k notanumber 0 5\r\n", kErrBadLine},
+      {"set k 0 0 5 neverreply\r\n", kErrBadLine},
+      {"set k 0 0 18446744073709551616\r\n", kErrBadLine},  // u64 overflow
+      {"delete\r\n", kErrBadLine},
+      {"set k 0 0 3\r\nabcd\r\n", kErrBadChunk},
+  };
+  for (const Case& c : cases) {
+    const auto commands = ReferenceParse(c.input);
+    ASSERT_FALSE(commands.empty()) << c.input;
+    EXPECT_EQ(commands.front().type, CommandType::kProtocolError) << c.input;
+    EXPECT_EQ(commands.front().error, c.expected_error) << c.input;
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace cliffhanger

@@ -1,0 +1,530 @@
+// End-to-end tests of the network front: a real SocketServer on an
+// ephemeral loopback port, a CacheAdapter over a ShardedCacheServer, and
+// AsciiClient driving actual TCP sockets. Carries the `concurrency` ctest
+// label (the server is inherently multi-threaded) so the CI TSan job
+// sanitizes it; the ASan job runs it as part of the full suite.
+//
+// The centerpiece is the determinism test: a seeded Zipf trace replayed
+// once through the library ShardedCacheServer (mirroring the adapter's
+// size-bookkeeping exactly) and once over a loopback socket must leave the
+// core with bit-identical hit/miss/set/shadow counters — proof that the
+// parser, connection layer and adapter do not distort the operation
+// stream.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/sharded_server.h"
+#include "net/ascii_client.h"
+#include "net/cache_adapter.h"
+#include "net/replay_keys.h"
+#include "net/socket_server.h"
+#include "sim/experiment.h"
+#include "util/hashing.h"
+#include "workload/generators.h"
+#include "workload/trace.h"
+
+namespace cliffhanger {
+namespace {
+
+constexpr uint64_t kMiB = 1ULL << 20;
+
+class NetE2eTest : public ::testing::Test {
+ protected:
+  void StartServer(
+      const ShardedServerConfig& config,
+      const std::vector<std::pair<uint32_t, uint64_t>>& apps,
+      uint32_t default_app) {
+    server_ = std::make_unique<ShardedCacheServer>(config);
+    for (const auto& [app_id, reservation] : apps) {
+      server_->AddApp(app_id, reservation);
+    }
+    net::CacheAdapterConfig adapter_config;
+    adapter_config.default_app_id = default_app;
+    adapter_ = std::make_unique<net::CacheAdapter>(server_.get(),
+                                                   adapter_config);
+    net::SocketServerConfig net_config;
+    net_config.port = 0;  // ephemeral
+    net_config.num_workers = 2;
+    socket_server_ =
+        std::make_unique<net::SocketServer>(net_config, adapter_.get());
+    std::string error;
+    ASSERT_TRUE(socket_server_->Start(&error)) << error;
+    ASSERT_GT(socket_server_->port(), 0);
+  }
+
+  void StartDefaultServer() {
+    ShardedServerConfig config;
+    config.server = DefaultServerConfig();
+    config.num_shards = 4;
+    StartServer(config, {{1, 8 * kMiB}}, 1);
+  }
+
+  net::AsciiClient MakeClient() {
+    net::AsciiClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", socket_server_->port()));
+    return client;
+  }
+
+  void TearDown() override {
+    if (socket_server_) socket_server_->Stop();
+  }
+
+  std::unique_ptr<ShardedCacheServer> server_;
+  std::unique_ptr<net::CacheAdapter> adapter_;
+  std::unique_ptr<net::SocketServer> socket_server_;
+};
+
+TEST_F(NetE2eTest, StartStopIsCleanAndIdempotent) {
+  StartDefaultServer();
+  EXPECT_TRUE(socket_server_->running());
+  socket_server_->Stop();
+  EXPECT_FALSE(socket_server_->running());
+  socket_server_->Stop();  // idempotent
+}
+
+TEST_F(NetE2eTest, BasicRoundTrip) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+
+  EXPECT_EQ(client.Set("hello", "world", 42),
+            net::AsciiClient::StoreResult::kStored);
+  auto value = client.Get("hello");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->data, "world");
+  EXPECT_EQ(value->flags, 42u);
+
+  EXPECT_FALSE(client.Get("absent").has_value());
+
+  // add: only when absent; replace: only when present.
+  EXPECT_EQ(client.Add("hello", "other"),
+            net::AsciiClient::StoreResult::kNotStored);
+  EXPECT_EQ(client.Add("fresh", "f"),
+            net::AsciiClient::StoreResult::kStored);
+  EXPECT_EQ(client.Replace("fresh", "g"),
+            net::AsciiClient::StoreResult::kStored);
+  EXPECT_EQ(client.Replace("absent", "x"),
+            net::AsciiClient::StoreResult::kNotStored);
+  EXPECT_EQ(client.Get("fresh")->data, "g");
+
+  EXPECT_TRUE(client.Delete("hello"));
+  EXPECT_FALSE(client.Delete("hello"));  // NOT_FOUND the second time
+  EXPECT_FALSE(client.Get("hello").has_value());
+
+  EXPECT_EQ(client.Version(), std::string(net::kServerVersion));
+  client.Quit();
+}
+
+TEST_F(NetE2eTest, GetsReturnsMonotonicCas) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  ASSERT_EQ(client.Set("k", "v1"), net::AsciiClient::StoreResult::kStored);
+  const auto first = client.Gets("k");
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(client.Set("k", "v2"), net::AsciiClient::StoreResult::kStored);
+  const auto second = client.Gets("k");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(second->cas, first->cas);
+  EXPECT_EQ(second->data, "v2");
+}
+
+TEST_F(NetE2eTest, MultiGetMixedHitsAndMisses) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  ASSERT_EQ(client.Set("a", "1"), net::AsciiClient::StoreResult::kStored);
+  ASSERT_EQ(client.Set("c", "3"), net::AsciiClient::StoreResult::kStored);
+  const auto values = client.MultiGet({"a", "b", "c", "d"});
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values.at("a").data, "1");
+  EXPECT_EQ(values.at("c").data, "3");
+}
+
+TEST_F(NetE2eTest, MultiGetBeyondServerKeyCapIsBatchedByClient) {
+  // The server caps keys per get line (kMaxKeysPerGet); the client batches
+  // transparently, so a 100-key multiget still resolves every hit.
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  std::vector<std::string> keys;
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "mk" + std::to_string(i);
+    keys.push_back(key);
+    if (i % 3 == 0) {
+      ASSERT_EQ(client.Set(key, "v" + std::to_string(i)),
+                net::AsciiClient::StoreResult::kStored);
+    }
+  }
+  const auto values = client.MultiGet(keys);
+  EXPECT_TRUE(client.last_error().empty()) << client.last_error();
+  EXPECT_EQ(values.size(), 34u);  // i = 0, 3, ..., 99
+  EXPECT_EQ(values.at("mk99").data, "v99");
+  EXPECT_EQ(values.count("mk1"), 0u);
+}
+
+TEST_F(NetE2eTest, PipelinedNoreplyStormThenRead) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  // 200 noreply sets in one write: no response expected until the final
+  // get, which must see the last value.
+  std::string blob;
+  for (int i = 0; i < 200; ++i) {
+    const std::string value = "v" + std::to_string(i);
+    blob += "set storm 0 0 " + std::to_string(value.size()) +
+            " noreply\r\n" + value + "\r\n";
+  }
+  blob += "get storm\r\n";
+  ASSERT_TRUE(client.SendRaw(blob));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "VALUE storm 0 4");
+  std::string data;
+  ASSERT_TRUE(client.ReadBytes(4, &data));
+  EXPECT_EQ(data, "v199");
+  ASSERT_TRUE(client.ReadLine(&line));  // trailing CRLF of the data block
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "END");
+}
+
+TEST_F(NetE2eTest, BinarySafeValues) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  const std::string payload("\r\nEND\r\nget x\r\n\0\xff\x01", 17);
+  ASSERT_EQ(client.Set("bin", payload),
+            net::AsciiClient::StoreResult::kStored);
+  const auto value = client.Get("bin");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->data, payload);
+}
+
+TEST_F(NetE2eTest, LargeValueRoundTripExercisesPartialWrites) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  std::string big(512 * 1024, 'x');
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + (i * 31) % 26);
+  }
+  ASSERT_EQ(client.Set("big", big), net::AsciiClient::StoreResult::kStored);
+  const auto value = client.Get("big");
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->data, big);
+}
+
+TEST_F(NetE2eTest, OversizedValueRejectedConnectionSurvives) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  const size_t declared = net::kMaxValueBytes + 1;
+  std::string frame =
+      "set big 0 0 " + std::to_string(declared) + "\r\n";
+  frame += std::string(declared, 'z');
+  frame += "\r\n";
+  ASSERT_TRUE(client.SendRaw(frame));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, net::kErrTooLarge);
+  // The declared block was swallowed; the connection is still in sync.
+  EXPECT_EQ(client.Version(), std::string(net::kServerVersion));
+}
+
+TEST_F(NetE2eTest, ProtocolErrorsMatchMemcached) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  std::string line;
+  ASSERT_TRUE(client.SendRaw("bogus\r\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "ERROR");
+  ASSERT_TRUE(client.SendRaw("set k bad 0 5\r\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, net::kErrBadLine);
+  ASSERT_TRUE(client.SendRaw("set k 0 0 3\r\nabXY\r\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, net::kErrBadChunk);
+  // Still usable after every error.
+  EXPECT_EQ(client.Set("k", "v"), net::AsciiClient::StoreResult::kStored);
+}
+
+TEST_F(NetE2eTest, NoreplyErrorsAreSuppressedSoPipelinesStayAligned) {
+  // An oversized noreply set must produce NO response (memcached
+  // semantics): the next command's reply is the next bytes on the wire.
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  const size_t declared = net::kMaxValueBytes + 1;
+  std::string frame = "set big 0 0 " + std::to_string(declared) +
+                      " noreply\r\n" + std::string(declared, 'z') + "\r\n" +
+                      "version\r\n";
+  ASSERT_TRUE(client.SendRaw(frame));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "VERSION " + std::string(net::kServerVersion));
+}
+
+TEST_F(NetE2eTest, PipelineThenFinLikeNetcat) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  ASSERT_TRUE(client.SendRaw("set k 0 0 3\r\nabc\r\nget k\r\n"));
+  client.ShutdownWrite();
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "STORED");
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "VALUE k 0 3");
+  std::string data;
+  ASSERT_TRUE(client.ReadBytes(3, &data));
+  EXPECT_EQ(data, "abc");
+  ASSERT_TRUE(client.ReadLine(&line));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "END");
+}
+
+TEST_F(NetE2eTest, FinWhileWriteBackpressuredStillAnswersEveryFrame) {
+  // Pipeline responses worth several times the server's write cap, then
+  // FIN immediately: the worker must keep parsing buffered frames across
+  // backpressure pauses and answer every one before closing.
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  const std::string big(512 * 1024, 'b');
+  ASSERT_EQ(client.Set("big", big), net::AsciiClient::StoreResult::kStored);
+
+  constexpr int kGets = 20;  // 20 x 512 KiB = 10 MiB >> 4 MiB write cap
+  std::string blob;
+  for (int i = 0; i < kGets; ++i) blob += "get big\r\n";
+  ASSERT_TRUE(client.SendRaw(blob));
+  client.ShutdownWrite();
+  for (int i = 0; i < kGets; ++i) {
+    std::string line;
+    ASSERT_TRUE(client.ReadLine(&line)) << "response " << i;
+    ASSERT_EQ(line, "VALUE big 0 524288") << "response " << i;
+    std::string data;
+    ASSERT_TRUE(client.ReadBytes(big.size(), &data));
+    EXPECT_EQ(data, big);
+    ASSERT_TRUE(client.ReadLine(&line));  // data-block CRLF
+    ASSERT_TRUE(client.ReadLine(&line));
+    EXPECT_EQ(line, "END");
+  }
+}
+
+TEST_F(NetE2eTest, StatsSurfaceProtocolAndCoreCounters) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  ASSERT_EQ(client.Set("s1", "v"), net::AsciiClient::StoreResult::kStored);
+  client.Get("s1");
+  client.Get("nope");
+  const auto stats = client.Stats();
+  EXPECT_EQ(stats.at("cmd_set"), "1");
+  EXPECT_EQ(stats.at("cmd_get"), "2");
+  EXPECT_EQ(stats.at("get_hits"), "1");
+  EXPECT_EQ(stats.at("get_misses"), "1");
+  EXPECT_EQ(stats.at("num_shards"), "4");
+  EXPECT_EQ(stats.at("bytes_stored"), "1");
+  EXPECT_EQ(stats.at("cliffhanger_gets"), "2");
+  EXPECT_EQ(stats.at("cliffhanger_sets"), "1");
+  EXPECT_EQ(stats.at("app_1_reservation_bytes"),
+            std::to_string(8 * kMiB));
+}
+
+TEST_F(NetE2eTest, AppPrefixRoutesToRegisteredApps) {
+  ShardedServerConfig config;
+  config.server = DefaultServerConfig();
+  config.num_shards = 4;
+  StartServer(config, {{1, 4 * kMiB}, {2, 4 * kMiB}}, 1);
+  net::AsciiClient client = MakeClient();
+
+  ASSERT_EQ(client.Set("plain", "a"), net::AsciiClient::StoreResult::kStored);
+  ASSERT_EQ(client.Set("app2:k", "bb"),
+            net::AsciiClient::StoreResult::kStored);
+  EXPECT_EQ(client.Get("app2:k")->data, "bb");
+
+  const ClassStats app1 = server_->AppStats(1);
+  const ClassStats app2 = server_->AppStats(2);
+  EXPECT_EQ(app1.sets, 1u);
+  EXPECT_EQ(app2.sets, 1u);
+  EXPECT_EQ(app2.gets, 1u);
+  EXPECT_EQ(app2.hits, 1u);
+
+  // Unregistered app: soft failure, nothing reaches the core.
+  std::string line;
+  ASSERT_TRUE(client.SendRaw("set app9:k 0 0 1\r\nx\r\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "SERVER_ERROR unknown application");
+  EXPECT_FALSE(client.Get("app9:k").has_value());
+}
+
+TEST_F(NetE2eTest, ManyConnectionsHammerConcurrently) {
+  StartDefaultServer();
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 400;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &failures] {
+      net::AsciiClient client;
+      if (!client.Connect("127.0.0.1", socket_server_->port())) {
+        failures.fetch_add(1);
+        return;
+      }
+      Rng rng(0x7EA4 + static_cast<uint64_t>(t));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::string key =
+            "h" + std::to_string(t) + "_" + std::to_string(rng.NextBounded(64));
+        if (rng.NextBernoulli(0.5)) {
+          if (client.Set(key, "value") !=
+              net::AsciiClient::StoreResult::kStored) {
+            failures.fetch_add(1);
+            return;
+          }
+        } else {
+          const auto value = client.Get(key);
+          if (value.has_value() && value->data != "value") {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+      client.Quit();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto counters = adapter_->counters();
+  EXPECT_GT(counters.cmd_get + counters.cmd_set,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread - 1);
+}
+
+// --- The determinism test -------------------------------------------------
+
+// Mirrors CacheAdapter's size bookkeeping against a library server: the
+// only state a memcached client can convey is what it has stored, so the
+// reference tracks exactly that (value_size per known key, kept across
+// evictions) and issues the same core calls the adapter issues.
+class LibraryReplay {
+ public:
+  explicit LibraryReplay(ShardedCacheServer* server, uint32_t app_id)
+      : server_(server), app_id_(app_id) {}
+
+  // Demand-fill GET; returns true on hit.
+  bool Get(uint64_t key_id, uint32_t key_size, uint32_t fill_value_size) {
+    const auto it = known_.find(key_id);
+    const uint32_t probe_size = it == known_.end() ? 0 : it->second;
+    const Outcome outcome =
+        server_->Get(app_id_, ItemMeta{key_id, key_size, probe_size});
+    if (outcome.hit) return true;
+    Set(key_id, key_size, fill_value_size);
+    return false;
+  }
+
+  void Set(uint64_t key_id, uint32_t key_size, uint32_t value_size) {
+    const auto it = known_.find(key_id);
+    if (it != known_.end() && it->second != value_size) {
+      server_->Delete(app_id_, ItemMeta{key_id, key_size, it->second});
+    }
+    if (server_->Set(app_id_, ItemMeta{key_id, key_size, value_size})) {
+      known_[key_id] = value_size;
+    } else {
+      known_.erase(key_id);
+    }
+  }
+
+ private:
+  ShardedCacheServer* server_;
+  uint32_t app_id_;
+  std::unordered_map<uint64_t, uint32_t> known_;
+};
+
+void ExpectStatsEqual(const ClassStats& a, const ClassStats& b,
+                      const char* what) {
+  EXPECT_EQ(a.gets, b.gets) << what;
+  EXPECT_EQ(a.hits, b.hits) << what;
+  EXPECT_EQ(a.sets, b.sets) << what;
+  EXPECT_EQ(a.tail_hits, b.tail_hits) << what;
+  EXPECT_EQ(a.cliff_shadow_hits, b.cliff_shadow_hits) << what;
+  EXPECT_EQ(a.hill_shadow_hits, b.hill_shadow_hits) << what;
+}
+
+TEST_F(NetE2eTest, SocketReplayIsBitIdenticalToLibraryReplay) {
+  // Full Cliffhanger controllers on both sides: any distortion of the op
+  // stream (a lost get, a misrouted size, a reordered fill) shifts the
+  // hill climber or cliff scaler and shows up in the counters.
+  ShardedServerConfig config;
+  config.server = CliffhangerServerConfig();
+  config.num_shards = 4;
+  config.rebalance_interval_ops = 4096;
+  constexpr uint32_t kApp = 1;
+  // Far below the trace's ~1.9 MiB unique footprint, so the replay runs in
+  // the eviction + shadow-traffic regime the controllers live on.
+  constexpr uint64_t kReservation = 1 * kMiB;
+
+  ZipfTraceSpec spec;
+  spec.requests = 24000;
+  spec.universe = 6000;
+  spec.zipf_alpha = 0.9;
+  spec.seed = 0xD37E12;
+  spec.app_id = kApp;
+  spec.get_fraction = 0.9;  // 10% explicit SETs ride along
+  const Trace trace = MakeZipfMixTrace(spec);
+
+  // Library pass.
+  ShardedCacheServer library_server(config);
+  library_server.AddApp(kApp, kReservation);
+  LibraryReplay replay(&library_server, kApp);
+  uint64_t library_hits = 0;
+  for (const Request& r : trace) {
+    const std::string key = net::ReplayKeyString(r.key);
+    const uint64_t key_id = Fnv1a64(key);
+    if (r.is_get()) {
+      library_hits += replay.Get(key_id, r.key_size, r.value_size) ? 1 : 0;
+    } else {
+      replay.Set(key_id, r.key_size, r.value_size);
+    }
+  }
+
+  // Socket pass: same config, one connection, demand-fill via the client.
+  StartServer(config, {{kApp, kReservation}}, kApp);
+  net::AsciiClient client = MakeClient();
+  uint64_t socket_hits = 0;
+  uint64_t value_mismatches = 0;
+  for (const Request& r : trace) {
+    const std::string key = net::ReplayKeyString(r.key);
+    if (r.is_get()) {
+      const auto value = client.Get(key);
+      if (value.has_value()) {
+        ++socket_hits;
+        if (value->data != net::ReplayValueBytes(r.key, r.value_size)) {
+          ++value_mismatches;
+        }
+      } else {
+        ASSERT_EQ(client.Set(key, net::ReplayValueBytes(r.key, r.value_size)),
+                  net::AsciiClient::StoreResult::kStored);
+      }
+    } else {
+      ASSERT_EQ(client.Set(key, net::ReplayValueBytes(r.key, r.value_size)),
+                net::AsciiClient::StoreResult::kStored);
+    }
+  }
+  client.Quit();
+
+  EXPECT_EQ(socket_hits, library_hits);
+  EXPECT_EQ(value_mismatches, 0u);
+  ExpectStatsEqual(server_->MergedStats(), library_server.MergedStats(),
+                   "merged");
+  ExpectStatsEqual(server_->AppStats(kApp), library_server.AppStats(kApp),
+                   "app");
+  for (size_t shard = 0; shard < config.num_shards; ++shard) {
+    ExpectStatsEqual(server_->ShardStats(shard),
+                     library_server.ShardStats(shard), "shard");
+  }
+  // The workload must actually have exercised eviction + shadow machinery,
+  // or the equality above proves nothing.
+  const ClassStats merged = server_->MergedStats();
+  EXPECT_GT(merged.gets, 0u);
+  EXPECT_LT(merged.hits, merged.gets);
+  EXPECT_GT(merged.hill_shadow_hits + merged.cliff_shadow_hits, 0u);
+}
+
+}  // namespace
+}  // namespace cliffhanger

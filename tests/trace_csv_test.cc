@@ -1,0 +1,158 @@
+// Edge-case coverage for Trace::LoadCsv / SaveCsv (src/workload/trace.cc):
+// empty files, header-only files, trailing newlines, CRLF line endings,
+// malformed rows mid-file, unknown op tokens, oversized lines — plus the
+// happy-path round trip at size. The loader's contract: *ok=true iff every
+// non-blank data line parsed; on failure it returns the rows parsed so far.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "workload/trace.h"
+
+namespace cliffhanger {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(content.data(), 1, content.size(), f),
+            content.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+constexpr char kHeader[] = "app_id,op,key,key_size,value_size,time_us\n";
+
+TEST(TraceCsvTest, MissingFileFails) {
+  bool ok = true;
+  const Trace trace = Trace::LoadCsv(TestPath("does_not_exist.csv"), &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceCsvTest, EmptyFileLoadsAsEmptyTrace) {
+  const std::string path = TestPath("empty.csv");
+  WriteFile(path, "");
+  bool ok = false;
+  const Trace trace = Trace::LoadCsv(path, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceCsvTest, HeaderOnlyLoadsAsEmptyTrace) {
+  const std::string path = TestPath("header_only.csv");
+  WriteFile(path, kHeader);
+  bool ok = false;
+  const Trace trace = Trace::LoadCsv(path, &ok);
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceCsvTest, TrailingNewlinesAreTolerated) {
+  const std::string path = TestPath("trailing_newline.csv");
+  WriteFile(path, std::string(kHeader) + "1,GET,42,16,100,7\n\n\n");
+  bool ok = false;
+  const Trace trace = Trace::LoadCsv(path, &ok);
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].app_id, 1u);
+  EXPECT_EQ(trace[0].op, Op::kGet);
+  EXPECT_EQ(trace[0].key, 42u);
+  EXPECT_EQ(trace[0].key_size, 16u);
+  EXPECT_EQ(trace[0].value_size, 100u);
+  EXPECT_EQ(trace[0].time_us, 7u);
+}
+
+TEST(TraceCsvTest, LeadingBlankLinesDoNotSwallowTheHeader) {
+  const std::string path = TestPath("leading_blank.csv");
+  WriteFile(path, "\n\r\n" + std::string(kHeader) + "1,GET,5,16,64,0\n");
+  bool ok = false;
+  const Trace trace = Trace::LoadCsv(path, &ok);
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].key, 5u);
+}
+
+TEST(TraceCsvTest, CrlfLineEndingsAreTolerated) {
+  const std::string path = TestPath("crlf.csv");
+  WriteFile(path,
+            "app_id,op,key,key_size,value_size,time_us\r\n"
+            "1,GET,1,16,64,0\r\n"
+            "2,SET,2,20,400,5\r\n"
+            "1,DEL,3,16,0,9\r\n"
+            "\r\n");
+  bool ok = false;
+  const Trace trace = Trace::LoadCsv(path, &ok);
+  EXPECT_TRUE(ok);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[1].op, Op::kSet);
+  EXPECT_EQ(trace[1].app_id, 2u);
+  EXPECT_EQ(trace[1].value_size, 400u);
+  EXPECT_EQ(trace[2].op, Op::kDelete);
+}
+
+TEST(TraceCsvTest, MalformedRowFailsButKeepsParsedPrefix) {
+  const std::string path = TestPath("malformed.csv");
+  WriteFile(path, std::string(kHeader) +
+                      "1,GET,1,16,64,0\n"
+                      "not,a,valid,row\n"
+                      "1,GET,2,16,64,1\n");
+  bool ok = true;
+  const Trace trace = Trace::LoadCsv(path, &ok);
+  EXPECT_FALSE(ok);
+  ASSERT_EQ(trace.size(), 1u);  // rows before the bad one survive
+  EXPECT_EQ(trace[0].key, 1u);
+}
+
+TEST(TraceCsvTest, UnknownOpTokenFails) {
+  const std::string path = TestPath("bad_op.csv");
+  WriteFile(path, std::string(kHeader) + "1,XYZ,1,16,64,0\n");
+  bool ok = true;
+  const Trace trace = Trace::LoadCsv(path, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceCsvTest, MissingFieldsFail) {
+  const std::string path = TestPath("short_row.csv");
+  WriteFile(path, std::string(kHeader) + "1,GET,1,16\n");
+  bool ok = true;
+  Trace trace = Trace::LoadCsv(path, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(TraceCsvTest, RoundTripPreservesEveryField) {
+  Trace trace;
+  for (uint64_t i = 0; i < 500; ++i) {
+    Request r;
+    r.app_id = static_cast<uint32_t>(i % 7);
+    r.op = i % 3 == 0 ? Op::kGet : (i % 3 == 1 ? Op::kSet : Op::kDelete);
+    r.key = i * 0x9E3779B97F4A7C15ULL;  // exercise full 64-bit keys
+    r.key_size = 10 + static_cast<uint32_t>(i % 200);
+    r.value_size = static_cast<uint32_t>(i * 13 % 100000);
+    r.time_us = i * 1000;
+    trace.Append(r);
+  }
+  const std::string path = TestPath("roundtrip_full.csv");
+  ASSERT_TRUE(trace.SaveCsv(path));
+  bool ok = false;
+  const Trace loaded = Trace::LoadCsv(path, &ok);
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(loaded[i].app_id, trace[i].app_id) << i;
+    EXPECT_EQ(loaded[i].op, trace[i].op) << i;
+    EXPECT_EQ(loaded[i].key, trace[i].key) << i;
+    EXPECT_EQ(loaded[i].key_size, trace[i].key_size) << i;
+    EXPECT_EQ(loaded[i].value_size, trace[i].value_size) << i;
+    EXPECT_EQ(loaded[i].time_us, trace[i].time_us) << i;
+  }
+}
+
+}  // namespace
+}  // namespace cliffhanger

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "util/argparse.h"
 #include "util/curve.h"
 #include "util/hashing.h"
 #include "util/rng.h"
@@ -17,6 +18,35 @@
 
 namespace cliffhanger {
 namespace {
+
+TEST(ArgParse, ParseUintStrictness) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseUint("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseUint("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  // Rejected: negatives (strtoull would wrap them), signs, whitespace,
+  // trailing garbage, empty, overflow.
+  EXPECT_FALSE(ParseUint("-1", &v));
+  EXPECT_FALSE(ParseUint("+1", &v));
+  EXPECT_FALSE(ParseUint(" 1", &v));
+  EXPECT_FALSE(ParseUint("113l1", &v));
+  EXPECT_FALSE(ParseUint("two", &v));
+  EXPECT_FALSE(ParseUint("", &v));
+  EXPECT_FALSE(ParseUint(nullptr, &v));
+  EXPECT_FALSE(ParseUint("18446744073709551616", &v));
+}
+
+TEST(ArgParse, ParsePortRange) {
+  uint16_t p = 1;
+  EXPECT_TRUE(ParsePort("65535", /*allow_zero=*/false, &p));
+  EXPECT_EQ(p, 65535);
+  EXPECT_TRUE(ParsePort("0", /*allow_zero=*/true, &p));
+  EXPECT_EQ(p, 0);
+  EXPECT_FALSE(ParsePort("0", /*allow_zero=*/false, &p));
+  EXPECT_FALSE(ParsePort("65536", /*allow_zero=*/true, &p));
+  EXPECT_FALSE(ParsePort("-1", /*allow_zero=*/true, &p));
+}
 
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(42), b(42);
