@@ -16,6 +16,9 @@
 //        --requests N         logical requests per connection (default 20000)
 //        --universe N         key universe per connection stream (default 20000)
 //        --get-fraction F     GET share of the mix (default 0.967)
+//        --mix                blended-verb mode: get/set/incr/touch/cas with
+//                             per-op latency percentile rows (same JSON
+//                             shape; rows named netperf/mix/cN/<op>)
 //        --workers N          in-process server worker threads (default 2)
 //        --shards N           in-process server shards (default 4)
 //        --mode M             default | cliffhanger (default cliffhanger)
@@ -30,6 +33,8 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
 #include "core/sharded_server.h"
 #include "net/ascii_client.h"
 #include "net/cache_adapter.h"
@@ -37,6 +42,7 @@
 #include "net/socket_server.h"
 #include "sim/experiment.h"
 #include "util/argparse.h"
+#include "util/rng.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
 
@@ -53,6 +59,7 @@ struct Options {
   uint64_t requests = 20000;
   uint64_t universe = 20000;
   double get_fraction = 0.967;
+  bool mix = false;  // blended-verb mode with per-op latency rows
   size_t workers = 2;
   size_t shards = 4;
   bool cliffhanger_mode = true;
@@ -140,6 +147,134 @@ WorkerResult RunConnection(const std::string& host, uint16_t port,
   return result;
 }
 
+// --- --mix mode: blended verbs with per-op latency accounting -------------
+
+struct MixResult {
+  // Per-verb latency samples ("get", "set", "incr", "touch", "cas").
+  std::map<std::string, std::vector<double>> latencies_us;
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t cas_conflicts = 0;  // EXISTS/NOT_FOUND races: legal outcomes
+  uint64_t errors = 0;
+};
+
+// One connection's closed loop over a blended verb mix: 60% get
+// (demand-fill), 15% set, 10% incr, 10% touch, 5% cas, chosen per logical
+// request from a seeded RNG so the blend is reproducible.
+MixResult RunMixConnection(const std::string& host, uint16_t port,
+                           const Options& opt, size_t conn_index) {
+  MixResult result;
+  net::AsciiClient client;
+  if (!client.Connect(host, port)) {
+    result.errors = opt.requests;
+    std::fprintf(stderr, "netperf: connect failed: %s\n",
+                 client.last_error().c_str());
+    return result;
+  }
+
+  ZipfTraceSpec spec;
+  spec.requests = opt.requests;
+  spec.universe = opt.universe;
+  spec.zipf_alpha = 0.99;
+  spec.seed = opt.seed + 0x1000 * (conn_index + 1);
+  spec.app_id = kAppId;
+  spec.get_fraction = 1.0;  // ops are re-rolled below
+  const Trace trace = MakeZipfMixTrace(spec);
+  Rng rng(opt.seed ^ (0x313A0 + conn_index));
+
+  using clock = std::chrono::steady_clock;
+  const auto timed = [&](const char* op, const auto& fn) {
+    const auto begin = clock::now();
+    fn();
+    result.latencies_us[op].push_back(
+        std::chrono::duration<double, std::micro>(clock::now() - begin)
+            .count());
+  };
+
+  for (const Request& r : trace) {
+    const std::string key = net::ReplayKeyString(r.key);
+    const uint64_t roll = rng.NextBounded(100);
+    if (roll < 60) {
+      ++result.gets;
+      bool hit = false;
+      timed("get", [&] { hit = client.Get(key).has_value(); });
+      if (hit) {
+        ++result.hits;
+      } else {
+        const std::string data = net::ReplayValueBytes(r.key, r.value_size);
+        timed("set", [&] {
+          if (client.Set(key, data) !=
+              net::AsciiClient::StoreResult::kStored) {
+            ++result.errors;
+          }
+        });
+      }
+    } else if (roll < 75) {
+      const std::string data = net::ReplayValueBytes(r.key, r.value_size);
+      timed("set", [&] {
+        if (client.Set(key, data) !=
+            net::AsciiClient::StoreResult::kStored) {
+          ++result.errors;
+        }
+      });
+    } else if (roll < 85) {
+      // Arithmetic needs a numeric keyspace of its own; a NOT_FOUND miss
+      // is seeded with "0" (counted under "set") so later incrs land.
+      const std::string counter_key = "n:" + key;
+      bool found = false;
+      timed("incr", [&] {
+        found = client.Incr(counter_key, 1).has_value();
+        if (!found && !client.last_error().empty()) ++result.errors;
+      });
+      if (!found) {
+        timed("set", [&] {
+          if (client.Set(counter_key, "0") !=
+              net::AsciiClient::StoreResult::kStored) {
+            ++result.errors;
+          }
+        });
+      }
+    } else if (roll < 95) {
+      timed("touch", [&] {
+        (void)client.Touch(key, 60);  // miss is a legal outcome
+        if (!client.last_error().empty()) ++result.errors;
+      });
+    } else {
+      // cas: optimistic read-modify-write. The connections share one Zipf
+      // keyspace, so another connection can store between the Gets and
+      // the Cas — EXISTS (and NOT_FOUND after an eviction) are legal
+      // outcomes of the protocol's optimistic-locking contract, counted
+      // as conflicts, not errors.
+      const auto versioned = client.Gets(key);
+      if (!versioned.has_value()) {
+        const std::string data = net::ReplayValueBytes(r.key, r.value_size);
+        timed("set", [&] {
+          if (client.Set(key, data) !=
+              net::AsciiClient::StoreResult::kStored) {
+            ++result.errors;
+          }
+        });
+      } else {
+        const std::string data = net::ReplayValueBytes(r.key, r.value_size);
+        timed("cas", [&] {
+          switch (client.Cas(key, data, versioned->cas)) {
+            case net::AsciiClient::StoreResult::kStored:
+              break;
+            case net::AsciiClient::StoreResult::kExists:
+            case net::AsciiClient::StoreResult::kNotFound:
+              ++result.cas_conflicts;
+              break;
+            default:
+              ++result.errors;
+          }
+        });
+      }
+    }
+  }
+  client.Quit();
+  return result;
+}
+
 double Percentile(const std::vector<double>& sorted, double p) {
   if (sorted.empty()) return 0.0;
   const double rank = p * static_cast<double>(sorted.size() - 1);
@@ -195,6 +330,98 @@ Row RunLoad(const std::string& host, uint16_t port, const Options& opt,
   row.p95_us = Percentile(all, 0.95);
   row.p99_us = Percentile(all, 0.99);
   return row;
+}
+
+Row FinishRow(std::string name, size_t connections,
+              std::vector<double>* samples, double seconds) {
+  Row row;
+  row.name = std::move(name);
+  row.connections = connections;
+  row.ops = samples->size();
+  row.seconds = seconds;
+  row.ops_per_sec = seconds > 0.0
+                        ? static_cast<double>(row.ops) / seconds
+                        : 0.0;
+  double sum = 0.0;
+  for (const double v : *samples) sum += v;
+  row.mean_us = samples->empty()
+                    ? 0.0
+                    : sum / static_cast<double>(samples->size());
+  std::sort(samples->begin(), samples->end());
+  row.p50_us = Percentile(*samples, 0.50);
+  row.p95_us = Percentile(*samples, 0.95);
+  row.p99_us = Percentile(*samples, 0.99);
+  return row;
+}
+
+// --mix: one row per verb (same JSON fields; ops_per_sec is that verb's
+// achieved rate within the blend) plus an "all" row with the aggregate.
+std::vector<Row> RunMixLoad(const std::string& host, uint16_t port,
+                            const Options& opt, size_t connections) {
+  std::fprintf(stderr,
+               "netperf: mix mode, %zu connection(s), %llu requests each...\n",
+               connections, static_cast<unsigned long long>(opt.requests));
+  std::vector<MixResult> results(connections);
+  const auto begin = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(connections);
+    for (size_t c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        results[c] = RunMixConnection(host, port, opt, c);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  const double seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - begin)
+                             .count();
+
+  std::map<std::string, std::vector<double>> merged;
+  std::vector<double> all;
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t conflicts = 0;
+  uint64_t errors = 0;
+  for (const MixResult& r : results) {
+    for (const auto& [op, samples] : r.latencies_us) {
+      merged[op].insert(merged[op].end(), samples.begin(), samples.end());
+      all.insert(all.end(), samples.begin(), samples.end());
+    }
+    gets += r.gets;
+    hits += r.hits;
+    conflicts += r.cas_conflicts;
+    errors += r.errors;
+  }
+  if (conflicts > 0) {
+    std::fprintf(stderr, "netperf: %llu cas conflicts (legal races)\n",
+                 static_cast<unsigned long long>(conflicts));
+  }
+  if (errors > 0) {
+    std::fprintf(stderr, "netperf: %llu request errors in mix mode\n",
+                 static_cast<unsigned long long>(errors));
+    std::exit(1);
+  }
+
+  const std::string prefix =
+      "netperf/mix/c" + std::to_string(connections) + "/";
+  std::vector<Row> rows;
+  // Fixed emission order so row names are stable for compare_bench.py.
+  for (const char* op : {"get", "set", "incr", "touch", "cas"}) {
+    auto it = merged.find(op);
+    if (it == merged.end()) continue;
+    Row row = FinishRow(prefix + op, connections, &it->second, seconds);
+    if (std::string_view(op) == "get") {
+      row.gets = gets;
+      row.hits = hits;
+    }
+    rows.push_back(std::move(row));
+  }
+  Row total = FinishRow(prefix + "all", connections, &all, seconds);
+  total.gets = gets;
+  total.hits = hits;
+  rows.push_back(std::move(total));
+  return rows;
 }
 
 void PrintJson(const Options& opt, const std::vector<Row>& rows) {
@@ -281,6 +508,8 @@ int Main(int argc, char** argv) {
       uint64_t parsed = 0;
       if (v == nullptr || !ParseUint(v, &parsed)) return 1;
       opt.universe = parsed;
+    } else if (std::strcmp(argv[i], "--mix") == 0) {
+      opt.mix = true;
     } else if (std::strcmp(argv[i], "--get-fraction") == 0) {
       const char* v = next();
       if (v == nullptr) return 1;
@@ -321,7 +550,7 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--connect HOST:PORT] [--connections N] "
-                   "[--requests N] [--universe N] [--get-fraction F] "
+                   "[--requests N] [--universe N] [--get-fraction F] [--mix] "
                    "[--workers N] [--shards N] [--mode default|cliffhanger]\n",
                    argv[0]);
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
@@ -355,8 +584,10 @@ int Main(int argc, char** argv) {
       config.rebalance_interval_ops = 100000;
       server = std::make_unique<ShardedCacheServer>(config);
       server->AddApp(kAppId, kReservation);
-      adapter = std::make_unique<net::CacheAdapter>(
-          server.get(), net::CacheAdapterConfig{kAppId, true});
+      net::CacheAdapterConfig adapter_config;
+      adapter_config.default_app_id = kAppId;
+      adapter = std::make_unique<net::CacheAdapter>(server.get(),
+                                                    adapter_config);
       net::SocketServerConfig net_config;
       net_config.port = 0;
       net_config.num_workers = opt.workers;
@@ -371,7 +602,13 @@ int Main(int argc, char** argv) {
       host = "127.0.0.1";
       port = socket_server->port();
     }
-    rows.push_back(RunLoad(host, port, opt, connections));
+    if (opt.mix) {
+      std::vector<Row> mix_rows = RunMixLoad(host, port, opt, connections);
+      rows.insert(rows.end(), std::make_move_iterator(mix_rows.begin()),
+                  std::make_move_iterator(mix_rows.end()));
+    } else {
+      rows.push_back(RunLoad(host, port, opt, connections));
+    }
     if (socket_server) socket_server->Stop();
   }
   PrintJson(opt, rows);

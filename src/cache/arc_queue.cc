@@ -23,11 +23,12 @@ void ArcQueue::MoveToMru(uint32_t idx, List list) {
   ChainOf(list).PushFront(arena_, idx);
 }
 
-void ArcQueue::InsertMru(List list, uint64_t key) {
+void ArcQueue::InsertMru(List list, uint64_t key, uint32_t expiry_s) {
   const uint32_t idx = arena_.Allocate();
   Node& n = arena_[idx];
   n.key = key;
   n.list = static_cast<uint32_t>(list);
+  n.expiry_s = expiry_s;
   ChainOf(list).PushFront(arena_, idx);
   index_.Insert(key, idx);
 }
@@ -52,7 +53,20 @@ void ArcQueue::Replace(bool in_b2) {
 GetResult ArcQueue::Get(const ItemMeta& item) {
   GetResult result;
   if (capacity_items_ == 0) return result;
-  const uint32_t found = index_.Find(item.key);
+  uint32_t found = index_.Find(item.key);
+  if (found != FlatIndex::kNotFound) {
+    const Node& n = arena_[found];
+    const List list = static_cast<List>(n.list);
+    if ((list == List::kT1 || list == List::kT2) &&
+        ExpiredAt(n.expiry_s, item.now_s)) {
+      // Lazy expiration of a resident item; fall through to the complete-
+      // miss path (Case IV) so the access re-admits like any cold key.
+      // Ghost entries keep their (stale) expiry: they are keys-only
+      // eviction history, and promotion out of a ghost re-stamps it.
+      Remove(found);
+      found = FlatIndex::kNotFound;
+    }
+  }
   const List in = found == FlatIndex::kNotFound
                       ? List::kT1  // unused
                       : static_cast<List>(arena_[found].list);
@@ -75,6 +89,7 @@ GetResult ArcQueue::Get(const ItemMeta& item) {
                                             static_cast<double>(b1_items()));
     p_ = std::min(c, p_ + delta);
     Replace(/*in_b2=*/false);
+    arena_[found].expiry_s = item.expiry_s;  // ghost -> resident: re-admit
     MoveToMru(found, List::kT2);
     result.region = HitRegion::kHillShadow;  // ghost hit: shadow-like signal
     return result;
@@ -88,6 +103,7 @@ GetResult ArcQueue::Get(const ItemMeta& item) {
                                             static_cast<double>(b2_items()));
     p_ = std::max(0.0, p_ - delta);
     Replace(/*in_b2=*/true);
+    arena_[found].expiry_s = item.expiry_s;  // ghost -> resident: re-admit
     MoveToMru(found, List::kT2);
     result.region = HitRegion::kHillShadow;
     return result;
@@ -108,17 +124,37 @@ GetResult ArcQueue::Get(const ItemMeta& item) {
     if (l1 + l2 == 2 * capacity_items_) EvictGhostLru(List::kB2);
     Replace(/*in_b2=*/false);
   }
-  InsertMru(List::kT1, item.key);
+  InsertMru(List::kT1, item.key, item.expiry_s);
   result.region = HitRegion::kMiss;
   return result;
 }
 
 void ArcQueue::Fill(const ItemMeta& item) {
-  // Get() already admitted the key on a miss; only handle explicit SETs for
-  // keys never requested.
-  if (!index_.Contains(item.key)) {
+  // Get() already admitted the key on a miss; an explicit SET of a
+  // resident key re-stamps its expiry (a fresh store replaces the TTL).
+  const uint32_t idx = index_.Find(item.key);
+  if (idx == FlatIndex::kNotFound) {
     (void)Get(item);
+    return;
   }
+  arena_[idx].expiry_s = item.expiry_s;
+}
+
+bool ArcQueue::Touch(const ItemMeta& item) {
+  const uint32_t idx = index_.Find(item.key);
+  if (idx == FlatIndex::kNotFound) return false;
+  Node& n = arena_[idx];
+  const List list = static_cast<List>(n.list);
+  if (list != List::kT1 && list != List::kT2) return false;  // ghost
+  if (ExpiredAt(n.expiry_s, item.now_s)) {
+    Remove(idx);
+    return false;
+  }
+  if (item.expiry_s != kKeepExpiry) n.expiry_s = item.expiry_s;
+  // A touch is a frequency signal like any other access: promote to T2
+  // without the ghost-adaptation step (the item was resident).
+  MoveToMru(idx, List::kT2);
+  return true;
 }
 
 void ArcQueue::Delete(uint64_t key) {

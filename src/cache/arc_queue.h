@@ -27,10 +27,14 @@ class ArcQueue final : public ClassQueue {
   explicit ArcQueue(uint32_t chunk_size);
 
   // ARC performs hit processing, ghost adaptation and insertion as one
-  // request step, so Get() does the complete work and Fill() is a no-op
-  // when the key is already resident.
+  // request step, so Get() does the complete work and Fill() only updates
+  // expiry when the key is already resident. A resident hit whose expiry
+  // has passed item.now_s is erased outright (lazy expiration) and the
+  // access proceeds as a complete miss — not a ghost hit: the ghost lists
+  // model eviction history, and an expired item was never evicted.
   GetResult Get(const ItemMeta& item) override;
   void Fill(const ItemMeta& item) override;
+  bool Touch(const ItemMeta& item) override;
   void Delete(uint64_t key) override;
 
   void SetCapacityBytes(uint64_t bytes) override;
@@ -58,8 +62,10 @@ class ArcQueue final : public ClassQueue {
     uint64_t key = 0;
     uint32_t prev = kNullNode;
     uint32_t next = kNullNode;
-    uint32_t list = 0;  // List enum value
+    uint32_t list = 0;      // List enum value
+    uint32_t expiry_s = 0;  // rides in padding slack: sizeof stays 24
   };
+  static_assert(sizeof(Node) == 24, "expiry_s must fit the padding slack");
 
   [[nodiscard]] IntrusiveChain<Node>& ChainOf(List list) {
     return chains_[static_cast<size_t>(list)];
@@ -73,7 +79,7 @@ class ArcQueue final : public ClassQueue {
   // Relink an existing node to the MRU end of `list` (no index churn).
   void MoveToMru(uint32_t idx, List list);
   // Admit a new key at the MRU end of `list`.
-  void InsertMru(List list, uint64_t key);
+  void InsertMru(List list, uint64_t key, uint32_t expiry_s);
   // Demote one resident item to the appropriate ghost list.
   void Replace(bool in_b2);
   void EvictGhostLru(List list);

@@ -27,6 +27,10 @@ GetResult GlobalLogQueue::Get(const ItemMeta& item) {
   GetResult result;
   const SegmentedLru::Handle h = lru_.FindHandle(item.key);
   if (h != SegmentedLru::kNoHandle) {
+    if (lru_.HandleExpired(h, item.now_s)) {
+      lru_.EraseHandle(h);  // lazy expiration, same as the slab queues
+      return result;
+    }
     lru_.Promote(h, 0);
     result.hit = true;
     result.region = HitRegion::kPhysical;
@@ -42,7 +46,20 @@ void GlobalLogQueue::Fill(const ItemMeta& item) {
   entry.full_bytes = static_cast<uint32_t>(
       ExactFootprint(item.key_size, item.value_size));
   entry.key_bytes = item.key_size;
+  entry.expiry_s = item.expiry_s;
   lru_.Insert(entry, 0);
+}
+
+bool GlobalLogQueue::Touch(const ItemMeta& item) {
+  const SegmentedLru::Handle h = lru_.FindHandle(item.key);
+  if (h == SegmentedLru::kNoHandle) return false;
+  if (lru_.HandleExpired(h, item.now_s)) {
+    lru_.EraseHandle(h);
+    return false;
+  }
+  if (item.expiry_s != kKeepExpiry) lru_.SetHandleExpiry(h, item.expiry_s);
+  lru_.Promote(h, 0);
+  return true;
 }
 
 void GlobalLogQueue::Delete(uint64_t key) { lru_.Erase(key); }

@@ -20,6 +20,7 @@ class GlobalLogQueue final : public ClassQueue {
 
   GetResult Get(const ItemMeta& item) override;
   void Fill(const ItemMeta& item) override;
+  bool Touch(const ItemMeta& item) override;
   void Delete(uint64_t key) override;
 
   void SetCapacityBytes(uint64_t bytes) override;

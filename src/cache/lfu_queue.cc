@@ -56,6 +56,12 @@ GetResult LfuQueue::Get(const ItemMeta& item) {
   GetResult result;
   const uint32_t idx = index_.Find(item.key);
   if (idx != FlatIndex::kNotFound) {
+    if (ExpiredAt(item_arena_[idx].expiry_s, item.now_s)) {
+      // Lazy expiration: frequency history dies with the item, exactly as
+      // if it had been evicted — a refill starts back at frequency 1.
+      Delete(item.key);
+      return result;
+    }
     Bump(idx);
     result.hit = true;
     result.region = HitRegion::kPhysical;
@@ -63,10 +69,25 @@ GetResult LfuQueue::Get(const ItemMeta& item) {
   return result;
 }
 
+bool LfuQueue::Touch(const ItemMeta& item) {
+  const uint32_t idx = index_.Find(item.key);
+  if (idx == FlatIndex::kNotFound) return false;
+  if (ExpiredAt(item_arena_[idx].expiry_s, item.now_s)) {
+    Delete(item.key);
+    return false;
+  }
+  if (item.expiry_s != kKeepExpiry) {
+    item_arena_[idx].expiry_s = item.expiry_s;
+  }
+  Bump(idx);  // a touch is an access: it counts toward frequency
+  return true;
+}
+
 void LfuQueue::Fill(const ItemMeta& item) {
   if (capacity_items_ == 0) return;
   const uint32_t existing = index_.Find(item.key);
   if (existing != FlatIndex::kNotFound) {
+    item_arena_[existing].expiry_s = item.expiry_s;  // fresh store, fresh TTL
     Bump(existing);
     return;
   }
@@ -86,6 +107,7 @@ void LfuQueue::Fill(const ItemMeta& item) {
   ItemNode& n = item_arena_[idx];
   n.key = item.key;
   n.bucket = b;
+  n.expiry_s = item.expiry_s;
   bucket_arena_[b].items.PushFront(item_arena_, idx);
   index_.Insert(item.key, idx);
 }

@@ -25,6 +25,7 @@ class LfuQueue final : public ClassQueue {
 
   GetResult Get(const ItemMeta& item) override;
   void Fill(const ItemMeta& item) override;
+  bool Touch(const ItemMeta& item) override;
   void Delete(uint64_t key) override;
 
   void SetCapacityBytes(uint64_t bytes) override;
@@ -47,7 +48,10 @@ class LfuQueue final : public ClassQueue {
     uint32_t prev = kNullNode;
     uint32_t next = kNullNode;
     uint32_t bucket = kNullNode;  // owning BucketNode index
+    uint32_t expiry_s = 0;        // rides in padding slack: sizeof stays 24
   };
+  static_assert(sizeof(ItemNode) == 24,
+                "expiry_s must fit the padding slack");
   struct BucketNode {
     uint64_t freq = 0;
     IntrusiveChain<ItemNode> items;  // MRU at the front

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "cache/types.h"
+
 namespace cliffhanger {
 
 SegmentedLru::SegmentedLru(std::vector<SegmentConfig> segments) {
@@ -46,12 +48,30 @@ void SegmentedLru::AttachFront(size_t seg, uint32_t idx) {
   s.bytes += Charge(s, arena_[idx]);
 }
 
+uint32_t SegmentedLru::HandleExpiry(Handle h) const {
+  return arena_[h].expiry_s;
+}
+
+void SegmentedLru::SetHandleExpiry(Handle h, uint32_t expiry_s) {
+  arena_[h].expiry_s = expiry_s;
+}
+
+bool SegmentedLru::HandleExpired(Handle h, uint32_t now_s) const {
+  return ExpiredAt(arena_[h].expiry_s, now_s);
+}
+
 void SegmentedLru::Erase(uint64_t key) {
   const uint32_t idx = index_.Find(key);
   if (idx == FlatIndex::kNotFound) return;
   Detach(idx);
   index_.Erase(key);
   arena_.Free(idx);
+}
+
+void SegmentedLru::EraseHandle(Handle h) {
+  Detach(h);
+  index_.Erase(arena_[h].key);
+  arena_.Free(h);
 }
 
 bool SegmentedLru::MoveToFront(uint64_t key, size_t target_seg) {
@@ -68,6 +88,7 @@ void SegmentedLru::Insert(const Entry& entry, size_t target_seg) {
   n.key = entry.key;
   n.full_bytes = entry.full_bytes;
   n.key_bytes = entry.key_bytes;
+  n.expiry_s = entry.expiry_s;
   index_.Insert(entry.key, idx);
   AttachFront(target_seg, idx);
   Cascade(target_seg);

@@ -48,6 +48,7 @@ class SegmentedLru {
     uint64_t key = 0;
     uint32_t full_bytes = 0;  // chunk footprint while in a physical segment
     uint32_t key_bytes = 0;   // footprint while in a keys-only segment
+    uint32_t expiry_s = 0;    // absolute expiry second; 0 = never
   };
 
   explicit SegmentedLru(std::vector<SegmentConfig> segments);
@@ -67,8 +68,18 @@ class SegmentedLru {
   // valid (obtained from FindHandle and not erased/evicted since).
   void Promote(Handle h, size_t target_seg);
 
+  // Expiry metadata on the node behind a valid handle. Expiry is a stored
+  // attribute only — enforcement (the lazy expire-on-access path) is the
+  // caller's: check HandleExpired, then EraseHandle and report a miss.
+  [[nodiscard]] uint32_t HandleExpiry(Handle h) const;
+  void SetHandleExpiry(Handle h, uint32_t expiry_s);
+  [[nodiscard]] bool HandleExpired(Handle h, uint32_t now_s) const;
+
   // Remove `key` from whichever segment holds it. No-op when absent.
   void Erase(uint64_t key);
+  // Remove the node behind a valid handle (one probe cheaper than Erase
+  // when the caller already resolved the key — the lazy-expiration path).
+  void EraseHandle(Handle h);
 
   // Move an existing key to the front of `target_seg` (LRU promotion or
   // midpoint insertion policy). Returns false when the key is absent.
@@ -109,7 +120,11 @@ class SegmentedLru {
     uint32_t prev = kNullNode;
     uint32_t next = kNullNode;
     uint32_t seg = 0;
+    // Rides in what was alignment padding: sizeof(Node) stays 32, so the
+    // §5.7 shadow-overhead accounting is unchanged by expiry support.
+    uint32_t expiry_s = 0;
   };
+  static_assert(sizeof(Node) == 32, "expiry_s must fit the padding slack");
 
  public:
   // Honest per-item bookkeeping footprint of this implementation: one pool

@@ -89,6 +89,14 @@ GetResult SlabClassQueue::Get(const ItemMeta& item) {
   // One index probe for the whole GET: the handle both classifies the hit
   // region and drives the promotion.
   const SegmentedLru::Handle h = lru_.FindHandle(item.key);
+  if (h != SegmentedLru::kNoHandle && lru_.HandleExpired(h, item.now_s)) {
+    // Lazy expiration (O(1), on access): the item — physical or shadow —
+    // is erased and the access is a full miss, with no shadow credit; a
+    // real memcached would have reclaimed it, so crediting the climbers
+    // for it would overstate what extra memory could buy.
+    lru_.EraseHandle(h);
+    return result;
+  }
   const int seg = h == SegmentedLru::kNoHandle ? -1 : lru_.HandleSegment(h);
   switch (seg) {
     case kHead:
@@ -121,9 +129,29 @@ void SlabClassQueue::Fill(const ItemMeta& item) {
   entry.key = item.key;
   entry.full_bytes = config_.chunk_size;
   entry.key_bytes = item.key_size + kShadowNodeOverhead;
+  entry.expiry_s = item.expiry_s;
   const size_t target =
       config_.policy == InsertionPolicy::kMidpoint ? kMid : kHead;
   lru_.Insert(entry, target);
+}
+
+bool SlabClassQueue::Touch(const ItemMeta& item) {
+  const SegmentedLru::Handle h = lru_.FindHandle(item.key);
+  if (h == SegmentedLru::kNoHandle) return false;
+  if (lru_.HandleExpired(h, item.now_s)) {
+    lru_.EraseHandle(h);
+    return false;
+  }
+  const int seg = lru_.HandleSegment(h);
+  if (seg > static_cast<int>(kTail)) {
+    return false;  // shadow-only entry: not really resident
+  }
+  if (item.expiry_s != kKeepExpiry) lru_.SetHandleExpiry(h, item.expiry_s);
+  // memcached's touch refreshes LRU standing; it does not emit the GET
+  // signals (no stats, no tail/shadow classification), so the climbers
+  // see touches only through the eviction order they produce.
+  lru_.Promote(h, kHead);
+  return true;
 }
 
 void SlabClassQueue::Delete(uint64_t key) { lru_.Erase(key); }
@@ -161,16 +189,27 @@ GetResult PartitionedSlabQueue::Get(const ItemMeta& item) {
   const int other_seg = other.lru().Find(item.key);
   if (other_seg >= 0 && other_seg <= 2) {
     GetResult other_result = other.Get(item);
+    // The inner Get may have lazily expired the entry; only a surviving
+    // physical hit counts.
+    if (!other_result.hit) return result;
     other_result.side = side == Side::kLeft ? Side::kRight : Side::kLeft;
     // Report the routed side's shadow signal if it had one; otherwise the
     // plain physical hit.
     other_result.region = result.region == HitRegion::kMiss
                               ? other_result.region
                               : result.region;
-    other_result.hit = true;
     return other_result;
   }
   return result;
+}
+
+bool PartitionedSlabQueue::Touch(const ItemMeta& item) {
+  const Side side = Route(item.key);
+  SlabClassQueue& routed = side == Side::kLeft ? *left_ : *right_;
+  SlabClassQueue& other = side == Side::kLeft ? *right_ : *left_;
+  // Same both-sides rule as Get: a ratio move must not hide a resident
+  // item from touch. Shadow entries report absent on either side.
+  return routed.Touch(item) || other.Touch(item);
 }
 
 void PartitionedSlabQueue::Fill(const ItemMeta& item) {

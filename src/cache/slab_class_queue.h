@@ -29,6 +29,7 @@ class SlabClassQueue final : public ClassQueue {
 
   GetResult Get(const ItemMeta& item) override;
   void Fill(const ItemMeta& item) override;
+  bool Touch(const ItemMeta& item) override;
   void Delete(uint64_t key) override;
 
   void SetCapacityBytes(uint64_t bytes) override;
@@ -88,6 +89,7 @@ class PartitionedSlabQueue final : public ClassQueue {
 
   GetResult Get(const ItemMeta& item) override;
   void Fill(const ItemMeta& item) override;
+  bool Touch(const ItemMeta& item) override;
   void Delete(uint64_t key) override;
 
   // The byte capacity is tracked exactly (not rounded to whole chunks):

@@ -38,11 +38,52 @@ enum class InsertionPolicy : uint8_t { kLru, kMidpoint };
 // Sizes of the item being operated on; value sizes are a deterministic
 // function of the key in all generators, so a refill after a miss recreates
 // the same footprint.
+//
+// Time model: the cache layers are clockless — every operation carries its
+// own access time (`now_s`, seconds), so expiry is a deterministic function
+// of the operation stream. The simulator derives now_s from the trace's
+// virtual time; the network adapter stamps it from an injectable wall
+// clock. `expiry_s` is the absolute expiry second stored on Fill (0 =
+// never). An item is expired iff expiry_s != 0 && expiry_s <= now_s;
+// now_s == 0 disables expiry evaluation (legacy/simulation callers), so
+// real clocks must never report second 0.
 struct ItemMeta {
   uint64_t key = 0;
   uint32_t key_size = 16;
   uint32_t value_size = 0;
+  uint32_t expiry_s = 0;  // absolute expiry second; 0 = never expires
+  uint32_t now_s = 0;     // access time for lazy expiry; 0 = no checking
 };
+
+[[nodiscard]] inline bool ExpiredAt(uint32_t expiry_s, uint32_t now_s) {
+  return expiry_s != 0 && expiry_s <= now_s;
+}
+
+// Touch with ItemMeta::expiry_s == kKeepExpiry refreshes recency without
+// changing the stored expiry — the incr/decr path, where the caller (e.g.
+// a trace replay) may not know the item's stored TTL and must not clear
+// it. Protocol exptime normalization never produces this value
+// (net::AbsoluteExpiry clamps below it), so it is unambiguous.
+inline constexpr uint32_t kKeepExpiry = UINT32_MAX;
+
+// Full memcached item metadata as the upper layers carry it: the opaque
+// client flags, the absolute expiry and the compare-and-swap version. The
+// cache queues store only expiry_s (the piece eviction semantics depend
+// on); flags and cas live in the value side-table of whoever owns the
+// payload bytes (net::CacheAdapter for the network front end).
+struct ItemAttrs {
+  uint32_t flags = 0;
+  uint32_t expiry_s = 0;  // absolute; 0 = never
+  uint64_t cas = 0;       // monotonically assigned per store
+};
+
+// Op-based mutation surface of the core (CacheServer::Mutate). The
+// protocol-level conditional verbs (add/replace/cas/append/prepend/incr/
+// decr) all reduce to these three once the payload owner has consulted its
+// value table: a store becomes kFill (with the new size), touch becomes
+// kTouch (expiry update + recency bump, no statistics mutation), and an
+// invalidation (delete, expired reclaim, flush) becomes kErase.
+enum class MutateOp : uint8_t { kFill, kTouch, kErase };
 
 // Minimal queue interface shared by the slab-class queue and the
 // alternative eviction schemes (ARC, LFU) so the server and the benches can
@@ -51,10 +92,21 @@ class ClassQueue {
  public:
   virtual ~ClassQueue() = default;
 
-  // Lookup + recency/frequency update. Does not insert on miss.
+  // Lookup + recency/frequency update. Does not insert on miss. Expiry is
+  // lazy: a hit on an item whose stored expiry_s has passed item.now_s is
+  // erased on the spot (O(1), no background sweeper) and classified as a
+  // full miss — no shadow credit, exactly as if memcached had already
+  // reclaimed it.
   virtual GetResult Get(const ItemMeta& item) = 0;
-  // Store after a miss (demand fill) or an explicit SET.
+  // Store after a miss (demand fill) or an explicit SET; records
+  // item.expiry_s with the entry.
   virtual void Fill(const ItemMeta& item) = 0;
+  // Update an existing item's expiry to item.expiry_s and refresh its
+  // recency/frequency standing (memcached `touch`). Returns true only when
+  // the item was physically resident and unexpired at item.now_s; an
+  // expired item is erased (same lazy path as Get) and reported absent.
+  // Shadow-only entries are left untouched and reported absent.
+  virtual bool Touch(const ItemMeta& item) = 0;
   virtual void Delete(uint64_t key) = 0;
 
   virtual void SetCapacityBytes(uint64_t bytes) = 0;

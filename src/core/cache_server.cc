@@ -216,6 +216,35 @@ bool AppCache::Set(const ItemMeta& item) {
   return true;
 }
 
+bool AppCache::Touch(const ItemMeta& item) {
+  if (config_.eviction == EvictionScheme::kGlobalLog) {
+    return GetOrCreateEntry(0).queue->Touch(item);
+  }
+  const int slab_class =
+      SlabClassFor(ExactFootprint(item.key_size, item.value_size));
+  if (slab_class < 0) return false;
+  // Like Delete, never materializes a class: touching an absent key must
+  // not allocate queue state.
+  const auto it = classes_.find(slab_class);
+  return it != classes_.end() && it->second->queue->Touch(item);
+}
+
+Outcome AppCache::Mutate(MutateOp op, const ItemMeta& item) {
+  Outcome outcome;
+  switch (op) {
+    case MutateOp::kFill:
+      outcome.cacheable = Set(item);
+      break;
+    case MutateOp::kTouch:
+      outcome.hit = Touch(item);
+      break;
+    case MutateOp::kErase:
+      Delete(item);
+      break;
+  }
+  return outcome;
+}
+
 void AppCache::Delete(const ItemMeta& item) {
   if (config_.eviction == EvictionScheme::kGlobalLog) {
     GetOrCreateEntry(0).queue->Delete(item.key);
@@ -404,10 +433,23 @@ bool CacheServer::Set(uint32_t app_id, const ItemMeta& item) {
   return a->Set(item);
 }
 
+bool CacheServer::Touch(uint32_t app_id, const ItemMeta& item) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  return a->Touch(item);
+}
+
 void CacheServer::Delete(uint32_t app_id, const ItemMeta& item) {
   AppCache* a = app(app_id);
   assert(a != nullptr);
   a->Delete(item);
+}
+
+Outcome CacheServer::Mutate(uint32_t app_id, MutateOp op,
+                            const ItemMeta& item) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  return a->Mutate(op, item);
 }
 
 void CacheServer::OnAppShadowHit(size_t app_index) {

@@ -105,7 +105,17 @@ class AppCache {
   // statistics; false when no slab class fits the item. (kGlobalLog packs
   // items contiguously, so it admits any size and always returns true.)
   bool Set(const ItemMeta& item);
+  // memcached `touch`: refresh item.expiry_s and the item's recency
+  // standing. True only for a physically resident, unexpired item; does
+  // not mutate the GET statistics or the shadow signals.
+  bool Touch(const ItemMeta& item);
   void Delete(const ItemMeta& item);
+
+  // Op-based mutation surface (see MutateOp in cache/types.h): kFill maps
+  // to Set (Outcome::cacheable = admitted), kTouch to Touch (Outcome::hit
+  // = resident), kErase to Delete. One entry point for drivers that carry
+  // an op stream rather than calling the verbs directly.
+  Outcome Mutate(MutateOp op, const ItemMeta& item);
 
   // Fixed allocation for AllocationMode::kStatic (bytes per slab class).
   void SetStaticAllocation(const std::map<int, uint64_t>& bytes_per_class);
@@ -168,7 +178,9 @@ class CacheServer {
   // item was cacheable (counted in the per-class statistics).
   Outcome Get(uint32_t app_id, const ItemMeta& item);
   bool Set(uint32_t app_id, const ItemMeta& item);
+  bool Touch(uint32_t app_id, const ItemMeta& item);
   void Delete(uint32_t app_id, const ItemMeta& item);
+  Outcome Mutate(uint32_t app_id, MutateOp op, const ItemMeta& item);
 
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] ClassStats TotalStats() const;

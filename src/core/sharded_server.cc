@@ -108,6 +108,19 @@ bool ShardedCacheServer::Set(uint32_t app_id, const ItemMeta& item) {
   return counted;
 }
 
+bool ShardedCacheServer::Touch(uint32_t app_id, const ItemMeta& item) {
+  Shard& shard = *shards_[ShardForKey(item.key)];
+  bool resident;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    resident = shard.server->Touch(app_id, item);
+  }
+  // Touch mutates no per-class statistics, so there is nothing to mirror
+  // into the lock-free counters; it still advances the rebalance cadence.
+  BumpOpCount(shard);
+  return resident;
+}
+
 void ShardedCacheServer::Delete(uint32_t app_id, const ItemMeta& item) {
   Shard& shard = *shards_[ShardForKey(item.key)];
   {
@@ -115,6 +128,25 @@ void ShardedCacheServer::Delete(uint32_t app_id, const ItemMeta& item) {
     shard.server->Delete(app_id, item);
   }
   BumpOpCount(shard);
+}
+
+Outcome ShardedCacheServer::Mutate(uint32_t app_id, MutateOp op,
+                                   const ItemMeta& item) {
+  // Delegate to the routed verbs so every op shares their locking and
+  // counter-mirroring discipline exactly.
+  Outcome outcome;
+  switch (op) {
+    case MutateOp::kFill:
+      outcome.cacheable = Set(app_id, item);
+      break;
+    case MutateOp::kTouch:
+      outcome.hit = Touch(app_id, item);
+      break;
+    case MutateOp::kErase:
+      Delete(app_id, item);
+      break;
+  }
+  return outcome;
 }
 
 ClassStats ShardedCacheServer::TotalStats() const {

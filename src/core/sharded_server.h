@@ -59,9 +59,14 @@ class ShardedCacheServer {
 
   // Thread-safe routed operations; the app must have been added. Set
   // returns true when the item was cacheable (same as CacheServer::Set).
+  // Touch refreshes expiry + recency of a resident item (no statistics
+  // mutation); Mutate is the op-based surface (kFill/kTouch/kErase, see
+  // cache/types.h) for drivers carrying an op stream.
   Outcome Get(uint32_t app_id, const ItemMeta& item);
   bool Set(uint32_t app_id, const ItemMeta& item);
+  bool Touch(uint32_t app_id, const ItemMeta& item);
   void Delete(uint32_t app_id, const ItemMeta& item);
+  Outcome Mutate(uint32_t app_id, MutateOp op, const ItemMeta& item);
 
   [[nodiscard]] size_t num_shards() const { return num_shards_; }
   [[nodiscard]] size_t ShardForKey(uint64_t key) const {

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "net/ascii_protocol.h"
+#include "util/argparse.h"
 
 namespace cliffhanger {
 namespace net {
@@ -221,16 +222,22 @@ std::map<std::string, AsciiClient::Value> AsciiClient::MultiGet(
 
 AsciiClient::StoreResult AsciiClient::StoreCommand(
     std::string_view verb, std::string_view key, std::string_view value,
-    uint32_t flags, int64_t exptime, bool noreply) {
+    uint32_t flags, int64_t exptime, const uint64_t* cas, bool noreply) {
   error_.clear();
   std::string req;
   req.reserve(key.size() + value.size() + 64);
   req.append(verb);
   req.push_back(' ');
   req.append(key);
-  char meta[80];
-  std::snprintf(meta, sizeof(meta), " %u %lld %zu", flags,
-                static_cast<long long>(exptime), value.size());
+  char meta[112];
+  if (cas != nullptr) {
+    std::snprintf(meta, sizeof(meta), " %u %lld %zu %llu", flags,
+                  static_cast<long long>(exptime), value.size(),
+                  static_cast<unsigned long long>(*cas));
+  } else {
+    std::snprintf(meta, sizeof(meta), " %u %lld %zu", flags,
+                  static_cast<long long>(exptime), value.size());
+  }
   req.append(meta);
   if (noreply) req.append(" noreply");
   req.append("\r\n");
@@ -242,6 +249,8 @@ AsciiClient::StoreResult AsciiClient::StoreCommand(
   if (!ReadLine(&line)) return StoreResult::kError;
   if (line == "STORED") return StoreResult::kStored;
   if (line == "NOT_STORED") return StoreResult::kNotStored;
+  if (line == "EXISTS") return StoreResult::kExists;
+  if (line == "NOT_FOUND") return StoreResult::kNotFound;
   error_ = "store response: " + line;
   return StoreResult::kError;
 }
@@ -250,21 +259,118 @@ AsciiClient::StoreResult AsciiClient::Set(std::string_view key,
                                           std::string_view value,
                                           uint32_t flags, int64_t exptime,
                                           bool noreply) {
-  return StoreCommand("set", key, value, flags, exptime, noreply);
+  return StoreCommand("set", key, value, flags, exptime, nullptr, noreply);
 }
 
 AsciiClient::StoreResult AsciiClient::Add(std::string_view key,
                                           std::string_view value,
                                           uint32_t flags, int64_t exptime,
                                           bool noreply) {
-  return StoreCommand("add", key, value, flags, exptime, noreply);
+  return StoreCommand("add", key, value, flags, exptime, nullptr, noreply);
 }
 
 AsciiClient::StoreResult AsciiClient::Replace(std::string_view key,
                                               std::string_view value,
                                               uint32_t flags, int64_t exptime,
                                               bool noreply) {
-  return StoreCommand("replace", key, value, flags, exptime, noreply);
+  return StoreCommand("replace", key, value, flags, exptime, nullptr,
+                      noreply);
+}
+
+AsciiClient::StoreResult AsciiClient::Append(std::string_view key,
+                                             std::string_view value,
+                                             uint32_t flags, int64_t exptime,
+                                             bool noreply) {
+  return StoreCommand("append", key, value, flags, exptime, nullptr,
+                      noreply);
+}
+
+AsciiClient::StoreResult AsciiClient::Prepend(std::string_view key,
+                                              std::string_view value,
+                                              uint32_t flags, int64_t exptime,
+                                              bool noreply) {
+  return StoreCommand("prepend", key, value, flags, exptime, nullptr,
+                      noreply);
+}
+
+AsciiClient::StoreResult AsciiClient::Cas(std::string_view key,
+                                          std::string_view value,
+                                          uint64_t cas, uint32_t flags,
+                                          int64_t exptime, bool noreply) {
+  return StoreCommand("cas", key, value, flags, exptime, &cas, noreply);
+}
+
+std::optional<uint64_t> AsciiClient::ArithCommand(std::string_view verb,
+                                                  std::string_view key,
+                                                  uint64_t delta,
+                                                  bool noreply) {
+  error_.clear();
+  std::string req(verb);
+  req.push_back(' ');
+  req.append(key);
+  char meta[32];
+  std::snprintf(meta, sizeof(meta), " %llu",
+                static_cast<unsigned long long>(delta));
+  req.append(meta);
+  if (noreply) req.append(" noreply");
+  req.append("\r\n");
+  if (!SendRaw(req)) return std::nullopt;
+  if (noreply) return std::nullopt;
+  std::string line;
+  if (!ReadLine(&line)) return std::nullopt;
+  if (line == "NOT_FOUND") return std::nullopt;  // clean miss: error_ empty
+  uint64_t value = 0;
+  if (ParseDecimalU64(line, &value)) return value;
+  error_ = "arithmetic response: " + line;
+  return std::nullopt;
+}
+
+std::optional<uint64_t> AsciiClient::Incr(std::string_view key,
+                                          uint64_t delta, bool noreply) {
+  return ArithCommand("incr", key, delta, noreply);
+}
+
+std::optional<uint64_t> AsciiClient::Decr(std::string_view key,
+                                          uint64_t delta, bool noreply) {
+  return ArithCommand("decr", key, delta, noreply);
+}
+
+bool AsciiClient::Touch(std::string_view key, int64_t exptime,
+                        bool noreply) {
+  error_.clear();
+  std::string req = "touch ";
+  req.append(key);
+  char meta[32];
+  std::snprintf(meta, sizeof(meta), " %lld", static_cast<long long>(exptime));
+  req.append(meta);
+  if (noreply) req.append(" noreply");
+  req.append("\r\n");
+  if (!SendRaw(req)) return false;
+  if (noreply) return true;
+  std::string line;
+  if (!ReadLine(&line)) return false;
+  if (line == "TOUCHED") return true;
+  if (line != "NOT_FOUND") error_ = "touch response: " + line;
+  return false;
+}
+
+bool AsciiClient::FlushAll(int64_t delay, bool noreply) {
+  error_.clear();
+  std::string req = "flush_all";
+  if (delay != 0) {
+    char meta[32];
+    std::snprintf(meta, sizeof(meta), " %lld", static_cast<long long>(delay));
+    req.append(meta);
+  }
+  if (noreply) req.append(" noreply");
+  req.append("\r\n");
+  if (!SendRaw(req)) return false;
+  if (noreply) return true;
+  std::string line;
+  if (!ReadLine(&line)) return false;
+  if (line == "OK") return true;
+  error_ = "flush_all response: " + line;
+  return false;
 }
 
 bool AsciiClient::Delete(std::string_view key, bool noreply) {

@@ -55,7 +55,15 @@ class AsciiClient {
   std::map<std::string, Value> MultiGet(
       const std::vector<std::string>& keys);
 
-  enum class StoreResult : uint8_t { kStored, kNotStored, kError };
+  // kExists / kNotFound are produced by Cas (EXISTS = version mismatch,
+  // NOT_FOUND = no such item); the plain stores only see the first three.
+  enum class StoreResult : uint8_t {
+    kStored,
+    kNotStored,
+    kExists,
+    kNotFound,
+    kError,
+  };
   StoreResult Set(std::string_view key, std::string_view value,
                   uint32_t flags = 0, int64_t exptime = 0,
                   bool noreply = false);
@@ -65,6 +73,33 @@ class AsciiClient {
   StoreResult Replace(std::string_view key, std::string_view value,
                       uint32_t flags = 0, int64_t exptime = 0,
                       bool noreply = false);
+  StoreResult Append(std::string_view key, std::string_view value,
+                     uint32_t flags = 0, int64_t exptime = 0,
+                     bool noreply = false);
+  StoreResult Prepend(std::string_view key, std::string_view value,
+                      uint32_t flags = 0, int64_t exptime = 0,
+                      bool noreply = false);
+  // Compare-and-swap against a version from Gets.
+  StoreResult Cas(std::string_view key, std::string_view value, uint64_t cas,
+                  uint32_t flags = 0, int64_t exptime = 0,
+                  bool noreply = false);
+
+  // incr/decr: the new value on success; nullopt on NOT_FOUND (last_error
+  // empty, like a Get miss) or on an error line / dead stream (last_error
+  // says which). With noreply the server sends no reply, so the result is
+  // UNKNOWN: the call returns nullopt with last_error empty even though
+  // the operation was dispatched — never use noreply where a nullopt
+  // would be interpreted as a miss.
+  std::optional<uint64_t> Incr(std::string_view key, uint64_t delta,
+                               bool noreply = false);
+  std::optional<uint64_t> Decr(std::string_view key, uint64_t delta,
+                               bool noreply = false);
+
+  // true = TOUCHED, false = NOT_FOUND (or error; see last_error()).
+  bool Touch(std::string_view key, int64_t exptime, bool noreply = false);
+
+  // flush_all [delay]; true = OK.
+  bool FlushAll(int64_t delay = 0, bool noreply = false);
 
   // true = DELETED, false = NOT_FOUND (or error; see last_error()).
   bool Delete(std::string_view key, bool noreply = false);
@@ -89,7 +124,11 @@ class AsciiClient {
                                    std::string_view key);
   StoreResult StoreCommand(std::string_view verb, std::string_view key,
                            std::string_view value, uint32_t flags,
-                           int64_t exptime, bool noreply);
+                           int64_t exptime, const uint64_t* cas,
+                           bool noreply);
+  std::optional<uint64_t> ArithCommand(std::string_view verb,
+                                       std::string_view key, uint64_t delta,
+                                       bool noreply);
   // Reads VALUE/END lines into *out until END; false on stream error.
   bool ReadValues(std::map<std::string, Value>* out);
   bool FillBuffer();  // one recv into buf_

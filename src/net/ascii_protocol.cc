@@ -79,6 +79,8 @@ ParseStatus AsciiParser::Next(std::string_view buffer, size_t* consumed,
   out->keys.clear();
   out->flags = 0;
   out->exptime = 0;
+  out->cas_unique = 0;
+  out->delta = 0;
   out->noreply = false;
   out->data = {};
   out->error = {};
@@ -167,18 +169,25 @@ ParseStatus AsciiParser::Next(std::string_view buffer, size_t* consumed,
   }
 
   // --- storage ---------------------------------------------------------
-  if (word == "set" || word == "add" || word == "replace") {
+  const bool is_cas = word == "cas";
+  if (word == "set" || word == "add" || word == "replace" || is_cas ||
+      word == "append" || word == "prepend") {
     uint32_t flags = 0;
     int64_t exptime = 0;
     uint64_t bytes = 0;
+    uint64_t cas_unique = 0;
     bool noreply = false;
-    const bool arity_ok = tokens.size() == 5 || tokens.size() == 6;
-    const bool fields_ok = arity_ok && ValidKey(tokens[1]) &&
-                           ParseU32(tokens[2], &flags) &&
-                           ParseI64(tokens[3], &exptime) &&
-                           ParseU64(tokens[4], &bytes);
-    if (tokens.size() == 6) {
-      if (tokens[5] == "noreply") {
+    // cas carries one extra field (the compare version) before noreply.
+    const size_t base_tokens = is_cas ? 6 : 5;
+    const bool arity_ok =
+        tokens.size() == base_tokens || tokens.size() == base_tokens + 1;
+    bool fields_ok = arity_ok && ValidKey(tokens[1]) &&
+                     ParseU32(tokens[2], &flags) &&
+                     ParseI64(tokens[3], &exptime) &&
+                     ParseU64(tokens[4], &bytes);
+    if (is_cas && fields_ok) fields_ok = ParseU64(tokens[5], &cas_unique);
+    if (tokens.size() == base_tokens + 1) {
+      if (tokens[base_tokens] == "noreply") {
         noreply = true;
       } else if (fields_ok) {
         *consumed = line_end;
@@ -224,15 +233,98 @@ ParseStatus AsciiParser::Next(std::string_view buffer, size_t* consumed,
       out->noreply = noreply;  // known: the command line parsed cleanly
       return ParseStatus::kCommand;
     }
-    out->type = word == "set"   ? CommandType::kSet
-                : word == "add" ? CommandType::kAdd
-                                : CommandType::kReplace;
+    out->type = word == "set"       ? CommandType::kSet
+                : word == "add"     ? CommandType::kAdd
+                : word == "replace" ? CommandType::kReplace
+                : is_cas            ? CommandType::kCas
+                : word == "append"  ? CommandType::kAppend
+                                    : CommandType::kPrepend;
     out->keys.push_back(tokens[1]);
     out->flags = flags;
     out->exptime = exptime;
+    out->cas_unique = cas_unique;
     out->noreply = noreply;
     out->data = buffer.substr(line_end, static_cast<size_t>(bytes));
     *consumed = static_cast<size_t>(frame_end);
+    return ParseStatus::kCommand;
+  }
+
+  // --- arithmetic ------------------------------------------------------
+  if (word == "incr" || word == "decr") {
+    const bool arity_ok = tokens.size() == 3 || tokens.size() == 4;
+    const bool noreply = tokens.size() == 4 && tokens[3] == "noreply";
+    if (!arity_ok || (tokens.size() == 4 && !noreply) ||
+        !ValidKey(tokens[1])) {
+      *consumed = line_end;
+      SetError(out, kErrBadLine);
+      return ParseStatus::kCommand;
+    }
+    uint64_t delta = 0;
+    if (!ParseU64(tokens[2], &delta)) {
+      // Line shape is fine but the operand is not a 64-bit decimal: the
+      // dedicated memcached error, with noreply honoured (the line parsed
+      // cleanly enough to know it).
+      *consumed = line_end;
+      SetError(out, kErrBadDelta);
+      out->noreply = noreply;
+      return ParseStatus::kCommand;
+    }
+    out->type = word == "incr" ? CommandType::kIncr : CommandType::kDecr;
+    out->keys.push_back(tokens[1]);
+    out->delta = delta;
+    out->noreply = noreply;
+    *consumed = line_end;
+    return ParseStatus::kCommand;
+  }
+
+  // --- touch -----------------------------------------------------------
+  if (word == "touch") {
+    const bool arity_ok = tokens.size() == 3 || tokens.size() == 4;
+    const bool noreply = tokens.size() == 4 && tokens[3] == "noreply";
+    if (!arity_ok || (tokens.size() == 4 && !noreply) ||
+        !ValidKey(tokens[1])) {
+      *consumed = line_end;
+      SetError(out, kErrBadLine);
+      return ParseStatus::kCommand;
+    }
+    int64_t exptime = 0;
+    if (!ParseI64(tokens[2], &exptime)) {
+      *consumed = line_end;
+      SetError(out, kErrBadExptime);
+      out->noreply = noreply;
+      return ParseStatus::kCommand;
+    }
+    out->type = CommandType::kTouch;
+    out->keys.push_back(tokens[1]);
+    out->exptime = exptime;
+    out->noreply = noreply;
+    *consumed = line_end;
+    return ParseStatus::kCommand;
+  }
+
+  // --- flush_all -------------------------------------------------------
+  if (word == "flush_all") {
+    // flush_all [delay] [noreply] — the delay defaults to 0 (immediate).
+    int64_t delay = 0;
+    bool noreply = false;
+    bool ok = tokens.size() <= 3;
+    if (ok && tokens.size() > 1 && tokens.back() == "noreply") {
+      noreply = true;
+    }
+    const size_t args = tokens.size() - 1 - (noreply ? 1 : 0);
+    ok = ok && args <= 1;
+    if (ok && args == 1) {
+      ok = ParseI64(tokens[1], &delay) && delay >= 0;
+    }
+    if (!ok) {
+      *consumed = line_end;
+      SetError(out, kErrBadLine);
+      return ParseStatus::kCommand;
+    }
+    out->type = CommandType::kFlushAll;
+    out->exptime = delay;
+    out->noreply = noreply;
+    *consumed = line_end;
     return ParseStatus::kCommand;
   }
 
@@ -318,6 +410,11 @@ void AppendValueResponseCas(std::string* out, std::string_view key,
 
 void AppendErrorLine(std::string* out, std::string_view error) {
   out->append(error);
+  out->append(kCrlf);
+}
+
+void AppendNumericLine(std::string* out, uint64_t v) {
+  AppendU64(out, v);
   out->append(kCrlf);
 }
 

@@ -4,16 +4,25 @@
 // and every test in tests/ascii_protocol_test.cc / ascii_fuzz_test.cc runs
 // against in-memory byte streams.
 //
-// Supported commands (the subset Mutilate-style load generators use):
+// Supported commands:
 //   get <key>+            gets <key>+
-//   set|add|replace <key> <flags> <exptime> <bytes> [noreply]\r\n<data>\r\n
+//   set|add|replace|append|prepend <key> <flags> <exptime> <bytes>
+//       [noreply]\r\n<data>\r\n
+//   cas <key> <flags> <exptime> <bytes> <cas unique> [noreply]\r\n<data>\r\n
+//   incr|decr <key> <delta> [noreply]
+//   touch <key> <exptime> [noreply]
 //   delete <key> [noreply]
+//   flush_all [delay] [noreply]
 //   stats                 version                quit
 //
 // Error model (matching memcached's observable behaviour):
 //   unknown command / empty line / stats with arguments  ->  "ERROR"
 //   malformed storage line, key > 250 bytes, bad numbers ->
 //       "CLIENT_ERROR bad command line format"
+//   incr/decr with a non-numeric delta                   ->
+//       "CLIENT_ERROR invalid numeric delta argument"
+//   touch with a non-numeric exptime                     ->
+//       "CLIENT_ERROR invalid exptime argument"
 //   data block not terminated by \r\n                    ->
 //       "CLIENT_ERROR bad data chunk" (then resync at the next newline)
 //   declared bytes > kMaxValueBytes                      ->
@@ -49,7 +58,14 @@ enum class CommandType : uint8_t {
   kSet,
   kAdd,
   kReplace,
+  kCas,
+  kAppend,
+  kPrepend,
+  kIncr,
+  kDecr,
+  kTouch,
   kDelete,
+  kFlushAll,
   kStats,
   kVersion,
   kQuit,
@@ -62,10 +78,12 @@ enum class CommandType : uint8_t {
 // discarded — handle the command before compacting the read buffer.
 struct Command {
   CommandType type = CommandType::kProtocolError;
-  // get/gets: every requested key; storage/delete: exactly one entry.
+  // get/gets: every requested key; storage/arith/touch/delete: one entry.
   std::vector<std::string_view> keys;
   uint32_t flags = 0;
-  int64_t exptime = 0;
+  int64_t exptime = 0;     // touch: the new exptime; flush_all: the delay
+  uint64_t cas_unique = 0; // cas: the compare version
+  uint64_t delta = 0;      // incr/decr: the operand
   bool noreply = false;
   std::string_view data;   // storage commands: the value block
   std::string_view error;  // kProtocolError: response line (static storage)
@@ -115,8 +133,11 @@ inline constexpr std::string_view kCrlf = "\r\n";
 inline constexpr std::string_view kEndLine = "END\r\n";
 inline constexpr std::string_view kStoredLine = "STORED\r\n";
 inline constexpr std::string_view kNotStoredLine = "NOT_STORED\r\n";
+inline constexpr std::string_view kExistsLine = "EXISTS\r\n";
 inline constexpr std::string_view kDeletedLine = "DELETED\r\n";
 inline constexpr std::string_view kNotFoundLine = "NOT_FOUND\r\n";
+inline constexpr std::string_view kTouchedLine = "TOUCHED\r\n";
+inline constexpr std::string_view kOkLine = "OK\r\n";
 
 // Error lines (no CRLF; AppendErrorLine adds it). Static storage so Command
 // can reference them from anywhere.
@@ -128,6 +149,12 @@ inline constexpr std::string_view kErrLineTooLong =
     "CLIENT_ERROR line too long";
 inline constexpr std::string_view kErrTooLarge =
     "SERVER_ERROR object too large for cache";
+inline constexpr std::string_view kErrBadDelta =
+    "CLIENT_ERROR invalid numeric delta argument";
+inline constexpr std::string_view kErrBadExptime =
+    "CLIENT_ERROR invalid exptime argument";
+inline constexpr std::string_view kErrNonNumeric =
+    "CLIENT_ERROR cannot increment or decrement non-numeric value";
 
 // "VALUE <key> <flags> <bytes>[ <cas>]\r\n<data>\r\n". with_cas selects the
 // gets-form.
@@ -138,6 +165,9 @@ void AppendValueResponseCas(std::string* out, std::string_view key,
                             uint64_t cas);
 
 void AppendErrorLine(std::string* out, std::string_view error);
+
+// incr/decr success reply: the bare decimal value, CRLF-terminated.
+void AppendNumericLine(std::string* out, uint64_t v);
 
 // "STAT <name> <value>\r\n"
 void AppendStat(std::string* out, std::string_view name, std::string_view v);

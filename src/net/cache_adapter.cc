@@ -1,7 +1,10 @@
 #include "net/cache_adapter.h"
 
+#include <time.h>
+
 #include <algorithm>
 
+#include "util/argparse.h"
 #include "util/hashing.h"
 
 namespace cliffhanger {
@@ -27,6 +30,39 @@ bool ParseAppPrefix(std::string_view key, uint32_t* app_id) {
 
 }  // namespace
 
+uint32_t AbsoluteExpiry(int64_t exptime, uint32_t now_s) {
+  // Clamp below kKeepExpiry so a protocol exptime can never alias the
+  // Touch keep-the-stored-expiry sentinel (cache/types.h).
+  constexpr uint32_t kMaxExpiry = kKeepExpiry - 1;
+  if (exptime == 0) return 0;
+  if (exptime < 0) {
+    // Already expired (memcached's -1): any stored second <= now reads as
+    // expired; max(1, now) also covers a (contractually forbidden) now==0.
+    return std::max<uint32_t>(1, now_s);
+  }
+  if (exptime <= kRelativeExptimeCutoff) {
+    const uint64_t absolute = static_cast<uint64_t>(now_s) +
+                              static_cast<uint64_t>(exptime);
+    return absolute > kMaxExpiry ? kMaxExpiry
+                                 : static_cast<uint32_t>(absolute);
+  }
+  return exptime > static_cast<int64_t>(kMaxExpiry)
+             ? kMaxExpiry
+             : static_cast<uint32_t>(exptime);
+}
+
+// One key's full memcached state: the payload bytes plus ItemAttrs (flags,
+// absolute expiry, cas version) and the store time flush_all compares
+// against. value_size survives reclamation so later core probes stay in
+// the right slab class (the determinism contract).
+struct CacheAdapter::Entry {
+  std::string value;        // cleared lazily after an observed core miss
+  uint32_t value_size = 0;  // survives reclamation: keeps GETs in class
+  uint32_t stored_s = 0;    // store time; compared against the flush point
+  ItemAttrs attrs;
+  bool live = false;
+};
+
 // Value-byte side table, sharded by the same key routing as the core so a
 // store shard's working set mirrors a cache shard's.
 //
@@ -38,13 +74,6 @@ bool ParseAppPrefix(std::string_view key, uint32_t* app_id) {
 // adapter and no thread ever takes a store mutex while holding a core
 // lock (stats readers take core locks only).
 struct CacheAdapter::StoreShard {
-  struct Entry {
-    std::string value;        // cleared lazily after an observed core miss
-    uint32_t value_size = 0;  // survives reclamation: keeps GETs in class
-    uint32_t flags = 0;
-    uint64_t cas = 0;
-    bool live = false;
-  };
   std::mutex mu;
   std::unordered_map<uint64_t, Entry> map;
 };
@@ -52,6 +81,9 @@ struct CacheAdapter::StoreShard {
 CacheAdapter::CacheAdapter(ShardedCacheServer* server,
                            const CacheAdapterConfig& config)
     : server_(server), config_(config), app_ids_(server->app_ids()) {
+  if (!config_.clock) {
+    config_.clock = [] { return static_cast<uint32_t>(::time(nullptr)); };
+  }
   std::sort(app_ids_.begin(), app_ids_.end());
   store_.reserve(server_->num_shards());
   for (size_t i = 0; i < server_->num_shards(); ++i) {
@@ -74,8 +106,83 @@ CacheAdapter::RoutedKey CacheAdapter::Route(std::string_view key) const {
   return rk;
 }
 
+bool CacheAdapter::EntryValid(const Entry& entry, uint32_t now_s) const {
+  if (!entry.live) return false;
+  if (ExpiredAt(entry.attrs.expiry_s, now_s)) return false;
+  const uint32_t flush_at = flush_at_s_.load(std::memory_order_relaxed);
+  return flush_at == 0 || now_s < flush_at || entry.stored_s >= flush_at;
+}
+
+// Pre: shard lock held. The one place the byte-accounting invariant
+// (bytes_stored_ tracks live value bytes) is released: frees the payload,
+// keeps the size metadata, marks the entry dead.
+void CacheAdapter::ReleaseValueLocked(Entry* entry) {
+  bytes_stored_.fetch_sub(entry->value.size(), std::memory_order_relaxed);
+  std::string().swap(entry->value);
+  entry->live = false;
+}
+
+void CacheAdapter::ReclaimLocked(Entry* entry, const RoutedKey& rk,
+                                 uint32_t key_size) {
+  ReleaseValueLocked(entry);
+  // Erase from the core too (physical and shadow): an invalidated item
+  // must not keep earning shadow credit an unexpired refill would not.
+  server_->Delete(rk.app_id, ItemMeta{rk.key_id, key_size,
+                                      entry->value_size});
+}
+
+CacheAdapter::Lookup CacheAdapter::LookupLocked(StoreShard& shard,
+                                                const RoutedKey& rk,
+                                                uint32_t key_size,
+                                                uint32_t now_s) {
+  Lookup lk;
+  const auto it = shard.map.find(rk.key_id);
+  if (it == shard.map.end()) return lk;
+  lk.entry = &it->second;
+  lk.valid = EntryValid(it->second, now_s);
+  if (it->second.live && !lk.valid) {
+    ReclaimLocked(lk.entry, rk, key_size);
+    lk.reclaimed = true;
+  }
+  return lk;
+}
+
+bool CacheAdapter::RewriteValueLocked(Entry* entry, const RoutedKey& rk,
+                                      uint32_t key_size,
+                                      std::string_view new_value,
+                                      uint32_t now_s) {
+  const uint32_t old_size = entry->value_size;
+  const auto new_size = static_cast<uint32_t>(new_value.size());
+  ItemMeta item{rk.key_id, key_size, new_size};
+  item.expiry_s = entry->attrs.expiry_s;
+  item.now_s = now_s;
+  if (new_size != old_size) {
+    // Re-slab: the size change moves the item between slab classes, and
+    // the per-class accounting the climbers feed on must see the move.
+    server_->Delete(rk.app_id, ItemMeta{rk.key_id, key_size, old_size});
+    if (!server_->Set(rk.app_id, item)) {
+      // No slab class fits the rewritten value: the old incarnation is
+      // already gone from the core, so drop it here too.
+      ReleaseValueLocked(entry);
+      return false;
+    }
+  } else {
+    // Same footprint: the rewrite is an access, not a re-fill — promote
+    // recency without minting phantom set statistics.
+    server_->Touch(rk.app_id, item);
+  }
+  bytes_stored_.fetch_add(new_value.size(), std::memory_order_relaxed);
+  bytes_stored_.fetch_sub(entry->value.size(), std::memory_order_relaxed);
+  entry->value.assign(new_value.data(), new_value.size());
+  entry->value_size = new_size;
+  entry->stored_s = now_s;
+  entry->attrs.cas = NextCas();
+  return true;
+}
+
 void CacheAdapter::HandleGet(const Command& cmd, std::string* out,
                              bool with_cas) {
+  const uint32_t now = Now();
   for (const std::string_view key : cmd.keys) {
     cmd_get_.fetch_add(1, std::memory_order_relaxed);
     const RoutedKey rk = Route(key);
@@ -91,40 +198,143 @@ void CacheAdapter::HandleGet(const Command& cmd, std::string* out,
     // with the core about this key (see the lock-order note on StoreShard).
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.map.find(rk.key_id);
+    const bool was_live = it != shard.map.end() && it->second.live;
+
+    // flush_all is enforced here (the core has no store times): a flushed
+    // entry is reclaimed and erased from the core before any probe.
+    if (was_live && !EntryValid(it->second, now) &&
+        !ExpiredAt(it->second.attrs.expiry_s, now)) {
+      ReclaimLocked(&it->second, rk, static_cast<uint32_t>(key.size()));
+      get_misses_.fetch_add(1, std::memory_order_relaxed);
+      get_expired_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+
     // The stored value_size keeps the core probe in the right slab class
-    // even for keys the core has evicted.
+    // even for keys the core has evicted. now_s arms the core's lazy
+    // expiration: an expired item comes back as a clean miss.
     const uint32_t value_size =
         it == shard.map.end() ? 0 : it->second.value_size;
-    const ItemMeta item{rk.key_id, static_cast<uint32_t>(key.size()),
-                        value_size};
+    ItemMeta item{rk.key_id, static_cast<uint32_t>(key.size()), value_size};
+    item.now_s = now;
     const Outcome outcome = server_->Get(rk.app_id, item);
 
-    if (outcome.hit && it != shard.map.end() && it->second.live) {
+    if (outcome.hit && was_live) {
       get_hits_.fetch_add(1, std::memory_order_relaxed);
       // Serialize straight from the entry — *out is connection-local, so
       // no intermediate copy of the value bytes is needed.
       if (with_cas) {
-        AppendValueResponseCas(out, key, it->second.flags, it->second.value,
-                               it->second.cas);
+        AppendValueResponseCas(out, key, it->second.attrs.flags,
+                               it->second.value, it->second.attrs.cas);
       } else {
-        AppendValueResponse(out, key, it->second.flags, it->second.value);
+        AppendValueResponse(out, key, it->second.attrs.flags,
+                            it->second.value);
       }
       continue;
     }
     get_misses_.fetch_add(1, std::memory_order_relaxed);
-    if (!outcome.hit && it != shard.map.end() && it->second.live) {
-      // The core evicted this key: the value bytes can never be served
-      // again (only a new SET restores residency), so reclaim them now.
-      bytes_stored_.fetch_sub(it->second.value.size(),
-                              std::memory_order_relaxed);
-      std::string().swap(it->second.value);
-      it->second.live = false;
+    if (!outcome.hit && was_live) {
+      // The core evicted or lazily expired this key: the value bytes can
+      // never be served again (only a new SET restores residency), so
+      // reclaim them now. No core Delete — eviction legitimately leaves
+      // shadow state, and expiry already erased everything.
+      if (ExpiredAt(it->second.attrs.expiry_s, now)) {
+        get_expired_.fetch_add(1, std::memory_order_relaxed);
+      }
+      ReleaseValueLocked(&it->second);
     }
   }
   out->append(kEndLine);
 }
 
 void CacheAdapter::HandleStore(const Command& cmd, std::string* out) {
+  cmd_set_.fetch_add(1, std::memory_order_relaxed);
+  const bool is_cas = cmd.type == CommandType::kCas;
+  const std::string_view key = cmd.key();
+  const RoutedKey rk = Route(key);
+  if (!rk.app_known) {
+    store_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (is_cas) cas_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) AppendErrorLine(out, "SERVER_ERROR unknown application");
+    return;
+  }
+  const uint32_t now = Now();
+  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
+
+  // Held across presence check, core Delete/Set and side-table update:
+  // without it, two same-key SETs of different sizes could both delete the
+  // old incarnation and then leave the key resident in two slab classes.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // The conditional verbs treat an expired/flushed entry as absent; its
+  // value bytes are reclaimed on this touch-point rather than lingering.
+  const Lookup lk =
+      LookupLocked(shard, rk, static_cast<uint32_t>(key.size()), now);
+  const bool exists = lk.entry != nullptr;
+  const uint32_t old_size = exists ? lk.entry->value_size : 0;
+
+  if ((cmd.type == CommandType::kAdd && lk.valid) ||
+      (cmd.type == CommandType::kReplace && !lk.valid)) {
+    store_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) out->append(kNotStoredLine);
+    return;
+  }
+  if (is_cas) {
+    if (!lk.valid) {
+      cas_misses_.fetch_add(1, std::memory_order_relaxed);
+      store_rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (!cmd.noreply) out->append(kNotFoundLine);
+      return;
+    }
+    if (lk.entry->attrs.cas != cmd.cas_unique) {
+      cas_badval_.fetch_add(1, std::memory_order_relaxed);
+      store_rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (!cmd.noreply) out->append(kExistsLine);
+      return;
+    }
+  }
+
+  const auto key_size = static_cast<uint32_t>(key.size());
+  const auto new_size = static_cast<uint32_t>(cmd.data.size());
+  // A size change moves the item to a different slab class; the core's
+  // Fill only replaces within one class, so evict the old incarnation
+  // explicitly or it would linger in the old class's queue. (LookupLocked
+  // already erased a just-invalidated entry from the core.)
+  if (exists && !lk.reclaimed && old_size != new_size) {
+    server_->Delete(rk.app_id, ItemMeta{rk.key_id, key_size, old_size});
+  }
+  ItemMeta item{rk.key_id, key_size, new_size};
+  item.expiry_s = AbsoluteExpiry(cmd.exptime, now);
+  item.now_s = now;
+  const bool admitted = server_->Set(rk.app_id, item);
+  if (!admitted) {
+    store_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (exists) {
+      if (lk.entry->live) ReleaseValueLocked(lk.entry);
+      shard.map.erase(rk.key_id);
+    }
+    if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
+    return;
+  }
+
+  Entry& entry = shard.map[rk.key_id];
+  const size_t old_bytes = entry.live ? entry.value.size() : 0;
+  bytes_stored_.fetch_add(cmd.data.size() - old_bytes,
+                          std::memory_order_relaxed);
+  entry.value.assign(cmd.data.data(), cmd.data.size());
+  entry.value_size = new_size;
+  entry.stored_s = now;
+  entry.attrs.flags = cmd.flags;
+  entry.attrs.expiry_s = item.expiry_s;
+  entry.attrs.cas = NextCas();
+  entry.live = true;
+  if (is_cas) cas_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (!cmd.noreply) out->append(kStoredLine);
+}
+
+// append/prepend: splice onto an existing value. The command line's flags
+// and exptime are parsed but ignored (memcached semantics); only existence
+// gates the store, and the result re-slabs through the core.
+void CacheAdapter::HandleConcat(const Command& cmd, std::string* out) {
   cmd_set_.fetch_add(1, std::memory_order_relaxed);
   const std::string_view key = cmd.key();
   const RoutedKey rk = Route(key);
@@ -133,58 +343,129 @@ void CacheAdapter::HandleStore(const Command& cmd, std::string* out) {
     if (!cmd.noreply) AppendErrorLine(out, "SERVER_ERROR unknown application");
     return;
   }
+  const uint32_t now = Now();
   StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
 
-  // Held across presence check, core Delete/Set and side-table update:
-  // without it, two same-key SETs of different sizes could both delete the
-  // old incarnation and then leave the key resident in two slab classes.
   std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.map.find(rk.key_id);
-  const bool exists = it != shard.map.end();
-  const bool live = exists && it->second.live;
-  const uint32_t old_size = exists ? it->second.value_size : 0;
-
-  if ((cmd.type == CommandType::kAdd && live) ||
-      (cmd.type == CommandType::kReplace && !live)) {
+  const Lookup lk =
+      LookupLocked(shard, rk, static_cast<uint32_t>(key.size()), now);
+  if (!lk.valid) {
     store_rejected_.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) out->append(kNotStoredLine);
     return;
   }
-
-  const auto key_size = static_cast<uint32_t>(key.size());
-  const auto new_size = static_cast<uint32_t>(cmd.data.size());
-  // A size change moves the item to a different slab class; the core's
-  // Fill only replaces within one class, so evict the old incarnation
-  // explicitly or it would linger in the old class's queue.
-  if (exists && old_size != new_size) {
-    server_->Delete(rk.app_id, ItemMeta{rk.key_id, key_size, old_size});
-  }
-  const bool admitted =
-      server_->Set(rk.app_id, ItemMeta{rk.key_id, key_size, new_size});
-  if (!admitted) {
+  Entry& entry = *lk.entry;
+  const uint64_t combined_size =
+      static_cast<uint64_t>(entry.value.size()) + cmd.data.size();
+  if (combined_size > kMaxValueBytes) {
+    // Reject the splice but keep the original item intact, as memcached
+    // does when the concatenated object no longer fits.
     store_rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (exists) {
-      if (live) {
-        bytes_stored_.fetch_sub(it->second.value.size(),
-                                std::memory_order_relaxed);
-      }
-      shard.map.erase(it);
-    }
     if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
     return;
   }
-
-  const uint64_t cas = cas_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
-  StoreShard::Entry& entry = shard.map[rk.key_id];
-  const size_t old_bytes = entry.live ? entry.value.size() : 0;
-  bytes_stored_.fetch_add(cmd.data.size() - old_bytes,
-                          std::memory_order_relaxed);
-  entry.value.assign(cmd.data.data(), cmd.data.size());
-  entry.value_size = new_size;
-  entry.flags = cmd.flags;
-  entry.cas = cas;
-  entry.live = true;
+  std::string combined;
+  combined.reserve(static_cast<size_t>(combined_size));
+  if (cmd.type == CommandType::kAppend) {
+    combined.append(entry.value);
+    combined.append(cmd.data.data(), cmd.data.size());
+  } else {
+    combined.append(cmd.data.data(), cmd.data.size());
+    combined.append(entry.value);
+  }
+  if (!RewriteValueLocked(&entry, rk, static_cast<uint32_t>(key.size()),
+                          combined, now)) {
+    store_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
+    return;
+  }
   if (!cmd.noreply) out->append(kStoredLine);
+}
+
+void CacheAdapter::HandleArith(const Command& cmd, std::string* out,
+                               bool increment) {
+  auto& hits = increment ? incr_hits_ : decr_hits_;
+  auto& misses = increment ? incr_misses_ : decr_misses_;
+  const std::string_view key = cmd.key();
+  const RoutedKey rk = Route(key);
+  if (!rk.app_known) {
+    misses.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) out->append(kNotFoundLine);
+    return;
+  }
+  const uint32_t now = Now();
+  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const Lookup lk =
+      LookupLocked(shard, rk, static_cast<uint32_t>(key.size()), now);
+  if (!lk.valid) {
+    misses.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) out->append(kNotFoundLine);
+    return;
+  }
+  Entry& entry = *lk.entry;
+  uint64_t value = 0;
+  if (!ParseDecimalU64(entry.value, &value)) {
+    // Neither a hit nor a miss in memcached's books: the key exists but
+    // its payload is not a 64-bit decimal.
+    if (!cmd.noreply) AppendErrorLine(out, kErrNonNumeric);
+    return;
+  }
+  // memcached arithmetic: incr wraps modulo 2^64, decr saturates at 0.
+  const uint64_t result = increment
+                              ? value + cmd.delta
+                              : (value < cmd.delta ? 0 : value - cmd.delta);
+  char buf[20];
+  char* p = buf + sizeof(buf);
+  uint64_t v = result;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0);
+  const std::string_view new_value(p,
+                                   static_cast<size_t>(buf + sizeof(buf) - p));
+  if (!RewriteValueLocked(&entry, rk, static_cast<uint32_t>(key.size()),
+                          new_value, now)) {
+    if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
+    return;
+  }
+  hits.fetch_add(1, std::memory_order_relaxed);
+  if (!cmd.noreply) AppendNumericLine(out, result);
+}
+
+void CacheAdapter::HandleTouch(const Command& cmd, std::string* out) {
+  cmd_touch_.fetch_add(1, std::memory_order_relaxed);
+  const std::string_view key = cmd.key();
+  const RoutedKey rk = Route(key);
+  if (!rk.app_known) {
+    touch_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) out->append(kNotFoundLine);
+    return;
+  }
+  const uint32_t now = Now();
+  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const Lookup lk =
+      LookupLocked(shard, rk, static_cast<uint32_t>(key.size()), now);
+  if (!lk.valid) {
+    touch_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) out->append(kNotFoundLine);
+    return;
+  }
+  Entry& entry = *lk.entry;
+  entry.attrs.expiry_s = AbsoluteExpiry(cmd.exptime, now);
+  ItemMeta item{rk.key_id, static_cast<uint32_t>(key.size()),
+                entry.value_size};
+  item.expiry_s = entry.attrs.expiry_s;
+  item.now_s = now;
+  // Refresh the core's stored expiry and the item's recency standing; no
+  // GET statistics move (memcached counts touches separately, and so does
+  // the core — not at all).
+  server_->Touch(rk.app_id, item);
+  touch_hits_.fetch_add(1, std::memory_order_relaxed);
+  if (!cmd.noreply) out->append(kTouchedLine);
 }
 
 void CacheAdapter::HandleDelete(const Command& cmd, std::string* out) {
@@ -195,15 +476,17 @@ void CacheAdapter::HandleDelete(const Command& cmd, std::string* out) {
     if (!cmd.noreply) out->append(kNotFoundLine);
     return;
   }
+  const uint32_t now = Now();
   StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
 
-  bool live = false;
-  uint32_t value_size = 0;
+  bool valid = false;
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.map.find(rk.key_id);
+    uint32_t value_size = 0;
     if (it != shard.map.end()) {
-      live = it->second.live;
+      // An expired/flushed entry deletes as NOT_FOUND, like memcached.
+      valid = EntryValid(it->second, now);
       value_size = it->second.value_size;
       if (it->second.live) {
         bytes_stored_.fetch_sub(it->second.value.size(),
@@ -218,7 +501,7 @@ void CacheAdapter::HandleDelete(const Command& cmd, std::string* out) {
                                         static_cast<uint32_t>(key.size()),
                                         value_size});
   }
-  if (live) {
+  if (valid) {
     delete_hits_.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) out->append(kDeletedLine);
   } else {
@@ -226,24 +509,48 @@ void CacheAdapter::HandleDelete(const Command& cmd, std::string* out) {
   }
 }
 
+void CacheAdapter::HandleFlushAll(const Command& cmd, std::string* out) {
+  cmd_flush_.fetch_add(1, std::memory_order_relaxed);
+  const uint32_t now = Now();
+  const uint64_t at = static_cast<uint64_t>(now) +
+                      static_cast<uint64_t>(cmd.exptime);
+  // Entries with stored_s < flush point are dead once now reaches it; the
+  // reclaim is lazy (first access), O(1) per key, no sweeper. Items stored
+  // at or after the flush point — including later in the same second —
+  // survive. A later flush_all overwrites an earlier one, as memcached's
+  // single oldest_live does.
+  flush_at_s_.store(at > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(at),
+                    std::memory_order_relaxed);
+  if (!cmd.noreply) out->append(kOkLine);
+}
+
 void CacheAdapter::HandleStats(std::string* out) {
   AppendStat(out, "version", kServerVersion);
   AppendStat(out, "pointer_size", static_cast<uint64_t>(8 * sizeof(void*)));
   AppendStat(out, "num_shards", static_cast<uint64_t>(server_->num_shards()));
 
-  AppendStat(out, "cmd_get", cmd_get_.load(std::memory_order_relaxed));
-  AppendStat(out, "get_hits", get_hits_.load(std::memory_order_relaxed));
-  AppendStat(out, "get_misses", get_misses_.load(std::memory_order_relaxed));
-  AppendStat(out, "cmd_set", cmd_set_.load(std::memory_order_relaxed));
-  AppendStat(out, "store_rejected",
-             store_rejected_.load(std::memory_order_relaxed));
-  AppendStat(out, "cmd_delete", cmd_delete_.load(std::memory_order_relaxed));
-  AppendStat(out, "delete_hits",
-             delete_hits_.load(std::memory_order_relaxed));
-  AppendStat(out, "protocol_errors",
-             protocol_errors_.load(std::memory_order_relaxed));
-  AppendStat(out, "bytes_stored",
-             bytes_stored_.load(std::memory_order_relaxed));
+  const Counters c = counters();
+  AppendStat(out, "cmd_get", c.cmd_get);
+  AppendStat(out, "get_hits", c.get_hits);
+  AppendStat(out, "get_misses", c.get_misses);
+  AppendStat(out, "get_expired", c.get_expired);
+  AppendStat(out, "cmd_set", c.cmd_set);
+  AppendStat(out, "store_rejected", c.store_rejected);
+  AppendStat(out, "cas_hits", c.cas_hits);
+  AppendStat(out, "cas_misses", c.cas_misses);
+  AppendStat(out, "cas_badval", c.cas_badval);
+  AppendStat(out, "incr_hits", c.incr_hits);
+  AppendStat(out, "incr_misses", c.incr_misses);
+  AppendStat(out, "decr_hits", c.decr_hits);
+  AppendStat(out, "decr_misses", c.decr_misses);
+  AppendStat(out, "cmd_touch", c.cmd_touch);
+  AppendStat(out, "touch_hits", c.touch_hits);
+  AppendStat(out, "touch_misses", c.touch_misses);
+  AppendStat(out, "cmd_flush", c.cmd_flush);
+  AppendStat(out, "cmd_delete", c.cmd_delete);
+  AppendStat(out, "delete_hits", c.delete_hits);
+  AppendStat(out, "protocol_errors", c.protocol_errors);
+  AppendStat(out, "bytes_stored", c.bytes_stored);
 
   // The paper's signals, straight from the core (exact snapshot: MergedStats
   // holds every shard lock at once).
@@ -273,10 +580,27 @@ bool CacheAdapter::Handle(const Command& cmd, std::string* out) {
     case CommandType::kSet:
     case CommandType::kAdd:
     case CommandType::kReplace:
+    case CommandType::kCas:
       HandleStore(cmd, out);
+      return true;
+    case CommandType::kAppend:
+    case CommandType::kPrepend:
+      HandleConcat(cmd, out);
+      return true;
+    case CommandType::kIncr:
+      HandleArith(cmd, out, /*increment=*/true);
+      return true;
+    case CommandType::kDecr:
+      HandleArith(cmd, out, /*increment=*/false);
+      return true;
+    case CommandType::kTouch:
+      HandleTouch(cmd, out);
       return true;
     case CommandType::kDelete:
       HandleDelete(cmd, out);
+      return true;
+    case CommandType::kFlushAll:
+      HandleFlushAll(cmd, out);
       return true;
     case CommandType::kStats:
       HandleStats(out);
@@ -305,8 +629,20 @@ CacheAdapter::Counters CacheAdapter::counters() const {
   c.cmd_get = cmd_get_.load(std::memory_order_relaxed);
   c.get_hits = get_hits_.load(std::memory_order_relaxed);
   c.get_misses = get_misses_.load(std::memory_order_relaxed);
+  c.get_expired = get_expired_.load(std::memory_order_relaxed);
   c.cmd_set = cmd_set_.load(std::memory_order_relaxed);
   c.store_rejected = store_rejected_.load(std::memory_order_relaxed);
+  c.cas_hits = cas_hits_.load(std::memory_order_relaxed);
+  c.cas_misses = cas_misses_.load(std::memory_order_relaxed);
+  c.cas_badval = cas_badval_.load(std::memory_order_relaxed);
+  c.incr_hits = incr_hits_.load(std::memory_order_relaxed);
+  c.incr_misses = incr_misses_.load(std::memory_order_relaxed);
+  c.decr_hits = decr_hits_.load(std::memory_order_relaxed);
+  c.decr_misses = decr_misses_.load(std::memory_order_relaxed);
+  c.cmd_touch = cmd_touch_.load(std::memory_order_relaxed);
+  c.touch_hits = touch_hits_.load(std::memory_order_relaxed);
+  c.touch_misses = touch_misses_.load(std::memory_order_relaxed);
+  c.cmd_flush = cmd_flush_.load(std::memory_order_relaxed);
   c.cmd_delete = cmd_delete_.load(std::memory_order_relaxed);
   c.delete_hits = delete_hits_.load(std::memory_order_relaxed);
   c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);

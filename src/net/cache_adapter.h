@@ -13,30 +13,51 @@
 //    registered application; everything else goes to the default app (the
 //    listen port's tenant). Ops for unregistered apps fail softly (miss /
 //    SERVER_ERROR) rather than mutating anything.
-//  - Value store. Value bytes, flags and cas live in a sharded side table.
-//    The core decides hit/miss; the table only serves the payload. Because
-//    the core evicts internally without callbacks, a dead value is
-//    reclaimed *lazily*: the first GET that the core answers with a miss
-//    frees the value bytes. The per-key size metadata is kept (~32 B per
-//    unique key ever stored) so later GETs for the key keep probing the
-//    correct slab class — which is exactly what makes a socket replay
-//    bit-identical to a library replay (tests/net_e2e_test.cc).
-//  - add/replace presence. Decided from the value store's live flag (the
-//    adapter's best knowledge of residency without issuing a statistics-
-//    mutating core lookup). An eviction is noticed at the next GET, so an
-//    `add` in the narrow window between eviction and that GET can return
-//    NOT_STORED where real memcached would store.
+//  - Value store. Value bytes and the full memcached item attributes
+//    (ItemAttrs: flags, absolute expiry, cas version) live in a sharded
+//    side table. The core decides hit/miss; the table serves the payload
+//    and enforces the conditional verbs (add/replace/cas/append/prepend/
+//    incr/decr). Because the core evicts internally without callbacks, a
+//    dead value is reclaimed *lazily*: the first GET that the core answers
+//    with a miss frees the value bytes. The per-key size metadata is kept
+//    (~40 B per unique key ever stored) so later GETs for the key keep
+//    probing the correct slab class — which is exactly what makes a socket
+//    replay bit-identical to a library replay (tests/net_e2e_test.cc).
+//  - add/replace/cas/arith presence. Decided from the value store's live
+//    flag plus the expiry/flush check (the adapter's best knowledge of
+//    residency without issuing a statistics-mutating core lookup). An
+//    eviction is noticed at the next GET, so an `add` in the narrow window
+//    between eviction and that GET can return NOT_STORED where real
+//    memcached would store.
+//  - Time. Every core operation is stamped with `now` from an injectable
+//    clock (CacheAdapterConfig::clock; defaults to the wall clock), so
+//    expiry is lazy at both layers and fully deterministic under test.
+//    Expiry itself is enforced by the core queues (a stored item carries
+//    its absolute expiry; an expired access is a core miss and the adapter
+//    reclaims the bytes), while `flush_all` is enforced here: the adapter
+//    keeps the flush point and an entry's stored_s, since the core does
+//    not know store times. Both paths are O(1) per access; there is no
+//    background sweeper thread.
+//  - Arithmetic and re-slabbing. incr/decr rewrite the decimal value
+//    (incr wraps mod 2^64, decr saturates at 0); append/prepend splice
+//    bytes. Whenever the value size changes, the adapter deletes the old
+//    incarnation from the core and re-fills at the new size, so the item
+//    migrates slab classes and the paper's per-class accounting (and the
+//    climbers feeding on it) stays truthful. A same-size rewrite issues a
+//    core Touch instead: recency moves, statistics do not.
 //
 // Determinism contract (relied on by the e2e test): for a single
-// connection, the sequence of core Get/Set/Delete calls — including the
-// ItemMeta sizes — is a pure function of the command stream. GET uses the
-// stored value_size when the key is known and 0 otherwise; SET deletes the
-// old item first when the value size changed (slab-class move); DELETE
-// always forwards to the core with the best-known size.
+// connection, the sequence of core Get/Set/Touch/Delete calls — including
+// the ItemMeta sizes — is a pure function of the command stream and the
+// injected clock. GET uses the stored value_size when the key is known and
+// 0 otherwise; SET deletes the old item first when the value size changed
+// (slab-class move); DELETE always forwards to the core with the
+// best-known size.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -50,13 +71,28 @@
 namespace cliffhanger {
 namespace net {
 
-inline constexpr std::string_view kServerVersion = "cliffhanger-0.4.0";
+inline constexpr std::string_view kServerVersion = "cliffhanger-0.5.0";
+
+// memcached's relative/absolute exptime boundary: a positive exptime up to
+// 30 days is relative to now; anything larger is an absolute unix second.
+inline constexpr int64_t kRelativeExptimeCutoff = 60 * 60 * 24 * 30;
 
 struct CacheAdapterConfig {
   uint32_t default_app_id = 1;
   // Recognize the "app<digits>:" key-namespace prefix for app routing.
   bool parse_app_prefix = true;
+  // Injectable second-resolution clock for expiry/flush determinism under
+  // test. Must never report 0 (second 0 means "no expiry evaluation" in
+  // the cache layers); the default wall clock cannot. Called outside the
+  // store-shard locks, once per command.
+  std::function<uint32_t()> clock;
 };
+
+// Resolves a protocol exptime against `now` into the absolute expiry
+// second stored in ItemAttrs: 0 stays 0 (never), a negative value means
+// already expired, values up to kRelativeExptimeCutoff are relative to
+// now, larger values are absolute unix seconds (clamped to uint32).
+[[nodiscard]] uint32_t AbsoluteExpiry(int64_t exptime, uint32_t now_s);
 
 class CacheAdapter final : public CommandHandler {
  public:
@@ -69,13 +105,25 @@ class CacheAdapter final : public CommandHandler {
 
   bool Handle(const Command& cmd, std::string* out) override;
 
-  // Protocol-level counters (what `stats` reports as cmd_*/get_*).
+  // Protocol-level counters (what `stats` reports, memcached names).
   struct Counters {
     uint64_t cmd_get = 0;        // keys requested via get/gets
     uint64_t get_hits = 0;
     uint64_t get_misses = 0;
-    uint64_t cmd_set = 0;        // set/add/replace commands
+    uint64_t get_expired = 0;    // misses caused by expiry/flush reclaim
+    uint64_t cmd_set = 0;        // set/add/replace/cas/append/prepend
     uint64_t store_rejected = 0; // NOT_STORED + SERVER_ERROR outcomes
+    uint64_t cas_hits = 0;
+    uint64_t cas_misses = 0;
+    uint64_t cas_badval = 0;     // EXISTS outcomes
+    uint64_t incr_hits = 0;
+    uint64_t incr_misses = 0;
+    uint64_t decr_hits = 0;
+    uint64_t decr_misses = 0;
+    uint64_t cmd_touch = 0;
+    uint64_t touch_hits = 0;
+    uint64_t touch_misses = 0;
+    uint64_t cmd_flush = 0;
     uint64_t cmd_delete = 0;
     uint64_t delete_hits = 0;
     uint64_t protocol_errors = 0;
@@ -85,6 +133,7 @@ class CacheAdapter final : public CommandHandler {
 
  private:
   struct StoreShard;
+  struct Entry;
   struct RoutedKey {
     uint32_t app_id = 0;
     uint64_t key_id = 0;
@@ -92,10 +141,49 @@ class CacheAdapter final : public CommandHandler {
   };
 
   [[nodiscard]] RoutedKey Route(std::string_view key) const;
+  [[nodiscard]] uint32_t Now() const { return config_.clock(); }
+  [[nodiscard]] uint64_t NextCas() {
+    return cas_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  // True when `entry` is live and neither expired nor flushed at now_s.
+  [[nodiscard]] bool EntryValid(const Entry& entry, uint32_t now_s) const;
+  // Pre: shard lock held. Frees the value bytes and marks the entry dead
+  // (size metadata survives); the single owner of the bytes_stored_
+  // accounting invariant on the release side.
+  void ReleaseValueLocked(Entry* entry);
+  // Pre: the owning shard's mutex is held. Frees the value bytes of a
+  // dead-but-still-live entry (size metadata survives) and erases the key
+  // from the core so shadow state cannot linger past invalidation.
+  void ReclaimLocked(Entry* entry, const RoutedKey& rk, uint32_t key_size);
+  // Pre: shard lock held. The shared lookup kernel of every conditional
+  // verb (store/concat/arith/touch): finds the entry, lazily reclaims it
+  // when live-but-invalid (expired/flushed), and reports what remains.
+  // Keeping this in ONE place is what keeps the verbs' presence semantics
+  // in lockstep.
+  struct Lookup {
+    Entry* entry = nullptr;  // nullptr = key never stored
+    bool valid = false;      // live && unexpired && unflushed after reclaim
+    bool reclaimed = false;  // this call reclaimed a stale entry
+  };
+  Lookup LookupLocked(StoreShard& shard, const RoutedKey& rk,
+                      uint32_t key_size, uint32_t now_s);
+  // Replace an entry's value in place: re-slab through the core when the
+  // size changed (Delete old + Set new), core-Touch when it did not (the
+  // rewrite is an access; statistics must not count a phantom set). Pre:
+  // shard lock held; entry live and valid. Returns false when the core
+  // rejected the new size (the entry was erased, memcached's SERVER_ERROR
+  // path).
+  bool RewriteValueLocked(Entry* entry, const RoutedKey& rk,
+                          uint32_t key_size, std::string_view new_value,
+                          uint32_t now_s);
 
   void HandleGet(const Command& cmd, std::string* out, bool with_cas);
   void HandleStore(const Command& cmd, std::string* out);
+  void HandleConcat(const Command& cmd, std::string* out);
+  void HandleArith(const Command& cmd, std::string* out, bool increment);
+  void HandleTouch(const Command& cmd, std::string* out);
   void HandleDelete(const Command& cmd, std::string* out);
+  void HandleFlushAll(const Command& cmd, std::string* out);
   void HandleStats(std::string* out);
 
   ShardedCacheServer* server_;
@@ -104,12 +192,27 @@ class CacheAdapter final : public CommandHandler {
 
   std::vector<std::unique_ptr<StoreShard>> store_;
   std::atomic<uint64_t> cas_counter_{0};
+  // flush_all point: entries stored before it are dead once now reaches
+  // it. 0 = no flush scheduled.
+  std::atomic<uint32_t> flush_at_s_{0};
 
   std::atomic<uint64_t> cmd_get_{0};
   std::atomic<uint64_t> get_hits_{0};
   std::atomic<uint64_t> get_misses_{0};
+  std::atomic<uint64_t> get_expired_{0};
   std::atomic<uint64_t> cmd_set_{0};
   std::atomic<uint64_t> store_rejected_{0};
+  std::atomic<uint64_t> cas_hits_{0};
+  std::atomic<uint64_t> cas_misses_{0};
+  std::atomic<uint64_t> cas_badval_{0};
+  std::atomic<uint64_t> incr_hits_{0};
+  std::atomic<uint64_t> incr_misses_{0};
+  std::atomic<uint64_t> decr_hits_{0};
+  std::atomic<uint64_t> decr_misses_{0};
+  std::atomic<uint64_t> cmd_touch_{0};
+  std::atomic<uint64_t> touch_hits_{0};
+  std::atomic<uint64_t> touch_misses_{0};
+  std::atomic<uint64_t> cmd_flush_{0};
   std::atomic<uint64_t> cmd_delete_{0};
   std::atomic<uint64_t> delete_hits_{0};
   std::atomic<uint64_t> protocol_errors_{0};

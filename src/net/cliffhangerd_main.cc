@@ -8,6 +8,11 @@
 //   printf 'set k 0 0 5\r\nhello\r\nget k\r\nstats\r\nquit\r\n'
 //       | nc 127.0.0.1 11311
 //
+// Speaks the full storage/retrieval verb set — get/gets, set/add/replace,
+// cas, append/prepend, incr/decr, touch, delete, flush_all — with
+// memcached expiry semantics (relative/absolute exptime, lazy O(1)
+// expiration, no sweeper thread).
+//
 // Keys "app<id>:..." route to that registered app; everything else goes to
 // the default app (the first registered, or --default-app).
 #include <signal.h>

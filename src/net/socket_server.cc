@@ -77,9 +77,20 @@ bool SocketServer::Start(std::string* error) {
   IgnoreSigpipeOnce();
 
   // Non-blocking listen socket: the acceptor drains accept4 until EAGAIN,
-  // which must never block (it would wedge Stop's join).
+  // which must never block (it would wedge Stop's join behind a blocking
+  // accept that no wake-pipe byte can interrupt).
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return fail("socket");
+  // Enforce, don't assume: verify O_NONBLOCK actually landed and set it
+  // explicitly if not (a platform/emulation layer that ignores the socket()
+  // flag would otherwise produce a server that runs fine but wedges on
+  // Stop — the worst kind of footgun, invisible until shutdown).
+  const int fl = ::fcntl(listen_fd_, F_GETFL, 0);
+  if (fl < 0) return fail("fcntl(F_GETFL)");
+  if ((fl & O_NONBLOCK) == 0 &&
+      ::fcntl(listen_fd_, F_SETFL, fl | O_NONBLOCK) != 0) {
+    return fail("fcntl(F_SETFL, O_NONBLOCK)");
+  }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 

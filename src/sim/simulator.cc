@@ -11,6 +11,10 @@ ItemMeta ToMeta(const Request& r) {
   m.key = r.key;
   m.key_size = r.key_size;
   m.value_size = r.value_size;
+  m.expiry_s = r.expiry_s;
+  // The trace's virtual time doubles as the expiry clock, so TTL-bearing
+  // traces replay deterministically with no wall clock anywhere.
+  m.now_s = static_cast<uint32_t>(r.time_us / 1000000);
   return m;
 }
 
@@ -73,8 +77,29 @@ SimResult Replay(CacheServer& server, const Trace& trace,
         break;
       }
       case Op::kSet:
+      case Op::kCas:
+      case Op::kAppend:
+      case Op::kPrepend:
+        // Value-level conditionality lives with whoever owns the payload
+        // (net::CacheAdapter); at the residency core every store lands as
+        // a fill at the request's (new) value_size.
         server.Set(r.app_id, meta);
         break;
+      case Op::kTouch:
+        // Expiry refresh + recency bump, no get/set statistics (see
+        // CacheServer::Touch).
+        server.Mutate(r.app_id, MutateOp::kTouch, meta);
+        break;
+      case Op::kIncr:
+      case Op::kDecr: {
+        // Size-preserving value rewrite: recency moves, the stored TTL
+        // does not — a replay row cannot know the item's live expiry, and
+        // stamping the row's (usually 0) expiry would silently clear it.
+        ItemMeta keep = meta;
+        keep.expiry_s = kKeepExpiry;
+        server.Mutate(r.app_id, MutateOp::kTouch, keep);
+        break;
+      }
       case Op::kDelete:
         server.Delete(r.app_id, meta);
         break;

@@ -17,22 +17,39 @@ const char* OpToToken(Op op) {
       return "SET";
     case Op::kDelete:
       return "DEL";
+    case Op::kTouch:
+      return "TOU";
+    case Op::kIncr:
+      return "INC";
+    case Op::kDecr:
+      return "DEC";
+    case Op::kCas:
+      return "CAS";
+    case Op::kAppend:
+      return "APP";
+    case Op::kPrepend:
+      return "PRE";
   }
   return "GET";
 }
 
 bool TokenToOp(const char* token, Op* op) {
-  if (token[0] == 'G') {
-    *op = Op::kGet;
-    return true;
-  }
-  if (token[0] == 'S') {
-    *op = Op::kSet;
-    return true;
-  }
-  if (token[0] == 'D') {
-    *op = Op::kDelete;
-    return true;
+  // Full-token matches: DEL and DEC share a prefix, so first-letter
+  // dispatch is no longer enough.
+  struct Mapping {
+    const char* token;
+    Op op;
+  };
+  static constexpr Mapping kMappings[] = {
+      {"GET", Op::kGet},    {"SET", Op::kSet},    {"DEL", Op::kDelete},
+      {"TOU", Op::kTouch},  {"INC", Op::kIncr},   {"DEC", Op::kDecr},
+      {"CAS", Op::kCas},    {"APP", Op::kAppend}, {"PRE", Op::kPrepend},
+  };
+  for (const Mapping& m : kMappings) {
+    if (std::strcmp(token, m.token) == 0) {
+      *op = m.op;
+      return true;
+    }
   }
   return false;
 }
@@ -57,10 +74,18 @@ Trace::Stats Trace::ComputeStats() const {
         ++s.gets;
         break;
       case Op::kSet:
+      case Op::kCas:
+      case Op::kAppend:
+      case Op::kPrepend:
         ++s.sets;
         break;
       case Op::kDelete:
         ++s.deletes;
+        break;
+      case Op::kTouch:
+      case Op::kIncr:
+      case Op::kDecr:
+        ++s.touches;
         break;
     }
     keys.insert(r.key);
@@ -74,11 +99,12 @@ Trace::Stats Trace::ComputeStats() const {
 bool Trace::SaveCsv(const std::string& path) const {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
-  std::fputs("app_id,op,key,key_size,value_size,time_us\n", f);
+  std::fputs("app_id,op,key,key_size,value_size,time_us,expiry_s\n", f);
   for (const Request& r : requests_) {
-    std::fprintf(f, "%u,%s,%llu,%u,%u,%llu\n", r.app_id, OpToToken(r.op),
+    std::fprintf(f, "%u,%s,%llu,%u,%u,%llu,%u\n", r.app_id, OpToToken(r.op),
                  static_cast<unsigned long long>(r.key), r.key_size,
-                 r.value_size, static_cast<unsigned long long>(r.time_us));
+                 r.value_size, static_cast<unsigned long long>(r.time_us),
+                 r.expiry_s);
   }
   const bool ok = std::fclose(f) == 0;
   return ok;
@@ -111,10 +137,13 @@ Trace Trace::LoadCsv(const std::string& path, bool* ok) {
     unsigned key_size = 0;
     unsigned value_size = 0;
     unsigned long long time_us = 0;
+    unsigned expiry_s = 0;
+    // The expiry column is optional: legacy six-column files load with
+    // expiry 0 (never expires).
     const int fields =
-        std::sscanf(line, "%u,%3[A-Z],%llu,%u,%u,%llu", &app_id, op_token,
-                    &key, &key_size, &value_size, &time_us);
-    if (fields != 6) {
+        std::sscanf(line, "%u,%3[A-Z],%llu,%u,%u,%llu,%u", &app_id, op_token,
+                    &key, &key_size, &value_size, &time_us, &expiry_s);
+    if (fields != 6 && fields != 7) {
       std::fclose(f);
       return out;
     }
@@ -128,6 +157,7 @@ Trace Trace::LoadCsv(const std::string& path, bool* ok) {
     r.key_size = key_size;
     r.value_size = value_size;
     r.time_us = time_us;
+    r.expiry_s = expiry_s;
     out.Append(r);
   }
   std::fclose(f);

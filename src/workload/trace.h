@@ -37,16 +37,20 @@ class Trace {
   // Summary statistics useful for workload validation.
   struct Stats {
     uint64_t gets = 0;
-    uint64_t sets = 0;
+    uint64_t sets = 0;     // all store-shaped ops: set/cas/append/prepend
     uint64_t deletes = 0;
+    uint64_t touches = 0;  // touch/incr/decr (size-preserving mutations)
     uint64_t unique_keys = 0;
     uint64_t total_value_bytes = 0;
     uint64_t max_value_size = 0;
   };
   [[nodiscard]] Stats ComputeStats() const;
 
-  // CSV format: "app_id,op,key,key_size,value_size,time_us" with one header
-  // line. Returns false on I/O failure.
+  // CSV format: "app_id,op,key,key_size,value_size,time_us[,expiry_s]"
+  // with one header line; the expiry column is optional on load (legacy
+  // six-column files read as expiry 0) and always written on save. Op
+  // tokens: GET SET DEL TOU INC DEC CAS APP PRE. Returns false on I/O
+  // failure.
   [[nodiscard]] bool SaveCsv(const std::string& path) const;
   [[nodiscard]] static Trace LoadCsv(const std::string& path, bool* ok);
 

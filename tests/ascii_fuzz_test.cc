@@ -26,13 +26,16 @@ struct OwnedCommand {
   std::vector<std::string> keys;
   uint32_t flags = 0;
   int64_t exptime = 0;
+  uint64_t cas_unique = 0;
+  uint64_t delta = 0;
   bool noreply = false;
   std::string data;
   std::string error;
 
   bool operator==(const OwnedCommand& o) const {
     return type == o.type && keys == o.keys && flags == o.flags &&
-           exptime == o.exptime && noreply == o.noreply && data == o.data &&
+           exptime == o.exptime && cas_unique == o.cas_unique &&
+           delta == o.delta && noreply == o.noreply && data == o.data &&
            error == o.error;
   }
 };
@@ -43,6 +46,8 @@ OwnedCommand Materialize(const Command& cmd) {
   for (const auto key : cmd.keys) out.keys.emplace_back(key);
   out.flags = cmd.flags;
   out.exptime = cmd.exptime;
+  out.cas_unique = cmd.cas_unique;
+  out.delta = cmd.delta;
   out.noreply = cmd.noreply;
   out.data = std::string(cmd.data);
   out.error = std::string(cmd.error);
@@ -121,7 +126,7 @@ std::string RandomValue(Rng& rng) {
 }
 
 std::string RandomCommand(Rng& rng) {
-  switch (rng.NextBounded(8)) {
+  switch (rng.NextBounded(12)) {
     case 0: {
       std::string cmd = rng.NextBernoulli(0.5) ? "get" : "gets";
       const size_t keys = 1 + rng.NextBounded(4);
@@ -131,9 +136,9 @@ std::string RandomCommand(Rng& rng) {
     case 1:
     case 2:
     case 3: {
-      const char* verbs[] = {"set", "add", "replace"};
+      const char* verbs[] = {"set", "add", "replace", "append", "prepend"};
       const std::string value = RandomValue(rng);
-      std::string cmd = std::string(verbs[rng.NextBounded(3)]) + " " +
+      std::string cmd = std::string(verbs[rng.NextBounded(5)]) + " " +
                         RandomKey(rng) + " " +
                         std::to_string(rng.NextBounded(1u << 16)) + " " +
                         std::to_string(static_cast<int64_t>(
@@ -149,6 +154,38 @@ std::string RandomCommand(Rng& rng) {
       return "stats\r\n";
     case 6:
       return "version\r\n";
+    case 7: {
+      const std::string value = RandomValue(rng);
+      std::string cmd = "cas " + RandomKey(rng) + " " +
+                        std::to_string(rng.NextBounded(1u << 16)) + " " +
+                        std::to_string(rng.NextBounded(3600)) + " " +
+                        std::to_string(value.size()) + " " +
+                        std::to_string(rng.NextBounded(1u << 30));
+      if (rng.NextBernoulli(0.3)) cmd += " noreply";
+      return cmd + "\r\n" + value + "\r\n";
+    }
+    case 8: {
+      std::string cmd = (rng.NextBernoulli(0.5) ? "incr " : "decr ") +
+                        RandomKey(rng) + " " +
+                        std::to_string(rng.NextBounded(1u << 20));
+      if (rng.NextBernoulli(0.3)) cmd += " noreply";
+      return cmd + "\r\n";
+    }
+    case 9: {
+      std::string cmd = "touch " + RandomKey(rng) + " " +
+                        std::to_string(static_cast<int64_t>(
+                            rng.NextBounded(7200)) - 10);
+      if (rng.NextBernoulli(0.3)) cmd += " noreply";
+      return cmd + "\r\n";
+    }
+    case 10: {
+      std::string cmd = "flush_all";
+      if (rng.NextBernoulli(0.5)) {
+        cmd += " " + std::to_string(rng.NextBounded(600));
+      }
+      if (rng.NextBernoulli(0.3)) cmd += " noreply";
+      return cmd + "\r\n";
+    }
     default:
       return "get " + RandomKey(rng) + "\r\n";
   }
@@ -306,6 +343,16 @@ TEST(AsciiFuzzTest, CanonicalViolationsProduceMemcachedErrors) {
       {"set k 0 0 18446744073709551616\r\n", kErrBadLine},  // u64 overflow
       {"delete\r\n", kErrBadLine},
       {"set k 0 0 3\r\nabcd\r\n", kErrBadChunk},
+      {"cas k 0 0 3\r\n", kErrBadLine},         // missing compare version
+      {"cas k 0 0 3 -1\r\n", kErrBadLine},      // signed compare version
+      {"append k 0 0\r\n", kErrBadLine},        // missing bytes
+      {"incr k\r\n", kErrBadLine},              // missing delta
+      {"incr k five\r\n", kErrBadDelta},
+      {"decr k 1 1\r\n", kErrBadLine},          // junk where noreply belongs
+      {"touch k soon\r\n", kErrBadExptime},
+      {"touch k\r\n", kErrBadLine},
+      {"flush_all never\r\n", kErrBadLine},
+      {"flush_all 1 2 3\r\n", kErrBadLine},
   };
   for (const Case& c : cases) {
     const auto commands = ReferenceParse(c.input);

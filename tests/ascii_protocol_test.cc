@@ -24,13 +24,16 @@ struct OwnedCommand {
   std::vector<std::string> keys;
   uint32_t flags = 0;
   int64_t exptime = 0;
+  uint64_t cas_unique = 0;
+  uint64_t delta = 0;
   bool noreply = false;
   std::string data;
   std::string error;
 
   bool operator==(const OwnedCommand& o) const {
     return type == o.type && keys == o.keys && flags == o.flags &&
-           exptime == o.exptime && noreply == o.noreply && data == o.data &&
+           exptime == o.exptime && cas_unique == o.cas_unique &&
+           delta == o.delta && noreply == o.noreply && data == o.data &&
            error == o.error;
   }
 };
@@ -41,6 +44,8 @@ OwnedCommand Materialize(const Command& cmd) {
   for (const auto key : cmd.keys) out.keys.emplace_back(key);
   out.flags = cmd.flags;
   out.exptime = cmd.exptime;
+  out.cas_unique = cmd.cas_unique;
+  out.delta = cmd.delta;
   out.noreply = cmd.noreply;
   out.data = std::string(cmd.data);
   out.error = std::string(cmd.error);
@@ -154,6 +159,68 @@ TEST(AsciiParserTest, DeleteVariants) {
   EXPECT_EQ(cmds[1].keys[0], "k2");
 }
 
+TEST(AsciiParserTest, CasCarriesTheCompareVersion) {
+  const auto cmds =
+      ParseAll("cas k 7 100 5 42\r\nhello\r\ncas k 0 0 0 9 noreply\r\n\r\n");
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0].type, CommandType::kCas);
+  EXPECT_EQ(cmds[0].keys[0], "k");
+  EXPECT_EQ(cmds[0].flags, 7u);
+  EXPECT_EQ(cmds[0].exptime, 100);
+  EXPECT_EQ(cmds[0].cas_unique, 42u);
+  EXPECT_FALSE(cmds[0].noreply);
+  EXPECT_EQ(cmds[0].data, "hello");
+  EXPECT_EQ(cmds[1].cas_unique, 9u);
+  EXPECT_TRUE(cmds[1].noreply);
+  EXPECT_EQ(cmds[1].data, "");
+}
+
+TEST(AsciiParserTest, AppendPrependParseLikeStorage) {
+  const auto cmds =
+      ParseAll("append k 0 0 3\r\nxyz\r\nprepend k 0 0 2 noreply\r\nab\r\n");
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0].type, CommandType::kAppend);
+  EXPECT_EQ(cmds[0].data, "xyz");
+  EXPECT_EQ(cmds[1].type, CommandType::kPrepend);
+  EXPECT_TRUE(cmds[1].noreply);
+  EXPECT_EQ(cmds[1].data, "ab");
+}
+
+TEST(AsciiParserTest, IncrDecrCarryTheDelta) {
+  const auto cmds =
+      ParseAll("incr counter 5\r\ndecr counter 18446744073709551615 noreply\r\n");
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0].type, CommandType::kIncr);
+  EXPECT_EQ(cmds[0].keys[0], "counter");
+  EXPECT_EQ(cmds[0].delta, 5u);
+  EXPECT_FALSE(cmds[0].noreply);
+  EXPECT_EQ(cmds[1].type, CommandType::kDecr);
+  EXPECT_EQ(cmds[1].delta, UINT64_MAX);
+  EXPECT_TRUE(cmds[1].noreply);
+}
+
+TEST(AsciiParserTest, TouchCarriesExptime) {
+  const auto cmds = ParseAll("touch k 300\r\ntouch k -1 noreply\r\n");
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0].type, CommandType::kTouch);
+  EXPECT_EQ(cmds[0].exptime, 300);
+  EXPECT_EQ(cmds[1].exptime, -1);
+  EXPECT_TRUE(cmds[1].noreply);
+}
+
+TEST(AsciiParserTest, FlushAllVariants) {
+  const auto cmds =
+      ParseAll("flush_all\r\nflush_all 10\r\nflush_all noreply\r\n"
+               "flush_all 5 noreply\r\n");
+  ASSERT_EQ(cmds.size(), 4u);
+  for (const auto& cmd : cmds) EXPECT_EQ(cmd.type, CommandType::kFlushAll);
+  EXPECT_EQ(cmds[0].exptime, 0);
+  EXPECT_EQ(cmds[1].exptime, 10);
+  EXPECT_TRUE(cmds[2].noreply);
+  EXPECT_EQ(cmds[3].exptime, 5);
+  EXPECT_TRUE(cmds[3].noreply);
+}
+
 TEST(AsciiParserTest, AdminCommands) {
   const auto cmds = ParseAll("stats\r\nversion\r\nquit\r\n");
   ASSERT_EQ(cmds.size(), 3u);
@@ -179,7 +246,7 @@ TEST(AsciiParserTest, RepeatedSpacesTolerated) {
 // --- Error cases: CLIENT_ERROR/ERROR exactly where memcached raises them --
 
 TEST(AsciiParserTest, UnknownCommandIsError) {
-  const auto cmds = ParseAll("bogus foo\r\n\r\nflush_all\r\n");
+  const auto cmds = ParseAll("bogus foo\r\n\r\nverbosity 1\r\n");
   ASSERT_EQ(cmds.size(), 3u);
   for (const auto& cmd : cmds) {
     EXPECT_EQ(cmd.type, CommandType::kProtocolError);
@@ -236,6 +303,14 @@ TEST(AsciiParserTest, MalformedStorageLineIsClientError) {
       "set k 0 0 5 noreply extra\r\n",
       "delete\r\n",
       "delete k1 k2\r\n",
+      "cas k 0 0 5\r\n",            // cas without the compare version
+      "cas k 0 0 5 notanumber\r\n", // non-numeric compare version
+      "incr\r\n",                   // arity
+      "incr k 1 2\r\n",             // junk where noreply belongs
+      "touch k\r\n",                // missing exptime
+      "touch k 0 never\r\n",        // junk where noreply belongs
+      "flush_all 1 2\r\n",          // too many arguments
+      "flush_all -1\r\n",           // negative delay
   };
   for (const char* input : cases) {
     const auto cmds = ParseAll(input);
@@ -243,6 +318,29 @@ TEST(AsciiParserTest, MalformedStorageLineIsClientError) {
     EXPECT_EQ(cmds[0].type, CommandType::kProtocolError) << input;
     EXPECT_EQ(cmds[0].error, kErrBadLine) << input;
   }
+}
+
+TEST(AsciiParserTest, ArithmeticDeltaErrorsUseTheMemcachedLine) {
+  // A well-shaped incr/decr line with a bad operand gets the dedicated
+  // memcached error, and noreply survives (the line parsed cleanly enough
+  // to know it); a malformed line shape stays a generic bad-line error.
+  auto cmds = ParseAll("incr k abc\r\ndecr k 1.5 noreply\r\n"
+                       "incr k 18446744073709551616\r\n");
+  ASSERT_EQ(cmds.size(), 3u);
+  EXPECT_EQ(cmds[0].error, kErrBadDelta);
+  EXPECT_FALSE(cmds[0].noreply);
+  EXPECT_EQ(cmds[1].error, kErrBadDelta);
+  EXPECT_TRUE(cmds[1].noreply);
+  EXPECT_EQ(cmds[2].error, kErrBadDelta);  // u64 overflow
+}
+
+TEST(AsciiParserTest, TouchExptimeErrorsUseTheMemcachedLine) {
+  const auto cmds = ParseAll("touch k never\r\ntouch k x noreply\r\n");
+  ASSERT_EQ(cmds.size(), 2u);
+  EXPECT_EQ(cmds[0].error, kErrBadExptime);
+  EXPECT_FALSE(cmds[0].noreply);
+  EXPECT_EQ(cmds[1].error, kErrBadExptime);
+  EXPECT_TRUE(cmds[1].noreply);
 }
 
 TEST(AsciiParserTest, BadDataChunkResyncsAtNextNewline) {
@@ -382,6 +480,15 @@ std::string CanonicalStream() {
          "set key1 7 0 10\r\n0123456789\r\n"
          "add key2 0 -1 3 noreply\r\nabc\r\n"
          "replace key1 1 0 4\r\nwxyz\r\n"
+         "cas key1 2 60 5 1234\r\nhello\r\n"
+         "append key1 0 0 3\r\n+++\r\n"
+         "prepend key1 0 0 3 noreply\r\n---\r\n"
+         "incr counter 41\r\n"
+         "decr counter 1 noreply\r\n"
+         "incr counter nine\r\n"  // bad delta -> dedicated error
+         "touch key1 3600\r\n"
+         "touch key1 oops\r\n"    // bad exptime -> dedicated error
+         "flush_all 30 noreply\r\n"
          "delete key2 noreply\r\n"
          "delete key1\r\n"
          "bogus line here\r\n"

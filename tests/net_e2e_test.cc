@@ -13,8 +13,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -48,6 +50,11 @@ class NetE2eTest : public ::testing::Test {
     }
     net::CacheAdapterConfig adapter_config;
     adapter_config.default_app_id = default_app;
+    if (fake_now_.load() != 0) {
+      // Deterministic expiry: the adapter reads this test-controlled
+      // second counter instead of the wall clock. No sleeps anywhere.
+      adapter_config.clock = [this] { return fake_now_.load(); };
+    }
     adapter_ = std::make_unique<net::CacheAdapter>(server_.get(),
                                                    adapter_config);
     net::SocketServerConfig net_config;
@@ -67,6 +74,12 @@ class NetE2eTest : public ::testing::Test {
     StartServer(config, {{1, 8 * kMiB}}, 1);
   }
 
+  // Fake-clock variant: call before any traffic; advance with fake_now_.
+  void StartDefaultServerAt(uint32_t now_s) {
+    fake_now_.store(now_s);
+    StartDefaultServer();
+  }
+
   net::AsciiClient MakeClient() {
     net::AsciiClient client;
     EXPECT_TRUE(client.Connect("127.0.0.1", socket_server_->port()));
@@ -80,6 +93,7 @@ class NetE2eTest : public ::testing::Test {
   std::unique_ptr<ShardedCacheServer> server_;
   std::unique_ptr<net::CacheAdapter> adapter_;
   std::unique_ptr<net::SocketServer> socket_server_;
+  std::atomic<uint32_t> fake_now_{0};  // 0 = wall clock
 };
 
 TEST_F(NetE2eTest, StartStopIsCleanAndIdempotent) {
@@ -394,6 +408,286 @@ TEST_F(NetE2eTest, ManyConnectionsHammerConcurrently) {
   const auto counters = adapter_->counters();
   EXPECT_GT(counters.cmd_get + counters.cmd_set,
             static_cast<uint64_t>(kThreads) * kOpsPerThread - 1);
+}
+
+// --- The new verbs: cas / arithmetic / concat / touch / flush ------------
+
+TEST_F(NetE2eTest, CasStoresOnlyAtTheRightVersion) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  using SR = net::AsciiClient::StoreResult;
+
+  EXPECT_EQ(client.Cas("nope", "v", 1), SR::kNotFound);
+
+  ASSERT_EQ(client.Set("k", "v1"), SR::kStored);
+  const auto versioned = client.Gets("k");
+  ASSERT_TRUE(versioned.has_value());
+
+  // Right version stores; the stored value gets a NEW version, so the
+  // same cas again is EXISTS (exactly memcached's optimistic-locking
+  // contract).
+  EXPECT_EQ(client.Cas("k", "v2", versioned->cas), SR::kStored);
+  EXPECT_EQ(client.Cas("k", "v3", versioned->cas), SR::kExists);
+  EXPECT_EQ(client.Get("k")->data, "v2");
+
+  const auto fresh = client.Gets("k");
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_GT(fresh->cas, versioned->cas);
+  EXPECT_EQ(client.Cas("k", "v3", fresh->cas), SR::kStored);
+  EXPECT_EQ(client.Get("k")->data, "v3");
+
+  // A cas-stored value can change size (re-slab path runs under the hood).
+  const std::string big(4096, 'x');
+  const auto before_big = client.Gets("k");
+  ASSERT_TRUE(before_big.has_value());
+  EXPECT_EQ(client.Cas("k", big, before_big->cas), SR::kStored);
+  EXPECT_EQ(client.Get("k")->data, big);
+}
+
+TEST_F(NetE2eTest, IncrDecrFollowMemcachedArithmetic) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  using SR = net::AsciiClient::StoreResult;
+
+  // Absent key: NOT_FOUND is a clean miss (no error).
+  EXPECT_FALSE(client.Incr("counter", 1).has_value());
+  EXPECT_TRUE(client.last_error().empty()) << client.last_error();
+
+  ASSERT_EQ(client.Set("counter", "5"), SR::kStored);
+  EXPECT_EQ(client.Incr("counter", 3), std::optional<uint64_t>(8));
+  EXPECT_EQ(client.Get("counter")->data, "8");
+
+  // decr saturates at zero; incr wraps modulo 2^64.
+  EXPECT_EQ(client.Decr("counter", 100), std::optional<uint64_t>(0));
+  EXPECT_EQ(client.Get("counter")->data, "0");
+  ASSERT_EQ(client.Set("counter", "18446744073709551615"), SR::kStored);
+  EXPECT_EQ(client.Incr("counter", 2), std::optional<uint64_t>(1));
+  // The rewrite shrank the value from 20 digits to 1 — re-slab flowed
+  // through and GET serves the new bytes.
+  EXPECT_EQ(client.Get("counter")->data, "1");
+
+  // Arithmetic bumps the cas version like any store.
+  const auto before = client.Gets("counter");
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(client.Incr("counter", 1), std::optional<uint64_t>(2));
+  const auto after = client.Gets("counter");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_GT(after->cas, before->cas);
+
+  // Non-numeric value: the dedicated memcached error, value untouched.
+  ASSERT_EQ(client.Set("word", "hello"), SR::kStored);
+  EXPECT_FALSE(client.Incr("word", 1).has_value());
+  EXPECT_NE(client.last_error().find(
+                "cannot increment or decrement non-numeric value"),
+            std::string::npos)
+      << client.last_error();
+  EXPECT_EQ(client.Get("word")->data, "hello");
+
+  // Raw numeric-reply grammar: the bare decimal, CRLF-terminated.
+  ASSERT_TRUE(client.SendRaw("incr counter 7\r\n"));
+  std::string line;
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, "9");
+}
+
+TEST_F(NetE2eTest, AppendPrependSpliceAndReslab) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+  using SR = net::AsciiClient::StoreResult;
+
+  // Both verbs demand an existing item.
+  EXPECT_EQ(client.Append("missing", "x"), SR::kNotStored);
+  EXPECT_EQ(client.Prepend("missing", "x"), SR::kNotStored);
+
+  ASSERT_EQ(client.Set("k", "bb", /*flags=*/7), SR::kStored);
+  const auto v0 = client.Gets("k");
+  ASSERT_TRUE(v0.has_value());
+  EXPECT_EQ(client.Append("k", "cc"), SR::kStored);
+  EXPECT_EQ(client.Prepend("k", "aa"), SR::kStored);
+  const auto v1 = client.Gets("k");
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->data, "aabbcc");
+  // Flags survive a splice (memcached ignores the command-line flags);
+  // the cas version does not.
+  EXPECT_EQ(v1->flags, 7u);
+  EXPECT_GT(v1->cas, v0->cas);
+
+  // Splicing past the hard value cap rejects but keeps the original.
+  const std::string half(600 * 1024, 'z');
+  ASSERT_EQ(client.Set("big", half), SR::kStored);
+  std::string line;
+  ASSERT_TRUE(client.SendRaw("append big 0 0 " +
+                             std::to_string(half.size()) + "\r\n" + half +
+                             "\r\n"));
+  ASSERT_TRUE(client.ReadLine(&line));
+  EXPECT_EQ(line, net::kErrTooLarge);
+  EXPECT_EQ(client.Get("big")->data, half);
+}
+
+TEST_F(NetE2eTest, ExpiryIsLazyAndDeterministicUnderTheInjectedClock) {
+  StartDefaultServerAt(1000);
+  net::AsciiClient client = MakeClient();
+  using SR = net::AsciiClient::StoreResult;
+
+  // Relative exptime: 10 seconds from now => absolute second 1010.
+  ASSERT_EQ(client.Set("ttl", "v", 0, /*exptime=*/10), SR::kStored);
+  EXPECT_TRUE(client.Get("ttl").has_value());
+  fake_now_.store(1009);
+  EXPECT_TRUE(client.Get("ttl").has_value());  // second 1009: still alive
+  fake_now_.store(1010);
+  EXPECT_FALSE(client.Get("ttl").has_value());  // expiry second: gone
+  // Expired stays gone (the first miss reclaimed it) and a fresh store
+  // resurrects the key with a new TTL.
+  EXPECT_FALSE(client.Get("ttl").has_value());
+  ASSERT_EQ(client.Set("ttl", "v2", 0, 10), SR::kStored);
+  EXPECT_EQ(client.Get("ttl")->data, "v2");
+
+  // Negative exptime: stored but immediately expired, like memcached.
+  ASSERT_EQ(client.Set("dead", "v", 0, -1), SR::kStored);
+  EXPECT_FALSE(client.Get("dead").has_value());
+
+  // An exptime past the 30-day cutoff is an absolute unix second, not a
+  // relative offset.
+  const int64_t absolute = 3000000000LL;
+  ASSERT_EQ(client.Set("abs", "v", 0, absolute), SR::kStored);
+  EXPECT_TRUE(client.Get("abs").has_value());
+  fake_now_.store(static_cast<uint32_t>(absolute) - 1);
+  EXPECT_TRUE(client.Get("abs").has_value());
+  fake_now_.store(static_cast<uint32_t>(absolute));
+  EXPECT_FALSE(client.Get("abs").has_value());
+
+  const auto stats = client.Stats();
+  EXPECT_GE(std::stoull(stats.at("get_expired")), 3ull);
+}
+
+TEST_F(NetE2eTest, ExpiredKeysActAbsentForEveryConditionalVerb) {
+  StartDefaultServerAt(1000);
+  net::AsciiClient client = MakeClient();
+  using SR = net::AsciiClient::StoreResult;
+
+  ASSERT_EQ(client.Set("k", "5", 0, 10), SR::kStored);
+  fake_now_.store(1010);  // expired, not yet observed by any GET
+
+  EXPECT_EQ(client.Replace("k", "x"), SR::kNotStored);
+  EXPECT_EQ(client.Append("k", "x"), SR::kNotStored);
+  EXPECT_FALSE(client.Incr("k", 1).has_value());
+  EXPECT_TRUE(client.last_error().empty());
+  EXPECT_FALSE(client.Touch("k", 100));
+  EXPECT_EQ(client.Cas("k", "x", 1), SR::kNotFound);
+  EXPECT_FALSE(client.Delete("k"));  // NOT_FOUND, like memcached
+  // add treats the expired key as absent and stores fresh.
+  EXPECT_EQ(client.Add("k", "new", 0, 0), SR::kStored);
+  EXPECT_EQ(client.Get("k")->data, "new");
+}
+
+TEST_F(NetE2eTest, TouchExtendsAndCutsLifetimes) {
+  StartDefaultServerAt(1000);
+  net::AsciiClient client = MakeClient();
+  using SR = net::AsciiClient::StoreResult;
+
+  EXPECT_FALSE(client.Touch("missing", 100));
+  EXPECT_TRUE(client.last_error().empty()) << client.last_error();
+
+  ASSERT_EQ(client.Set("k", "v", 0, 10), SR::kStored);  // dies at 1010
+  fake_now_.store(1005);
+  EXPECT_TRUE(client.Touch("k", 100));  // now dies at 1105
+  fake_now_.store(1050);
+  EXPECT_TRUE(client.Get("k").has_value());
+  fake_now_.store(1105);
+  EXPECT_FALSE(client.Get("k").has_value());
+
+  // touch -1 expires immediately; touch 0 makes an item permanent.
+  ASSERT_EQ(client.Set("cut", "v"), SR::kStored);
+  EXPECT_TRUE(client.Touch("cut", -1));
+  EXPECT_FALSE(client.Get("cut").has_value());
+  ASSERT_EQ(client.Set("keep", "v", 0, 5), SR::kStored);
+  EXPECT_TRUE(client.Touch("keep", 0));
+  fake_now_.store(2000000);
+  EXPECT_TRUE(client.Get("keep").has_value());
+
+  const auto stats = client.Stats();
+  EXPECT_EQ(stats.at("cmd_touch"), "4");
+  EXPECT_EQ(stats.at("touch_hits"), "3");
+  EXPECT_EQ(stats.at("touch_misses"), "1");
+}
+
+TEST_F(NetE2eTest, FlushAllInvalidatesLazilyWithOptionalDelay) {
+  StartDefaultServerAt(1000);
+  net::AsciiClient client = MakeClient();
+  using SR = net::AsciiClient::StoreResult;
+
+  ASSERT_EQ(client.Set("a", "1"), SR::kStored);
+  ASSERT_EQ(client.Set("b", "2"), SR::kStored);
+  fake_now_.store(1001);
+  EXPECT_TRUE(client.FlushAll());
+  EXPECT_FALSE(client.Get("a").has_value());
+  EXPECT_FALSE(client.Get("b").has_value());
+  // Items stored at/after the flush point survive.
+  ASSERT_EQ(client.Set("c", "3"), SR::kStored);
+  EXPECT_TRUE(client.Get("c").has_value());
+
+  // Delayed flush: alive until the scheduled second, dead after.
+  ASSERT_EQ(client.Set("d", "4"), SR::kStored);
+  EXPECT_TRUE(client.FlushAll(/*delay=*/10));  // fires at 1011
+  fake_now_.store(1005);
+  EXPECT_TRUE(client.Get("d").has_value());
+  fake_now_.store(1011);
+  EXPECT_FALSE(client.Get("d").has_value());
+  EXPECT_FALSE(client.Get("c").has_value());  // c predates the point too
+
+  const auto stats = client.Stats();
+  EXPECT_EQ(stats.at("cmd_flush"), "2");
+}
+
+// --- Satellite regression: Stop() must never wedge -----------------------
+
+TEST_F(NetE2eTest, StopDoesNotWedgeWithPendingAndIdleConnections) {
+  StartDefaultServer();
+  // A mix of abusive client states: connected-but-silent, half-written
+  // frames, and unread pending responses. None may wedge Stop.
+  std::vector<net::AsciiClient> clients(6);
+  for (size_t i = 0; i < clients.size(); ++i) {
+    ASSERT_TRUE(clients[i].Connect("127.0.0.1", socket_server_->port()));
+  }
+  ASSERT_TRUE(clients[1].SendRaw("get half"));          // partial frame
+  ASSERT_TRUE(clients[2].SendRaw("set k 0 0 100\r\nabc"));  // partial data
+  ASSERT_TRUE(clients[3].SendRaw("version\r\n"));       // unread response
+  clients[4].ShutdownWrite();                           // half-closed
+
+  std::atomic<bool> stopped{false};
+  std::thread stopper([&] {
+    socket_server_->Stop();
+    stopped.store(true);
+  });
+  // Generous deadline: a wedged Stop (blocking accept, lost wakeup) hangs
+  // forever, so any completion below the cap is a pass.
+  for (int i = 0; i < 500 && !stopped.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(stopped.load()) << "SocketServer::Stop wedged";
+  if (!stopped.load()) stopper.detach();  // don't hang the test binary
+  else stopper.join();
+  EXPECT_FALSE(socket_server_->running());
+}
+
+TEST_F(NetE2eTest, RepeatedStartStopCyclesStayClean) {
+  ShardedServerConfig config;
+  config.server = DefaultServerConfig();
+  config.num_shards = 2;
+  StartServer(config, {{1, 4 * kMiB}}, 1);
+  for (int round = 0; round < 3; ++round) {
+    net::AsciiClient client = MakeClient();
+    EXPECT_EQ(client.Set("k", "v"), net::AsciiClient::StoreResult::kStored);
+    socket_server_->Stop();
+    ASSERT_FALSE(socket_server_->running());
+    net::SocketServerConfig net_config;
+    net_config.port = 0;
+    net_config.num_workers = 2;
+    socket_server_ =
+        std::make_unique<net::SocketServer>(net_config, adapter_.get());
+    std::string error;
+    ASSERT_TRUE(socket_server_->Start(&error)) << error;
+  }
 }
 
 // --- The determinism test -------------------------------------------------
