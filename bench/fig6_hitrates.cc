@@ -1,20 +1,28 @@
 // Figure 6: hit rates of the top 20 applications under the default
 // allocation, the Dynacache solver and Cliffhanger.
+//
+// Human table goes to stderr; stdout carries the machine-readable JSON that
+// the metrics-regression gate diffs against bench/baselines/metrics/.
 #include "bench/bench_common.h"
 
 using namespace cliffhanger;
 using namespace cliffhanger::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  uint64_t app_requests = kAppTraceLen;
+  if (!ParseAppRequests(argc, argv, &app_requests)) return 1;
   Banner("Figure 6: default vs Dynacache solver vs Cliffhanger, 20 apps",
          "paper: Cliffhanger raises the average hit rate ~1.2% and beats "
-         "the solver on the cliff apps (18*, 19*)");
+         "the solver on the cliff apps (18*, 19*)",
+         std::cerr);
   MemcachierSuite suite;
   TablePrinter t({"App", "Default", "Solver", "Cliffhanger"});
+  BenchJsonWriter json("fig6_hitrates");
+  json.Meta("app_requests", app_requests).Meta("seed", kSeed);
   double sum_default = 0.0, sum_solver = 0.0, sum_ch = 0.0;
   for (int id = 1; id <= 20; ++id) {
     const SuiteApp& app = suite.app(id);
-    const Trace trace = suite.GenerateAppTrace(id, kAppTraceLen, kSeed);
+    const Trace trace = suite.GenerateAppTrace(id, app_requests, kSeed);
     const SimResult fcfs = RunApp(app, trace, DefaultServerConfig());
     const SimResult solver = RunAppWithSolver(app, trace);
     const SimResult ch = RunApp(app, trace, CliffhangerServerConfig());
@@ -25,13 +33,38 @@ int main() {
               TablePrinter::Pct(fcfs.hit_rate()),
               TablePrinter::Pct(solver.hit_rate()),
               TablePrinter::Pct(ch.hit_rate())});
+    const std::string prefix = "app" + std::to_string(id) + "/";
+    json.AddRow(prefix + "default")
+        .Add("app", id)
+        .Add("scheme", "default")
+        .Add("has_cliff", app.has_cliff)
+        .Add("hit_rate", fcfs.hit_rate());
+    json.AddRow(prefix + "solver")
+        .Add("app", id)
+        .Add("scheme", "solver")
+        .Add("has_cliff", app.has_cliff)
+        .Add("hit_rate", solver.hit_rate());
+    json.AddRow(prefix + "cliffhanger")
+        .Add("app", id)
+        .Add("scheme", "cliffhanger")
+        .Add("has_cliff", app.has_cliff)
+        .Add("hit_rate", ch.hit_rate());
+    std::cerr << "fig6: app " << id << " done\n";
   }
   t.AddRow({"avg", TablePrinter::Pct(sum_default / 20),
             TablePrinter::Pct(sum_solver / 20),
             TablePrinter::Pct(sum_ch / 20)});
-  t.Print(std::cout);
-  std::cout << "average hit-rate increase over default: "
+  t.Print(std::cerr);
+  std::cerr << "average hit-rate increase over default: "
             << TablePrinter::Pct((sum_ch - sum_default) / 20)
             << " (paper: +1.2%)\n";
+  json.AddRow("avg/default").Add("scheme", "default").Add("hit_rate",
+                                                          sum_default / 20);
+  json.AddRow("avg/solver").Add("scheme", "solver").Add("hit_rate",
+                                                        sum_solver / 20);
+  json.AddRow("avg/cliffhanger")
+      .Add("scheme", "cliffhanger")
+      .Add("hit_rate", sum_ch / 20);
+  json.Print(std::cout);
   return 0;
 }

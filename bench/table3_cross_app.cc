@@ -1,17 +1,23 @@
 // Table 3: cross-application memory optimization for the top 5 apps.
+//
+// Human table goes to stderr; stdout carries the machine-readable JSON that
+// the metrics-regression gate diffs against bench/baselines/metrics/.
 #include "bench/bench_common.h"
 
 using namespace cliffhanger;
 using namespace cliffhanger::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  uint64_t app_requests = kAppTraceLen;
+  if (!ParseAppRequests(argc, argv, &app_requests)) return 1;
   Banner("Table 3: cross-application optimization, top 5 apps",
          "paper: app 2's share 4%->13%, hit rate 27.5%->38.6%; app 1 "
-         "shrinks 81%->69% with minimal loss");
+         "shrinks 81%->69% with minimal loss",
+         std::cerr);
   MemcachierSuite suite;
   const std::vector<int> ids{1, 2, 3, 4, 5};
   const std::vector<uint32_t> app_ids{1, 2, 3, 4, 5};
-  const Trace trace = suite.GenerateMixedTrace(ids, 4 * kAppTraceLen, kSeed);
+  const Trace trace = suite.GenerateMixedTrace(ids, 4 * app_requests, kSeed);
   const uint64_t total = suite.TotalReservation(ids);
 
   // Baseline: per-app static reservations, default allocation inside.
@@ -41,17 +47,31 @@ int main() {
 
   TablePrinter t({"App", "Original alloc %", "Solver alloc %", "Original HR",
                   "Solver HR"});
+  BenchJsonWriter json("table3_cross_app");
+  json.Meta("app_requests", app_requests).Meta("seed", kSeed);
   for (const int id : ids) {
     const auto uid = static_cast<uint32_t>(id);
-    t.AddRow({std::to_string(id),
-              TablePrinter::Pct(static_cast<double>(
-                                    suite.app(id).reservation) /
-                                static_cast<double>(total), 0),
-              TablePrinter::Pct(static_cast<double>(app_total[uid]) /
-                                static_cast<double>(total), 0),
+    const double orig_frac = static_cast<double>(suite.app(id).reservation) /
+                             static_cast<double>(total);
+    const double solver_frac = static_cast<double>(app_total[uid]) /
+                               static_cast<double>(total);
+    t.AddRow({std::to_string(id), TablePrinter::Pct(orig_frac, 0),
+              TablePrinter::Pct(solver_frac, 0),
               TablePrinter::Pct(before.app_hit_rate(uid)),
               TablePrinter::Pct(after.app_hit_rate(uid))});
+    const std::string prefix = "app" + std::to_string(id) + "/";
+    json.AddRow(prefix + "original")
+        .Add("app", id)
+        .Add("scheme", "original")
+        .Add("alloc_fraction", orig_frac)
+        .Add("hit_rate", before.app_hit_rate(uid));
+    json.AddRow(prefix + "solver")
+        .Add("app", id)
+        .Add("scheme", "solver")
+        .Add("alloc_fraction", solver_frac)
+        .Add("hit_rate", after.app_hit_rate(uid));
   }
-  t.Print(std::cout);
+  t.Print(std::cerr);
+  json.Print(std::cout);
   return 0;
 }

@@ -1,5 +1,8 @@
 // Table 4: default vs cliff-scaling-only vs hill-climbing-only vs the
 // combined algorithm on Application 19 with 8000-item queues.
+//
+// Human table goes to stderr; stdout carries the machine-readable JSON that
+// the metrics-regression gate diffs against bench/baselines/metrics/.
 #include "bench/bench_common.h"
 
 using namespace cliffhanger;
@@ -18,15 +21,19 @@ SimResult RunPinned(const Trace& trace, const ServerConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  uint64_t app_requests = kAppTraceLen;
+  if (!ParseAppRequests(argc, argv, &app_requests)) return 1;
   Banner("Table 4: algorithm ablation on Application 19, 8000-item queues",
          "paper: default 37.3% < cliff-scaling 45.5% < hill-climbing 70.3% "
-         "< combined 72.1%");
+         "< combined 72.1%",
+         std::cerr);
   MemcachierSuite suite;
-  const Trace trace = suite.GenerateAppTrace(19, 3 * kAppTraceLen, kSeed);
+  const Trace trace = suite.GenerateAppTrace(19, 3 * app_requests, kSeed);
 
   struct Mode {
     const char* name;
+    const char* json_name;
     ServerConfig config;
   };
   // "Default" here is the pinned static allocation with no algorithms, as
@@ -34,12 +41,14 @@ int main() {
   ServerConfig off = DefaultServerConfig();
   off.allocation = AllocationMode::kStatic;
   const Mode modes[] = {
-      {"Default", off},
-      {"Cliff scaling only", CliffScalingOnlyConfig()},
-      {"Hill climbing only", HillClimbingOnlyConfig()},
-      {"Combined", CliffhangerServerConfig()},
+      {"Default", "default", off},
+      {"Cliff scaling only", "cliff_scaling_only", CliffScalingOnlyConfig()},
+      {"Hill climbing only", "hill_climbing_only", HillClimbingOnlyConfig()},
+      {"Combined", "combined", CliffhangerServerConfig()},
   };
   TablePrinter t({"Scheme", "Class 0 HR", "Class 2 HR", "Total HR"});
+  BenchJsonWriter json("table4_combined");
+  json.Meta("app_requests", app_requests).Meta("seed", kSeed);
   for (const Mode& mode : modes) {
     const SimResult r = RunPinned(trace, mode.config);
     const auto& app = r.apps.at(19);
@@ -50,7 +59,14 @@ int main() {
     t.AddRow({mode.name, TablePrinter::Pct(c0.hit_rate()),
               TablePrinter::Pct(c2.hit_rate()),
               TablePrinter::Pct(r.hit_rate())});
+    json.AddRow(mode.json_name)
+        .Add("scheme", mode.json_name)
+        .Add("hit_rate", r.hit_rate())
+        .Add("class0_hit_rate", c0.hit_rate())
+        .Add("class2_hit_rate", c2.hit_rate());
+    std::cerr << "table4: " << mode.name << " done\n";
   }
-  t.Print(std::cout);
+  t.Print(std::cerr);
+  json.Print(std::cout);
   return 0;
 }

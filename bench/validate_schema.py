@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate benchmark JSON files against a JSON-schema subset.
+
+Dependency-free on purpose: CI runners and the dev container are not
+guaranteed to have `jsonschema` installed, and the bench schema only needs
+a small draft-07 subset — type, required, properties, items, minItems,
+minLength, minimum / maximum / exclusiveMinimum / exclusiveMaximum.
+Unknown schema keywords are rejected loudly rather than silently ignored,
+so the schema file cannot quietly outgrow the validator.
+
+Usage:
+    validate_schema.py SCHEMA.json FILE.json [FILE.json ...]
+
+Exits nonzero if any file fails validation; all errors in all files are
+reported first.
+"""
+
+import json
+import sys
+
+HANDLED = {"$schema", "title", "description", "type", "required",
+           "properties", "items", "minItems", "minLength",
+           "minimum", "maximum", "exclusiveMinimum", "exclusiveMaximum"}
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "number": (int, float),
+    "integer": int,
+}
+
+
+def type_ok(value, expected):
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, TYPES[expected])
+
+
+def validate(value, schema, path, errors):
+    for key in schema:
+        if key not in HANDLED:
+            errors.append(f"{path}: schema keyword {key!r} is not supported "
+                          "by validate_schema.py — extend it")
+            return
+    expected = schema.get("type")
+    if expected is not None:
+        if expected not in TYPES:
+            errors.append(f"{path}: unknown schema type {expected!r}")
+            return
+        if not type_ok(value, expected):
+            errors.append(f"{path}: expected {expected}, got "
+                          f"{type(value).__name__} ({value!r})")
+            return
+    if isinstance(value, dict):
+        for req in schema.get("required", []):
+            if req not in value:
+                errors.append(f"{path}: missing required field {req!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(value[key], sub, f"{path}.{key}", errors)
+    if isinstance(value, list):
+        if len(value) < schema.get("minItems", 0):
+            errors.append(f"{path}: fewer than {schema['minItems']} items")
+        if "items" in schema:
+            for i, item in enumerate(value):
+                validate(item, schema["items"], f"{path}[{i}]", errors)
+    if isinstance(value, str) and len(value) < schema.get("minLength", 0):
+        errors.append(f"{path}: shorter than minLength "
+                      f"{schema['minLength']}")
+    if type_ok(value, "number"):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
+        if "exclusiveMinimum" in schema and \
+                value <= schema["exclusiveMinimum"]:
+            errors.append(f"{path}: {value} <= exclusiveMinimum "
+                          f"{schema['exclusiveMinimum']}")
+        if "exclusiveMaximum" in schema and \
+                value >= schema["exclusiveMaximum"]:
+            errors.append(f"{path}: {value} >= exclusiveMaximum "
+                          f"{schema['exclusiveMaximum']}")
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__.strip())
+    with open(sys.argv[1]) as f:
+        schema = json.load(f)
+    status = 0
+    for path in sys.argv[2:]:
+        errors = []
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            errors.append(f"$: {e}")
+            doc = None
+        if doc is not None:
+            validate(doc, schema, "$", errors)
+        if errors:
+            status = 1
+            for e in errors:
+                print(f"{path}: {e}")
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,9 @@ class GlobalLogQueue final : public ClassQueue {
   [[nodiscard]] size_t physical_items() const override {
     return lru_.physical_items();
   }
+  // Structural self-check of the underlying segment/arena state; tests call
+  // this after expiry-driven erases (which splice nodes out mid-queue).
+  [[nodiscard]] bool CheckInvariants() const { return lru_.CheckInvariants(); }
 
  private:
   void ReserveFromCapacity();

@@ -52,6 +52,9 @@ class SlabClassQueue final : public ClassQueue {
   [[nodiscard]] uint64_t shadow_overhead_bytes() const;
 
   [[nodiscard]] const SegmentedLru& lru() const { return lru_; }
+  // Structural self-check of the underlying segment/arena state; tests call
+  // this after expiry-driven erases (which splice nodes out mid-queue).
+  [[nodiscard]] bool CheckInvariants() const { return lru_.CheckInvariants(); }
 
  private:
   // Segment indices in the underlying SegmentedLru.
@@ -129,6 +132,9 @@ class PartitionedSlabQueue final : public ClassQueue {
     return left_->shadow_overhead_bytes() + right_->shadow_overhead_bytes();
   }
   [[nodiscard]] Side Route(uint64_t key) const;
+  [[nodiscard]] bool CheckInvariants() const {
+    return left_->CheckInvariants() && right_->CheckInvariants();
+  }
 
  private:
   void DistributeEvenly();

@@ -19,6 +19,13 @@ void HillClimber::OnShadowHit(size_t i) {
   // Algorithm 1 lines 2-4: credit the hitting queue, debit a random other.
   const auto credit = static_cast<int64_t>(config_.credit_bytes);
   credits_[i] += credit;
+#ifdef CLIFFHANGER_PERTURB_CLIMBER
+  // Metrics-gate self-test only (-DCLIFFHANGER_PERTURB_CLIMBER=ON): claw
+  // back half the credit, the canonical "quiet controller bug" — nothing
+  // crashes and throughput barely moves, only hit rates drift. CI builds
+  // with this flag and asserts the exact-match golden gate fails.
+  credits_[i] -= credit / 2;
+#endif
   size_t victim = rng_.NextBounded(queues_.size() - 1);
   if (victim >= i) ++victim;
   credits_[victim] -= credit;

@@ -9,7 +9,11 @@
 // .github/workflows/ci.yml.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <vector>
@@ -100,6 +104,66 @@ std::vector<OwnedCommand> ReferenceParse(const std::string& stream) {
   FuzzHarness harness;
   harness.Feed(stream);
   return harness.commands();
+}
+
+// --- Seed corpus ---------------------------------------------------------
+//
+// Deterministic replay of the committed seed corpus (tests/corpus/, path
+// injected by CMake as CLIFFHANGER_CORPUS_DIR). Defined FIRST in this file
+// — gtest runs TESTs in definition order — so every known-tricky input is
+// exercised before any randomized phase: a corpus regression fails fast and
+// reproducibly, independent of the fuzz seeds. Files named `err_*` encode
+// canonical protocol violations and must produce at least one protocol
+// error; the rest are valid-but-tricky streams (binary values containing
+// protocol text, multigets, zero-length values) that must parse cleanly.
+TEST(AsciiFuzzTest, SeedCorpusReplaysWithoutCrashOrStall) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(CLIFFHANGER_CORPUS_DIR)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty())
+      << "seed corpus missing or empty: " << CLIFFHANGER_CORPUS_DIR;
+
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in) << path;
+    const std::string bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    ASSERT_FALSE(bytes.empty()) << path;
+    const bool expects_error =
+        path.filename().string().rfind("err_", 0) == 0;
+
+    // Whole-buffer feed plus two fixed byte-split schedules: chunk size 1
+    // hits every mid-token resume point, 7 straddles CRLFs and length
+    // fields. All deterministic — no Rng in this phase.
+    for (const size_t chunk : {bytes.size(), size_t{1}, size_t{7}}) {
+      FuzzHarness harness;
+      size_t fed = 0;
+      while (fed < bytes.size()) {
+        const size_t n = std::min(chunk, bytes.size() - fed);
+        harness.Feed(std::string_view(bytes).substr(fed, n));
+        if (testing::Test::HasFatalFailure()) return;
+        fed += n;
+      }
+      if (expects_error) {
+        size_t errors = 0;
+        for (const OwnedCommand& cmd : harness.commands()) {
+          if (cmd.type == CommandType::kProtocolError) ++errors;
+        }
+        EXPECT_GE(errors, 1u)
+            << path << " (chunk " << chunk << "): an err_* corpus file must "
+            << "produce at least one protocol error";
+      } else {
+        for (const OwnedCommand& cmd : harness.commands()) {
+          EXPECT_NE(cmd.type, CommandType::kProtocolError)
+              << path << " (chunk " << chunk << "): unexpected error '"
+              << cmd.error << "'";
+        }
+      }
+    }
+  }
 }
 
 // --- Valid-stream generation ---------------------------------------------

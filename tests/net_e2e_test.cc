@@ -12,6 +12,7 @@
 // stream.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -29,6 +30,7 @@
 #include "net/replay_keys.h"
 #include "net/socket_server.h"
 #include "sim/experiment.h"
+#include "util/argparse.h"
 #include "util/hashing.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
@@ -818,6 +820,562 @@ TEST_F(NetE2eTest, SocketReplayIsBitIdenticalToLibraryReplay) {
   EXPECT_GT(merged.gets, 0u);
   EXPECT_LT(merged.hits, merged.gets);
   EXPECT_GT(merged.hill_shadow_hits + merged.cliff_shadow_hits, 0u);
+}
+
+// --- The full-verb determinism test ---------------------------------------
+
+// Mirrors CacheAdapter's COMPLETE per-key bookkeeping (value bytes, cas
+// version, absolute expiry, store time vs. the flush point, the re-slab
+// Delete+Set vs. same-size Touch distinction) so that a trace spanning the
+// whole PR-5 verb set can be replayed library-side issuing exactly the core
+// calls the adapter issues. Single-threaded, like the one-connection socket
+// pass, so the global cas counter advances in the same order.
+class FullVerbReplay {
+ public:
+  FullVerbReplay(ShardedCacheServer* server, uint32_t app_id)
+      : server_(server), app_id_(app_id) {}
+
+  enum class SR : uint8_t { kStored, kNotStored, kExists, kNotFound,
+                            kTooLarge };
+  enum class Kind : uint8_t { kSet, kAdd, kReplace, kCas };
+
+  struct GotValue {
+    std::string value;
+    uint64_t cas = 0;
+  };
+
+  // Demand-fill-free GET (the adapter's HandleGet for one key).
+  std::optional<GotValue> Get(uint64_t key_id, uint32_t key_size,
+                              uint32_t now) {
+    const auto it = map_.find(key_id);
+    const bool was_live = it != map_.end() && it->second.live;
+    if (was_live && !Valid(it->second, now) &&
+        !ExpiredAt(it->second.expiry_s, now)) {
+      // Flush-invalidated: reclaimed before any core probe, like the
+      // adapter's flush branch.
+      Reclaim(&it->second, key_id, key_size);
+      return std::nullopt;
+    }
+    const uint32_t value_size = it == map_.end() ? 0 : it->second.value_size;
+    ItemMeta item{key_id, key_size, value_size};
+    item.now_s = now;
+    const Outcome outcome = server_->Get(app_id_, item);
+    if (outcome.hit && was_live) {
+      return GotValue{it->second.value, it->second.cas};
+    }
+    if (!outcome.hit && was_live) ReleaseValue(&it->second);
+    return std::nullopt;
+  }
+
+  SR Store(Kind kind, uint64_t key_id, uint32_t key_size,
+           const std::string& value, int64_t exptime, uint64_t cas_unique,
+           uint32_t now) {
+    const Lookup lk = LookupEntry(key_id, key_size, now);
+    const bool exists = lk.entry != nullptr;
+    const uint32_t old_size = exists ? lk.entry->value_size : 0;
+    if ((kind == Kind::kAdd && lk.valid) ||
+        (kind == Kind::kReplace && !lk.valid)) {
+      return SR::kNotStored;
+    }
+    if (kind == Kind::kCas) {
+      if (!lk.valid) return SR::kNotFound;
+      if (lk.entry->cas != cas_unique) return SR::kExists;
+    }
+    const auto new_size = static_cast<uint32_t>(value.size());
+    if (exists && !lk.reclaimed && old_size != new_size) {
+      server_->Delete(app_id_, ItemMeta{key_id, key_size, old_size});
+    }
+    ItemMeta item{key_id, key_size, new_size};
+    item.expiry_s = net::AbsoluteExpiry(exptime, now);
+    item.now_s = now;
+    if (!server_->Set(app_id_, item)) {
+      if (exists) map_.erase(key_id);
+      return SR::kTooLarge;
+    }
+    Entry& entry = map_[key_id];
+    entry.value = value;
+    entry.value_size = new_size;
+    entry.stored_s = now;
+    entry.expiry_s = item.expiry_s;
+    entry.cas = ++cas_counter_;
+    entry.live = true;
+    return SR::kStored;
+  }
+
+  SR Concat(bool append, uint64_t key_id, uint32_t key_size,
+            const std::string& data, uint32_t now) {
+    const Lookup lk = LookupEntry(key_id, key_size, now);
+    if (!lk.valid) return SR::kNotStored;
+    Entry& entry = *lk.entry;
+    if (entry.value.size() + data.size() > net::kMaxValueBytes) {
+      return SR::kTooLarge;
+    }
+    const std::string combined =
+        append ? entry.value + data : data + entry.value;
+    if (!Rewrite(&entry, key_id, key_size, combined, now)) {
+      return SR::kTooLarge;
+    }
+    return SR::kStored;
+  }
+
+  enum class ArithResult : uint8_t { kOk, kNotFound, kNonNumeric };
+  ArithResult Arith(bool increment, uint64_t key_id, uint32_t key_size,
+                    uint64_t delta, uint32_t now, uint64_t* result_out) {
+    const Lookup lk = LookupEntry(key_id, key_size, now);
+    if (!lk.valid) return ArithResult::kNotFound;
+    Entry& entry = *lk.entry;
+    uint64_t value = 0;
+    if (!ParseDecimalU64(entry.value, &value)) {
+      return ArithResult::kNonNumeric;
+    }
+    const uint64_t result = increment
+                                ? value + delta
+                                : (value < delta ? 0 : value - delta);
+    Rewrite(&entry, key_id, key_size, std::to_string(result), now);
+    *result_out = result;
+    return ArithResult::kOk;
+  }
+
+  bool Touch(uint64_t key_id, uint32_t key_size, int64_t exptime,
+             uint32_t now) {
+    const Lookup lk = LookupEntry(key_id, key_size, now);
+    if (!lk.valid) return false;
+    Entry& entry = *lk.entry;
+    entry.expiry_s = net::AbsoluteExpiry(exptime, now);
+    ItemMeta item{key_id, key_size, entry.value_size};
+    item.expiry_s = entry.expiry_s;
+    item.now_s = now;
+    server_->Touch(app_id_, item);
+    return true;
+  }
+
+  bool Delete(uint64_t key_id, uint32_t key_size, uint32_t now) {
+    bool valid = false;
+    uint32_t value_size = 0;
+    const auto it = map_.find(key_id);
+    if (it != map_.end()) {
+      valid = Valid(it->second, now);
+      value_size = it->second.value_size;
+      map_.erase(it);
+    }
+    server_->Delete(app_id_, ItemMeta{key_id, key_size, value_size});
+    return valid;
+  }
+
+  void FlushAll(int64_t delay, uint32_t now) {
+    flush_at_s_ = static_cast<uint32_t>(
+        std::min<uint64_t>(UINT32_MAX, static_cast<uint64_t>(now) +
+                                           static_cast<uint64_t>(delay)));
+  }
+
+ private:
+  struct Entry {
+    std::string value;
+    uint32_t value_size = 0;
+    uint32_t stored_s = 0;
+    uint32_t expiry_s = 0;
+    uint64_t cas = 0;
+    bool live = false;
+  };
+  struct Lookup {
+    Entry* entry = nullptr;
+    bool valid = false;
+    bool reclaimed = false;
+  };
+
+  bool Valid(const Entry& entry, uint32_t now) const {
+    if (!entry.live) return false;
+    if (ExpiredAt(entry.expiry_s, now)) return false;
+    return flush_at_s_ == 0 || now < flush_at_s_ ||
+           entry.stored_s >= flush_at_s_;
+  }
+
+  void ReleaseValue(Entry* entry) {
+    entry->value.clear();
+    entry->live = false;
+  }
+
+  void Reclaim(Entry* entry, uint64_t key_id, uint32_t key_size) {
+    ReleaseValue(entry);
+    server_->Delete(app_id_, ItemMeta{key_id, key_size, entry->value_size});
+  }
+
+  Lookup LookupEntry(uint64_t key_id, uint32_t key_size, uint32_t now) {
+    Lookup lk;
+    const auto it = map_.find(key_id);
+    if (it == map_.end()) return lk;
+    lk.entry = &it->second;
+    lk.valid = Valid(it->second, now);
+    if (it->second.live && !lk.valid) {
+      Reclaim(lk.entry, key_id, key_size);
+      lk.reclaimed = true;
+    }
+    return lk;
+  }
+
+  bool Rewrite(Entry* entry, uint64_t key_id, uint32_t key_size,
+               const std::string& new_value, uint32_t now) {
+    const uint32_t old_size = entry->value_size;
+    const auto new_size = static_cast<uint32_t>(new_value.size());
+    ItemMeta item{key_id, key_size, new_size};
+    item.expiry_s = entry->expiry_s;
+    item.now_s = now;
+    if (new_size != old_size) {
+      server_->Delete(app_id_, ItemMeta{key_id, key_size, old_size});
+      if (!server_->Set(app_id_, item)) {
+        ReleaseValue(entry);
+        return false;
+      }
+    } else {
+      server_->Touch(app_id_, item);
+    }
+    entry->value = new_value;
+    entry->value_size = new_size;
+    entry->stored_s = now;
+    entry->cas = ++cas_counter_;
+    return true;
+  }
+
+  ShardedCacheServer* server_;
+  uint32_t app_id_;
+  uint64_t cas_counter_ = 0;  // same numbering as the adapter's NextCas()
+  uint32_t flush_at_s_ = 0;
+  std::unordered_map<uint64_t, Entry> map_;
+};
+
+// One scripted operation of the full-verb trace. Generated once, replayed
+// twice (library and socket), so both passes see byte-identical inputs.
+struct ScriptOp {
+  enum class Verb : uint8_t { kGet, kSet, kAdd, kReplace, kCasFresh,
+                              kCasStale, kIncr, kDecr, kTouch, kAppend,
+                              kPrepend, kDelete, kFlushAll };
+  Verb verb = Verb::kGet;
+  uint32_t now_s = 0;
+  uint64_t key = 0;
+  std::string value;   // store payload / demand-fill payload
+  std::string splice;  // append/prepend chunk
+  int64_t exptime = 0;
+  uint64_t delta = 0;
+  int64_t flush_delay = 0;
+};
+
+std::vector<ScriptOp> MakeFullVerbScript() {
+  constexpr int kOps = 18000;
+  constexpr uint64_t kUniverse = 3000;
+  std::vector<ScriptOp> script;
+  script.reserve(kOps);
+  Rng rng(0xC1F7A4);
+  uint32_t now = 5000;
+  for (int i = 0; i < kOps; ++i) {
+    if (i % 40 == 39) ++now;  // seconds tick every 40 ops: TTLs bite mid-run
+    ScriptOp op;
+    op.now_s = now;
+    op.key = rng.NextBounded(kUniverse);
+    const bool counter_key = op.key % 16 == 0;
+
+    // Two flushes at fixed points: one immediate-ish, one delayed.
+    if (i == 6000 || i == 13000) {
+      op.verb = ScriptOp::Verb::kFlushAll;
+      op.flush_delay = i == 6000 ? 0 : 5;
+      script.push_back(op);
+      continue;
+    }
+
+    // TTL grammar mix: never / short relative / memcached's -1 / absolute.
+    const uint32_t ttl_pick = rng.NextBounded(20);
+    if (ttl_pick < 10) {
+      op.exptime = 0;
+    } else if (ttl_pick < 17) {
+      op.exptime = 1 + static_cast<int64_t>(rng.NextBounded(90));
+    } else if (ttl_pick < 18) {
+      op.exptime = -1;
+    } else {
+      // Past the 30-day cutoff: interpreted as an absolute second.
+      op.exptime = net::kRelativeExptimeCutoff + 1 +
+                   static_cast<int64_t>(rng.NextBounded(1000));
+    }
+
+    if (counter_key && rng.NextBounded(10) != 0) {
+      // Counters stay numeric 90% of the time; digit count varies so the
+      // incr/decr rewrites cross slab classes.
+      op.value = std::to_string(rng() >> (24 + rng.NextBounded(40)));
+    } else {
+      op.value = net::ReplayValueBytes(op.key,
+                                       32 + rng.NextBounded(480));
+    }
+    op.splice = net::ReplayValueBytes(op.key ^ 0x5A5A, 1 + rng.NextBounded(8));
+    op.delta = rng.NextBounded(1000);
+
+    const uint32_t pick = rng.NextBounded(100);
+    using V = ScriptOp::Verb;
+    if (pick < 52) op.verb = V::kGet;
+    else if (pick < 67) op.verb = V::kSet;
+    else if (pick < 70) op.verb = V::kAdd;
+    else if (pick < 73) op.verb = V::kReplace;
+    else if (pick < 76) op.verb = V::kCasFresh;
+    else if (pick < 78) op.verb = V::kCasStale;
+    else if (pick < 81) op.verb = V::kIncr;
+    else if (pick < 83) op.verb = V::kDecr;
+    else if (pick < 87) op.verb = V::kTouch;
+    else if (pick < 90) op.verb = V::kAppend;
+    else if (pick < 92) op.verb = V::kPrepend;
+    else op.verb = V::kDelete;
+    script.push_back(op);
+  }
+  return script;
+}
+
+std::string StoreCode(net::AsciiClient::StoreResult r) {
+  switch (r) {
+    case net::AsciiClient::StoreResult::kStored: return "stored";
+    case net::AsciiClient::StoreResult::kNotStored: return "not_stored";
+    case net::AsciiClient::StoreResult::kExists: return "exists";
+    case net::AsciiClient::StoreResult::kNotFound: return "not_found";
+    case net::AsciiClient::StoreResult::kError: return "error";
+  }
+  return "?";
+}
+
+std::string StoreCode(FullVerbReplay::SR r) {
+  switch (r) {
+    case FullVerbReplay::SR::kStored: return "stored";
+    case FullVerbReplay::SR::kNotStored: return "not_stored";
+    case FullVerbReplay::SR::kExists: return "exists";
+    case FullVerbReplay::SR::kNotFound: return "not_found";
+    case FullVerbReplay::SR::kTooLarge: return "error";
+  }
+  return "?";
+}
+
+TEST_F(NetE2eTest, FullVerbSocketReplayIsBitIdenticalToLibraryReplay) {
+  // Same construction as the get/set determinism test, but the trace spans
+  // the whole PR-5 verb set under the injected clock: cas (fresh and
+  // stale), incr/decr (including non-numeric errors), touch, append/
+  // prepend re-slabs, deletes, relative/absolute/immediate TTLs and two
+  // flush_all points. Every per-op result is transcribed on both sides and
+  // the transcripts — not just the final counters — must be identical.
+  ShardedServerConfig config;
+  config.server = CliffhangerServerConfig();
+  config.num_shards = 4;
+  config.rebalance_interval_ops = 4096;
+  constexpr uint32_t kApp = 1;
+  constexpr uint64_t kReservation = 1 * kMiB;
+  const std::vector<ScriptOp> script = MakeFullVerbScript();
+  using V = ScriptOp::Verb;
+
+  // Library pass.
+  ShardedCacheServer library_server(config);
+  library_server.AddApp(kApp, kReservation);
+  FullVerbReplay replay(&library_server, kApp);
+  std::vector<std::string> library_log;
+  library_log.reserve(script.size());
+  for (const ScriptOp& op : script) {
+    const std::string key = net::ReplayKeyString(op.key);
+    const uint64_t kid = Fnv1a64(key);
+    const auto ks = static_cast<uint32_t>(key.size());
+    const uint32_t now = op.now_s;
+    switch (op.verb) {
+      case V::kGet: {
+        const auto got = replay.Get(kid, ks, now);
+        if (got.has_value()) {
+          library_log.push_back("hit:" + std::to_string(Fnv1a64(got->value)));
+        } else {
+          const auto fill = replay.Store(FullVerbReplay::Kind::kSet, kid, ks,
+                                         op.value, op.exptime, 0, now);
+          library_log.push_back("miss+fill:" + StoreCode(fill));
+        }
+        break;
+      }
+      case V::kSet:
+        library_log.push_back(
+            "set:" + StoreCode(replay.Store(FullVerbReplay::Kind::kSet, kid,
+                                            ks, op.value, op.exptime, 0,
+                                            now)));
+        break;
+      case V::kAdd:
+        library_log.push_back(
+            "add:" + StoreCode(replay.Store(FullVerbReplay::Kind::kAdd, kid,
+                                            ks, op.value, op.exptime, 0,
+                                            now)));
+        break;
+      case V::kReplace:
+        library_log.push_back(
+            "replace:" + StoreCode(replay.Store(FullVerbReplay::Kind::kReplace,
+                                                kid, ks, op.value, op.exptime,
+                                                0, now)));
+        break;
+      case V::kCasFresh:
+      case V::kCasStale: {
+        const auto got = replay.Get(kid, ks, now);  // mirrors the gets probe
+        if (!got.has_value()) {
+          library_log.push_back("cas:skip");
+          break;
+        }
+        const uint64_t cas = op.verb == V::kCasFresh ? got->cas
+                                                     : got->cas + 1000000;
+        library_log.push_back(
+            "cas:" + StoreCode(replay.Store(FullVerbReplay::Kind::kCas, kid,
+                                            ks, op.value, op.exptime, cas,
+                                            now)));
+        break;
+      }
+      case V::kIncr:
+      case V::kDecr: {
+        uint64_t result = 0;
+        const auto r = replay.Arith(op.verb == V::kIncr, kid, ks, op.delta,
+                                    now, &result);
+        if (r == FullVerbReplay::ArithResult::kOk) {
+          library_log.push_back("arith:" + std::to_string(result));
+        } else if (r == FullVerbReplay::ArithResult::kNotFound) {
+          library_log.push_back("arith:nf");
+        } else {
+          library_log.push_back("arith:nonnum");
+        }
+        break;
+      }
+      case V::kTouch:
+        library_log.push_back(replay.Touch(kid, ks, op.exptime, now)
+                                  ? "touch:yes" : "touch:no");
+        break;
+      case V::kAppend:
+      case V::kPrepend:
+        library_log.push_back(
+            "splice:" + StoreCode(replay.Concat(op.verb == V::kAppend, kid,
+                                                ks, op.splice, now)));
+        break;
+      case V::kDelete:
+        library_log.push_back(replay.Delete(kid, ks, now) ? "del:yes"
+                                                          : "del:no");
+        break;
+      case V::kFlushAll:
+        replay.FlushAll(op.flush_delay, now);
+        library_log.push_back("flush");
+        break;
+    }
+  }
+
+  // Socket pass: same config and script, one connection, injected clock.
+  fake_now_.store(script.front().now_s);
+  ShardedServerConfig socket_config = config;
+  StartServer(socket_config, {{kApp, kReservation}}, kApp);
+  net::AsciiClient client = MakeClient();
+  std::vector<std::string> socket_log;
+  socket_log.reserve(script.size());
+  for (const ScriptOp& op : script) {
+    fake_now_.store(op.now_s);
+    const std::string key = net::ReplayKeyString(op.key);
+    switch (op.verb) {
+      case V::kGet: {
+        const auto got = client.Get(key);
+        if (got.has_value()) {
+          socket_log.push_back("hit:" + std::to_string(Fnv1a64(got->data)));
+        } else {
+          const auto fill = client.Set(key, op.value, 0, op.exptime);
+          socket_log.push_back("miss+fill:" + StoreCode(fill));
+        }
+        break;
+      }
+      case V::kSet:
+        socket_log.push_back(
+            "set:" + StoreCode(client.Set(key, op.value, 0, op.exptime)));
+        break;
+      case V::kAdd:
+        socket_log.push_back(
+            "add:" + StoreCode(client.Add(key, op.value, 0, op.exptime)));
+        break;
+      case V::kReplace:
+        socket_log.push_back(
+            "replace:" + StoreCode(client.Replace(key, op.value, 0,
+                                                  op.exptime)));
+        break;
+      case V::kCasFresh:
+      case V::kCasStale: {
+        const auto got = client.Gets(key);
+        if (!got.has_value()) {
+          socket_log.push_back("cas:skip");
+          break;
+        }
+        const uint64_t cas = op.verb == V::kCasFresh ? got->cas
+                                                     : got->cas + 1000000;
+        socket_log.push_back(
+            "cas:" + StoreCode(client.Cas(key, op.value, cas, 0,
+                                          op.exptime)));
+        break;
+      }
+      case V::kIncr:
+      case V::kDecr: {
+        const auto result = op.verb == V::kIncr ? client.Incr(key, op.delta)
+                                                : client.Decr(key, op.delta);
+        if (result.has_value()) {
+          socket_log.push_back("arith:" + std::to_string(*result));
+        } else if (client.last_error().empty()) {
+          socket_log.push_back("arith:nf");
+        } else {
+          socket_log.push_back("arith:nonnum");
+        }
+        break;
+      }
+      case V::kTouch:
+        socket_log.push_back(client.Touch(key, op.exptime) ? "touch:yes"
+                                                           : "touch:no");
+        break;
+      case V::kAppend:
+        socket_log.push_back(
+            "splice:" + StoreCode(client.Append(key, op.splice)));
+        break;
+      case V::kPrepend:
+        socket_log.push_back(
+            "splice:" + StoreCode(client.Prepend(key, op.splice)));
+        break;
+      case V::kDelete:
+        socket_log.push_back(client.Delete(key) ? "del:yes" : "del:no");
+        break;
+      case V::kFlushAll:
+        ASSERT_TRUE(client.FlushAll(op.flush_delay));
+        socket_log.push_back("flush");
+        break;
+    }
+  }
+  client.Quit();
+
+  // Per-op transcripts first (they localize a divergence to the exact op),
+  // then the core counters on every level.
+  ASSERT_EQ(socket_log.size(), library_log.size());
+  for (size_t i = 0; i < socket_log.size(); ++i) {
+    ASSERT_EQ(socket_log[i], library_log[i])
+        << "first divergence at op " << i << " (verb "
+        << static_cast<int>(script[i].verb) << ", key " << script[i].key
+        << ", now " << script[i].now_s << ")";
+  }
+  ExpectStatsEqual(server_->MergedStats(), library_server.MergedStats(),
+                   "merged");
+  ExpectStatsEqual(server_->AppStats(kApp), library_server.AppStats(kApp),
+                   "app");
+  for (size_t shard = 0; shard < config.num_shards; ++shard) {
+    ExpectStatsEqual(server_->ShardStats(shard),
+                     library_server.ShardStats(shard), "shard");
+  }
+
+  // The equality only proves something if the trace actually drove every
+  // semantic corner: evictions + shadow traffic, expiries, flush reclaims,
+  // fresh and stale cas, arithmetic (incl. the non-numeric error), touch
+  // hits, splices and deletes.
+  const auto c = adapter_->counters();
+  const ClassStats merged = server_->MergedStats();
+  EXPECT_LT(merged.hits, merged.gets);
+  EXPECT_GT(merged.hill_shadow_hits + merged.cliff_shadow_hits, 0u);
+  EXPECT_GT(c.get_expired, 0u);
+  EXPECT_GT(c.cas_hits, 0u);
+  EXPECT_GT(c.cas_badval, 0u);
+  EXPECT_GT(c.incr_hits, 0u);
+  EXPECT_GT(c.decr_hits, 0u);
+  EXPECT_GT(c.touch_hits, 0u);
+  EXPECT_GT(c.touch_misses, 0u);
+  EXPECT_GT(c.delete_hits, 0u);
+  EXPECT_EQ(c.cmd_flush, 2u);
+  const auto nonnum = std::count(socket_log.begin(), socket_log.end(),
+                                 std::string("arith:nonnum"));
+  EXPECT_GT(nonnum, 0);
 }
 
 }  // namespace

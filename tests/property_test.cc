@@ -16,6 +16,9 @@
 
 #include "analysis/hit_rate_curve.h"
 #include "analysis/stack_distance.h"
+#include "cache/arc_queue.h"
+#include "cache/global_log_queue.h"
+#include "cache/lfu_queue.h"
 #include "cache/slab_class_queue.h"
 #include "util/hashing.h"
 #include "util/rng.h"
@@ -313,6 +316,75 @@ TEST_P(ShardBalance, LoadWithinTwiceIdealFor10kKeys) {
 
 INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardBalance,
                          ::testing::Values(2, 3, 4, 8, 16));
+
+// --- Property 6: expiry-driven erases preserve queue invariants ---
+//
+// Lazy expiry splices nodes out of arbitrary queue positions — not just the
+// eviction tail — which is exactly the operation most likely to corrupt the
+// arena/flat-index structures. Run a TTL-heavy churn against each of the
+// five queue types and check the full structural invariants after EVERY
+// erase a Get or Touch observes (a physical-item count that dropped on a
+// miss is an expiry-driven erase; eviction only happens on Fill).
+template <typename Queue, typename CheckFn>
+void ExpiryChurn(Queue& queue, CheckFn check, const char* what) {
+  Rng rng(0xE49B2);
+  uint32_t now = 100;
+  int expiry_erases = 0;
+  for (int i = 0; i < 6000; ++i) {
+    if (i % 5 == 0) ++now;
+    ItemMeta item = Item(rng.NextBounded(400));
+    item.now_s = now;
+    const uint64_t action = rng.NextBounded(10);
+    if (action < 5) {
+      // Short TTLs so a steady fraction of the queue is expired at any time.
+      item.expiry_s = now + 1 + static_cast<uint32_t>(rng.NextBounded(6));
+      queue.Fill(item);
+    } else if (action < 8) {
+      const size_t before = queue.physical_items();
+      const GetResult r = queue.Get(item);
+      if (!r.hit && queue.physical_items() < before) {
+        ASSERT_TRUE(check()) << what << ": invariants broken after "
+                             << "expiry-driven erase on Get, op " << i;
+        ++expiry_erases;
+      }
+    } else {
+      item.expiry_s = kKeepExpiry;
+      const size_t before = queue.physical_items();
+      if (!queue.Touch(item) && queue.physical_items() < before) {
+        ASSERT_TRUE(check()) << what << ": invariants broken after "
+                             << "expiry-driven erase on Touch, op " << i;
+        ++expiry_erases;
+      }
+    }
+  }
+  // The property is vacuous unless the churn actually exercised the path.
+  EXPECT_GT(expiry_erases, 50) << what;
+}
+
+TEST(ExpiryInvariants, AllFiveQueuesSurviveExpiryChurn) {
+  SlabClassQueue slab(QueueCfg());
+  slab.SetCapacityBytes(300 * 64);
+  ExpiryChurn(slab, [&] { return slab.CheckInvariants(); }, "SlabClassQueue");
+
+  PartitionConfig pc;
+  pc.queue = QueueCfg();
+  PartitionedSlabQueue partitioned(pc);
+  partitioned.SetCapacityBytes(300 * 64);
+  partitioned.EnablePartition(true);
+  ExpiryChurn(partitioned, [&] { return partitioned.CheckInvariants(); },
+              "PartitionedSlabQueue");
+
+  ArcQueue arc(64);
+  arc.SetCapacityBytes(300 * 64);
+  ExpiryChurn(arc, [&] { return arc.CheckInvariants(); }, "ArcQueue");
+
+  LfuQueue lfu(64);
+  lfu.SetCapacityBytes(300 * 64);
+  ExpiryChurn(lfu, [&] { return lfu.CheckInvariants(); }, "LfuQueue");
+
+  GlobalLogQueue log(300 * 64);
+  ExpiryChurn(log, [&] { return log.CheckInvariants(); }, "GlobalLogQueue");
+}
 
 }  // namespace
 }  // namespace cliffhanger
