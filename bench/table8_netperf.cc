@@ -12,7 +12,12 @@
 // progress goes to stderr.
 //
 // Flags: --connect HOST:PORT  drive an external server (default: in-process)
-//        --connections N      fixed connection count (default: sweep 1,2,4)
+//        --connections LIST   comma-separated connection counts, e.g.
+//                             1,64,256,1024 — one scaling row per count
+//                             (default: sweep 1,2,4)
+//        --backend B          epoll | poll event loop for the in-process
+//                             server (default epoll; ignored with --connect,
+//                             where the external daemon picked its own)
 //        --requests N         logical requests per connection (default 20000)
 //        --universe N         key universe per connection stream (default 20000)
 //        --get-fraction F     GET share of the mix (default 0.967)
@@ -55,7 +60,8 @@ constexpr uint64_t kReservation = 32ULL << 20;
 struct Options {
   std::string connect_host;  // empty = in-process server
   uint16_t connect_port = 0;
-  size_t connections = 0;  // 0 = sweep {1, 2, 4}
+  std::vector<size_t> connections;  // empty = sweep {1, 2, 4}
+  net::SocketBackend backend = net::SocketBackend::kEpoll;
   uint64_t requests = 20000;
   uint64_t universe = 20000;
   double get_fraction = 0.967;
@@ -436,6 +442,15 @@ void PrintJson(const Options& opt, const std::vector<Row>& rows) {
   }
   std::printf("  \"transport\": \"%s\",\n",
               opt.connect_host.empty() ? "loopback_inprocess" : "remote");
+  // For --connect the external daemon chose its own event loop; recording
+  // this run's flag there would mislabel the measurement.
+  if (opt.connect_host.empty()) {
+    std::printf("  \"backend\": \"%s\",\n",
+                opt.backend == net::SocketBackend::kEpoll ? "epoll"
+                                                          : "poll");
+  } else {
+    std::printf("  \"backend\": \"external\",\n");
+  }
   // In-process rows each get a fresh server; --connect rows replay into
   // one external daemon whose cache warms across rows. Record that, so
   // cross-row (or cross-mode) comparisons can't silently mix the two.
@@ -495,9 +510,37 @@ int Main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--connections") == 0) {
       const char* v = next();
-      uint64_t parsed = 0;
-      if (v == nullptr || !ParseUint(v, &parsed)) return 1;
-      opt.connections = parsed;
+      if (v == nullptr) return 1;
+      // Comma-separated counts, each its own scaling row: "1,64,256,1024".
+      opt.connections.clear();
+      std::string token;
+      for (const char* p = v;; ++p) {
+        if (*p != '\0' && *p != ',') {
+          token.push_back(*p);
+          continue;
+        }
+        uint64_t parsed = 0;
+        if (!ParseUint(token.c_str(), &parsed) || parsed == 0) {
+          std::fprintf(stderr,
+                       "--connections expects positive integers, "
+                       "comma-separated (got \"%s\")\n", v);
+          return 1;
+        }
+        opt.connections.push_back(parsed);
+        token.clear();
+        if (*p == '\0') break;
+      }
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 1;
+      if (std::strcmp(v, "epoll") == 0) {
+        opt.backend = net::SocketBackend::kEpoll;
+      } else if (std::strcmp(v, "poll") == 0) {
+        opt.backend = net::SocketBackend::kPoll;
+      } else {
+        std::fprintf(stderr, "--backend expects epoll|poll\n");
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--requests") == 0) {
       const char* v = next();
       uint64_t parsed = 0;
@@ -549,8 +592,9 @@ int Main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--connect HOST:PORT] [--connections N] "
-                   "[--requests N] [--universe N] [--get-fraction F] [--mix] "
+                   "usage: %s [--connect HOST:PORT] [--connections N[,N...]] "
+                   "[--backend epoll|poll] [--requests N] [--universe N] "
+                   "[--get-fraction F] [--mix] "
                    "[--workers N] [--shards N] [--mode default|cliffhanger]\n",
                    argv[0]);
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
@@ -561,12 +605,8 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<size_t> sweep;
-  if (opt.connections > 0) {
-    sweep.push_back(opt.connections);
-  } else {
-    sweep = {1, 2, 4};
-  }
+  std::vector<size_t> sweep = opt.connections;
+  if (sweep.empty()) sweep = {1, 2, 4};
 
   std::vector<Row> rows;
   for (const size_t connections : sweep) {
@@ -591,6 +631,12 @@ int Main(int argc, char** argv) {
       net::SocketServerConfig net_config;
       net_config.port = 0;
       net_config.num_workers = opt.workers;
+      net_config.backend = opt.backend;
+      // The sweep's largest row must not trip listen-queue overflow when
+      // all its connections dial in at once.
+      net_config.backlog = static_cast<int>(
+          std::max<size_t>(128, *std::max_element(sweep.begin(),
+                                                  sweep.end())));
       socket_server =
           std::make_unique<net::SocketServer>(net_config, adapter.get());
       std::string error;

@@ -9,10 +9,13 @@ Unknown schema keywords are rejected loudly rather than silently ignored,
 so the schema file cannot quietly outgrow the validator.
 
 Usage:
-    validate_schema.py SCHEMA.json FILE.json [FILE.json ...]
+    validate_schema.py [--require-row NAME ...] SCHEMA.json FILE.json [...]
 
-Exits nonzero if any file fails validation; all errors in all files are
-reported first.
+--require-row NAME (repeatable) additionally asserts that every FILE's
+top-level "results" array contains a row whose "name" equals NAME — CI uses
+it to pin down the scaling rows a sweep must emit (a silently shrunken
+sweep would otherwise still validate). Exits nonzero if any file fails
+validation; all errors in all files are reported first.
 """
 
 import json
@@ -86,13 +89,27 @@ def validate(value, schema, path, errors):
                           f"{schema['exclusiveMaximum']}")
 
 
+def check_required_rows(doc, required_rows, errors):
+    rows = doc.get("results") if isinstance(doc, dict) else None
+    names = {row.get("name") for row in rows
+             if isinstance(row, dict)} if isinstance(rows, list) else set()
+    for name in required_rows:
+        if name not in names:
+            errors.append(f"$.results: missing required row {name!r}")
+
+
 def main():
-    if len(sys.argv) < 3:
+    args = sys.argv[1:]
+    required_rows = []
+    while len(args) >= 2 and args[0] == "--require-row":
+        required_rows.append(args[1])
+        args = args[2:]
+    if len(args) < 2:
         sys.exit(__doc__.strip())
-    with open(sys.argv[1]) as f:
+    with open(args[0]) as f:
         schema = json.load(f)
     status = 0
-    for path in sys.argv[2:]:
+    for path in args[1:]:
         errors = []
         try:
             with open(path) as f:
@@ -102,6 +119,7 @@ def main():
             doc = None
         if doc is not None:
             validate(doc, schema, "$", errors)
+            check_required_rows(doc, required_rows, errors)
         if errors:
             status = 1
             for e in errors:

@@ -37,6 +37,26 @@ struct alignas(64) ShardedCacheServer::Shard {
   }
 };
 
+namespace {
+
+// The single definition of how a Get outcome maps onto the lock-free
+// counter mirror; both the routed Get and ShardBatch::Get fold through it
+// so the two paths can never drift apart.
+void MirrorGetOutcome(const Outcome& outcome, ClassStats* delta) {
+  if (!outcome.cacheable) return;
+  ++delta->gets;
+  if (outcome.hit) {
+    ++delta->hits;
+    if (outcome.region == HitRegion::kPhysicalTail) ++delta->tail_hits;
+  } else if (outcome.region == HitRegion::kCliffShadow) {
+    ++delta->cliff_shadow_hits;
+  } else if (outcome.region == HitRegion::kHillShadow) {
+    ++delta->hill_shadow_hits;
+  }
+}
+
+}  // namespace
+
 ShardedCacheServer::ShardedCacheServer(const ShardedServerConfig& config)
     : config_(config), num_shards_(std::max<size_t>(1, config.num_shards)) {
   config_.num_shards = num_shards_;  // keep config() consistent when 0 passed
@@ -77,19 +97,9 @@ Outcome ShardedCacheServer::Get(uint32_t app_id, const ItemMeta& item) {
     std::lock_guard<std::mutex> lock(shard.mu);
     outcome = shard.server->Get(app_id, item);
   }
-  if (outcome.cacheable) {
-    shard.gets.fetch_add(1, std::memory_order_relaxed);
-    if (outcome.hit) {
-      shard.hits.fetch_add(1, std::memory_order_relaxed);
-      if (outcome.region == HitRegion::kPhysicalTail) {
-        shard.tail_hits.fetch_add(1, std::memory_order_relaxed);
-      }
-    } else if (outcome.region == HitRegion::kCliffShadow) {
-      shard.cliff_shadow_hits.fetch_add(1, std::memory_order_relaxed);
-    } else if (outcome.region == HitRegion::kHillShadow) {
-      shard.hill_shadow_hits.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
+  ClassStats delta;
+  MirrorGetOutcome(outcome, &delta);
+  PublishDelta(shard, delta);
   BumpOpCount(shard);
   return outcome;
 }
@@ -147,6 +157,134 @@ Outcome ShardedCacheServer::Mutate(uint32_t app_id, MutateOp op,
       break;
   }
   return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// ShardBatch: one lock acquisition amortized over a burst of same-shard ops.
+// ---------------------------------------------------------------------------
+
+ShardedCacheServer::ShardBatch::ShardBatch(ShardedCacheServer* owner,
+                                           size_t shard_index)
+    : owner_(owner),
+      shard_(owner->shards_[shard_index].get()),
+      shard_index_(shard_index),
+      lock_(shard_->mu) {}
+
+ShardedCacheServer::ShardBatch::ShardBatch(ShardBatch&& other) noexcept
+    : owner_(other.owner_),
+      shard_(other.shard_),
+      shard_index_(other.shard_index_),
+      lock_(std::move(other.lock_)),
+      delta_(other.delta_),
+      ops_(other.ops_) {
+  other.owner_ = nullptr;
+}
+
+ShardedCacheServer::ShardBatch::~ShardBatch() {
+  if (owner_ == nullptr) return;
+  // Same ordering as the single-op verbs: release the shard lock, then
+  // publish the counter deltas, then advance the rebalance cadence (which
+  // may run Rebalance() — it takes apps_mu_ plus every shard lock, so it
+  // must never run while this batch still holds one).
+  lock_.unlock();
+  owner_->PublishDelta(*shard_, delta_);
+  owner_->BumpOpCount(*shard_, ops_);
+}
+
+Outcome ShardedCacheServer::ShardBatch::Get(uint32_t app_id,
+                                            const ItemMeta& item) {
+  assert(owner_->ShardForKey(item.key) == shard_index_);
+  const Outcome outcome = shard_->server->Get(app_id, item);
+  MirrorGetOutcome(outcome, &delta_);
+  ++ops_;
+  return outcome;
+}
+
+bool ShardedCacheServer::ShardBatch::Set(uint32_t app_id,
+                                         const ItemMeta& item) {
+  assert(owner_->ShardForKey(item.key) == shard_index_);
+  const bool counted = shard_->server->Set(app_id, item);
+  if (counted) ++delta_.sets;
+  ++ops_;
+  return counted;
+}
+
+bool ShardedCacheServer::ShardBatch::Touch(uint32_t app_id,
+                                           const ItemMeta& item) {
+  assert(owner_->ShardForKey(item.key) == shard_index_);
+  const bool resident = shard_->server->Touch(app_id, item);
+  ++ops_;
+  return resident;
+}
+
+void ShardedCacheServer::ShardBatch::Delete(uint32_t app_id,
+                                            const ItemMeta& item) {
+  assert(owner_->ShardForKey(item.key) == shard_index_);
+  shard_->server->Delete(app_id, item);
+  ++ops_;
+}
+
+Outcome ShardedCacheServer::ShardBatch::Mutate(uint32_t app_id, MutateOp op,
+                                               const ItemMeta& item) {
+  Outcome outcome;
+  switch (op) {
+    case MutateOp::kFill:
+      outcome.cacheable = Set(app_id, item);
+      break;
+    case MutateOp::kTouch:
+      outcome.hit = Touch(app_id, item);
+      break;
+    case MutateOp::kErase:
+      Delete(app_id, item);
+      break;
+  }
+  return outcome;
+}
+
+ShardedCacheServer::ShardBatch ShardedCacheServer::BeginBatch(
+    size_t shard_index) {
+  assert(shard_index < num_shards_);
+  return ShardBatch(this, shard_index);
+}
+
+// Shard-grouped execution: a stable sort keeps same-shard ops in their
+// original relative order, and ops on different shards touch disjoint cache
+// state, so the result is identical to routing the array sequentially —
+// with one lock acquisition per shard touched instead of one per op.
+void ShardedCacheServer::GetBatch(const BatchGet* ops, size_t count,
+                                  Outcome* outcomes) {
+  std::vector<size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ShardForKey(ops[a].item.key) < ShardForKey(ops[b].item.key);
+  });
+  size_t i = 0;
+  while (i < count) {
+    const size_t shard = ShardForKey(ops[order[i]].item.key);
+    ShardBatch batch = BeginBatch(shard);
+    for (; i < count && ShardForKey(ops[order[i]].item.key) == shard; ++i) {
+      const size_t idx = order[i];
+      outcomes[idx] = batch.Get(ops[idx].app_id, ops[idx].item);
+    }
+  }
+}
+
+void ShardedCacheServer::MutateBatch(const BatchMutation* ops, size_t count,
+                                     Outcome* outcomes) {
+  std::vector<size_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ShardForKey(ops[a].item.key) < ShardForKey(ops[b].item.key);
+  });
+  size_t i = 0;
+  while (i < count) {
+    const size_t shard = ShardForKey(ops[order[i]].item.key);
+    ShardBatch batch = BeginBatch(shard);
+    for (; i < count && ShardForKey(ops[order[i]].item.key) == shard; ++i) {
+      const size_t idx = order[i];
+      outcomes[idx] = batch.Mutate(ops[idx].app_id, ops[idx].op, ops[idx].item);
+    }
+  }
 }
 
 ClassStats ShardedCacheServer::TotalStats() const {
@@ -217,13 +355,33 @@ uint64_t ShardedCacheServer::rebalance_count() const {
 }
 
 // Counted on the shard's own padded line so the hot path never contends on
-// a process-global counter; the busiest shard drives the cadence.
-void ShardedCacheServer::BumpOpCount(Shard& shard) {
+// a process-global counter; the busiest shard drives the cadence. For a
+// batch of n ops the trigger fires when the count crosses an interval
+// boundary — for n == 1 that reduces to the classic "every interval-th op"
+// modulo check, so batched and unbatched traffic share one cadence.
+void ShardedCacheServer::BumpOpCount(Shard& shard, uint64_t n) {
   const uint64_t interval = config_.rebalance_interval_ops;
-  if (interval == 0) return;
-  if ((shard.ops.fetch_add(1, std::memory_order_relaxed) + 1) % interval ==
-      0) {
+  if (interval == 0 || n == 0) return;
+  const uint64_t prev = shard.ops.fetch_add(n, std::memory_order_relaxed);
+  if ((prev + n) / interval != prev / interval) {
     Rebalance();
+  }
+}
+
+void ShardedCacheServer::PublishDelta(Shard& shard, const ClassStats& delta) {
+  if (delta.gets) shard.gets.fetch_add(delta.gets, std::memory_order_relaxed);
+  if (delta.hits) shard.hits.fetch_add(delta.hits, std::memory_order_relaxed);
+  if (delta.sets) shard.sets.fetch_add(delta.sets, std::memory_order_relaxed);
+  if (delta.tail_hits) {
+    shard.tail_hits.fetch_add(delta.tail_hits, std::memory_order_relaxed);
+  }
+  if (delta.cliff_shadow_hits) {
+    shard.cliff_shadow_hits.fetch_add(delta.cliff_shadow_hits,
+                                      std::memory_order_relaxed);
+  }
+  if (delta.hill_shadow_hits) {
+    shard.hill_shadow_hits.fetch_add(delta.hill_shadow_hits,
+                                     std::memory_order_relaxed);
   }
 }
 

@@ -6,6 +6,12 @@
 //
 // Concurrency model:
 //  - Get/Set/Delete lock only the shard the key hashes to.
+//  - A ShardBatch (BeginBatch) holds one shard's lock across a whole burst
+//    of operations, amortizing the acquisition; GetBatch/MutateBatch group
+//    an op array by shard and take one lock per shard touched. Ops on
+//    different shards act on disjoint cache state and same-key ops always
+//    hash to the same shard, so shard-grouped execution that preserves the
+//    per-shard op order yields the same cache state as sequential routing.
 //  - Aggregate statistics are mirrored into per-shard cache-line-padded
 //    atomic counters, so TotalStats() is a lock-free read; MergedStats()
 //    and the per-app accessors take every shard lock (in index order) for
@@ -46,6 +52,9 @@ struct ShardedServerConfig {
 };
 
 class ShardedCacheServer {
+ private:
+  struct Shard;  // declared up front: the public ShardBatch refers to it
+
  public:
   explicit ShardedCacheServer(const ShardedServerConfig& config);
   ~ShardedCacheServer();
@@ -67,6 +76,61 @@ class ShardedCacheServer {
   bool Touch(uint32_t app_id, const ItemMeta& item);
   void Delete(uint32_t app_id, const ItemMeta& item);
   Outcome Mutate(uint32_t app_id, MutateOp op, const ItemMeta& item);
+
+  // Holds one shard's lock for a burst of operations, so a caller that has
+  // already grouped its ops by shard pays one lock acquisition per burst
+  // instead of one per op. Every key passed to a batch method MUST hash to
+  // the batch's shard (asserted in debug builds). Statistics mirroring and
+  // the rebalance cadence are deferred to the destructor, which publishes
+  // the accumulated deltas after releasing the shard lock — exactly the
+  // ordering the single-op verbs use — and may fire Rebalance().
+  class ShardBatch {
+   public:
+    ~ShardBatch();
+    ShardBatch(ShardBatch&& other) noexcept;
+    ShardBatch(const ShardBatch&) = delete;
+    ShardBatch& operator=(const ShardBatch&) = delete;
+    ShardBatch& operator=(ShardBatch&&) = delete;
+
+    // Same semantics and counting discipline as the routed verbs above.
+    Outcome Get(uint32_t app_id, const ItemMeta& item);
+    bool Set(uint32_t app_id, const ItemMeta& item);
+    bool Touch(uint32_t app_id, const ItemMeta& item);
+    void Delete(uint32_t app_id, const ItemMeta& item);
+    Outcome Mutate(uint32_t app_id, MutateOp op, const ItemMeta& item);
+
+    [[nodiscard]] size_t shard_index() const { return shard_index_; }
+
+   private:
+    friend class ShardedCacheServer;
+    ShardBatch(ShardedCacheServer* owner, size_t shard_index);
+
+    ShardedCacheServer* owner_;  // nullptr after move-from: dtor is a no-op
+    Shard* shard_;
+    size_t shard_index_;
+    std::unique_lock<std::mutex> lock_;
+    ClassStats delta_;   // counter mirror, published on destruction
+    uint64_t ops_ = 0;   // rebalance-cadence contribution
+  };
+
+  // Opens a batch on one shard (locks it until the ShardBatch dies).
+  [[nodiscard]] ShardBatch BeginBatch(size_t shard_index);
+
+  // Array-based conveniences over ShardBatch: group the ops by shard
+  // (stable, so same-shard — and therefore same-key — order is preserved)
+  // and execute each group under a single lock acquisition. `outcomes`
+  // receives one entry per op, in the original array order.
+  struct BatchGet {
+    uint32_t app_id;
+    ItemMeta item;
+  };
+  struct BatchMutation {
+    uint32_t app_id;
+    MutateOp op;
+    ItemMeta item;
+  };
+  void GetBatch(const BatchGet* ops, size_t count, Outcome* outcomes);
+  void MutateBatch(const BatchMutation* ops, size_t count, Outcome* outcomes);
 
   [[nodiscard]] size_t num_shards() const { return num_shards_; }
   [[nodiscard]] size_t ShardForKey(uint64_t key) const {
@@ -101,9 +165,13 @@ class ShardedCacheServer {
   [[nodiscard]] uint64_t rebalance_count() const;
 
  private:
-  struct Shard;
-
-  void BumpOpCount(Shard& shard);
+  // Adds `n` to the shard's op counter and fires Rebalance() when the count
+  // crosses a rebalance_interval_ops boundary (for n == 1 this is exactly
+  // the classic "every interval-th op" trigger).
+  void BumpOpCount(Shard& shard, uint64_t n = 1);
+  // fetch_adds the non-zero fields of `delta` into the shard's lock-free
+  // counter mirror. Call after releasing the shard lock.
+  void PublishDelta(Shard& shard, const ClassStats& delta);
   void RebalanceAppLocked(uint32_t app_id, uint64_t total_reservation);
   // Acquires every shard mutex in ascending index order (the lock-order
   // rule); all whole-server snapshots and the rebalancer go through this.

@@ -122,16 +122,16 @@ void CacheAdapter::ReleaseValueLocked(Entry* entry) {
   entry->live = false;
 }
 
-void CacheAdapter::ReclaimLocked(Entry* entry, const RoutedKey& rk,
-                                 uint32_t key_size) {
+void CacheAdapter::ReclaimLocked(CoreRef core, Entry* entry,
+                                 const RoutedKey& rk, uint32_t key_size) {
   ReleaseValueLocked(entry);
   // Erase from the core too (physical and shadow): an invalidated item
   // must not keep earning shadow credit an unexpired refill would not.
-  server_->Delete(rk.app_id, ItemMeta{rk.key_id, key_size,
-                                      entry->value_size});
+  core.Delete(rk.app_id, ItemMeta{rk.key_id, key_size, entry->value_size});
 }
 
-CacheAdapter::Lookup CacheAdapter::LookupLocked(StoreShard& shard,
+CacheAdapter::Lookup CacheAdapter::LookupLocked(CoreRef core,
+                                                StoreShard& shard,
                                                 const RoutedKey& rk,
                                                 uint32_t key_size,
                                                 uint32_t now_s) {
@@ -141,14 +141,14 @@ CacheAdapter::Lookup CacheAdapter::LookupLocked(StoreShard& shard,
   lk.entry = &it->second;
   lk.valid = EntryValid(it->second, now_s);
   if (it->second.live && !lk.valid) {
-    ReclaimLocked(lk.entry, rk, key_size);
+    ReclaimLocked(core, lk.entry, rk, key_size);
     lk.reclaimed = true;
   }
   return lk;
 }
 
-bool CacheAdapter::RewriteValueLocked(Entry* entry, const RoutedKey& rk,
-                                      uint32_t key_size,
+bool CacheAdapter::RewriteValueLocked(CoreRef core, Entry* entry,
+                                      const RoutedKey& rk, uint32_t key_size,
                                       std::string_view new_value,
                                       uint32_t now_s) {
   const uint32_t old_size = entry->value_size;
@@ -159,8 +159,8 @@ bool CacheAdapter::RewriteValueLocked(Entry* entry, const RoutedKey& rk,
   if (new_size != old_size) {
     // Re-slab: the size change moves the item between slab classes, and
     // the per-class accounting the climbers feed on must see the move.
-    server_->Delete(rk.app_id, ItemMeta{rk.key_id, key_size, old_size});
-    if (!server_->Set(rk.app_id, item)) {
+    core.Delete(rk.app_id, ItemMeta{rk.key_id, key_size, old_size});
+    if (!core.Set(rk.app_id, item)) {
       // No slab class fits the rewritten value: the old incarnation is
       // already gone from the core, so drop it here too.
       ReleaseValueLocked(entry);
@@ -169,7 +169,7 @@ bool CacheAdapter::RewriteValueLocked(Entry* entry, const RoutedKey& rk,
   } else {
     // Same footprint: the rewrite is an access, not a re-fill — promote
     // recency without minting phantom set statistics.
-    server_->Touch(rk.app_id, item);
+    core.Touch(rk.app_id, item);
   }
   bytes_stored_.fetch_add(new_value.size(), std::memory_order_relaxed);
   bytes_stored_.fetch_sub(entry->value.size(), std::memory_order_relaxed);
@@ -178,6 +178,59 @@ bool CacheAdapter::RewriteValueLocked(Entry* entry, const RoutedKey& rk,
   entry->stored_s = now_s;
   entry->attrs.cas = NextCas();
   return true;
+}
+
+void CacheAdapter::GetKeyLocked(CoreRef core, StoreShard& shard,
+                                std::string_view key, const RoutedKey& rk,
+                                uint32_t now_s, bool with_cas,
+                                std::string* out) {
+  const auto it = shard.map.find(rk.key_id);
+  const bool was_live = it != shard.map.end() && it->second.live;
+
+  // flush_all is enforced here (the core has no store times): a flushed
+  // entry is reclaimed and erased from the core before any probe.
+  if (was_live && !EntryValid(it->second, now_s) &&
+      !ExpiredAt(it->second.attrs.expiry_s, now_s)) {
+    ReclaimLocked(core, &it->second, rk, static_cast<uint32_t>(key.size()));
+    get_misses_.fetch_add(1, std::memory_order_relaxed);
+    get_expired_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // The stored value_size keeps the core probe in the right slab class
+  // even for keys the core has evicted. now_s arms the core's lazy
+  // expiration: an expired item comes back as a clean miss.
+  const uint32_t value_size =
+      it == shard.map.end() ? 0 : it->second.value_size;
+  ItemMeta item{rk.key_id, static_cast<uint32_t>(key.size()), value_size};
+  item.now_s = now_s;
+  const Outcome outcome = core.Get(rk.app_id, item);
+
+  if (outcome.hit && was_live) {
+    get_hits_.fetch_add(1, std::memory_order_relaxed);
+    // Serialize straight from the entry — *out is connection-local (or a
+    // dedicated response slot), so no intermediate copy of the value bytes
+    // is needed.
+    if (with_cas) {
+      AppendValueResponseCas(out, key, it->second.attrs.flags,
+                             it->second.value, it->second.attrs.cas);
+    } else {
+      AppendValueResponse(out, key, it->second.attrs.flags,
+                          it->second.value);
+    }
+    return;
+  }
+  get_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (!outcome.hit && was_live) {
+    // The core evicted or lazily expired this key: the value bytes can
+    // never be served again (only a new SET restores residency), so
+    // reclaim them now. No core Delete — eviction legitimately leaves
+    // shadow state, and expiry already erased everything.
+    if (ExpiredAt(it->second.attrs.expiry_s, now_s)) {
+      get_expired_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ReleaseValueLocked(&it->second);
+  }
 }
 
 void CacheAdapter::HandleGet(const Command& cmd, std::string* out,
@@ -197,78 +250,63 @@ void CacheAdapter::HandleGet(const Command& cmd, std::string* out,
     // connections are serialized, so the side table can never disagree
     // with the core about this key (see the lock-order note on StoreShard).
     std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(rk.key_id);
-    const bool was_live = it != shard.map.end() && it->second.live;
-
-    // flush_all is enforced here (the core has no store times): a flushed
-    // entry is reclaimed and erased from the core before any probe.
-    if (was_live && !EntryValid(it->second, now) &&
-        !ExpiredAt(it->second.attrs.expiry_s, now)) {
-      ReclaimLocked(&it->second, rk, static_cast<uint32_t>(key.size()));
-      get_misses_.fetch_add(1, std::memory_order_relaxed);
-      get_expired_.fetch_add(1, std::memory_order_relaxed);
-      continue;
-    }
-
-    // The stored value_size keeps the core probe in the right slab class
-    // even for keys the core has evicted. now_s arms the core's lazy
-    // expiration: an expired item comes back as a clean miss.
-    const uint32_t value_size =
-        it == shard.map.end() ? 0 : it->second.value_size;
-    ItemMeta item{rk.key_id, static_cast<uint32_t>(key.size()), value_size};
-    item.now_s = now;
-    const Outcome outcome = server_->Get(rk.app_id, item);
-
-    if (outcome.hit && was_live) {
-      get_hits_.fetch_add(1, std::memory_order_relaxed);
-      // Serialize straight from the entry — *out is connection-local, so
-      // no intermediate copy of the value bytes is needed.
-      if (with_cas) {
-        AppendValueResponseCas(out, key, it->second.attrs.flags,
-                               it->second.value, it->second.attrs.cas);
-      } else {
-        AppendValueResponse(out, key, it->second.attrs.flags,
-                            it->second.value);
-      }
-      continue;
-    }
-    get_misses_.fetch_add(1, std::memory_order_relaxed);
-    if (!outcome.hit && was_live) {
-      // The core evicted or lazily expired this key: the value bytes can
-      // never be served again (only a new SET restores residency), so
-      // reclaim them now. No core Delete — eviction legitimately leaves
-      // shadow state, and expiry already erased everything.
-      if (ExpiredAt(it->second.attrs.expiry_s, now)) {
-        get_expired_.fetch_add(1, std::memory_order_relaxed);
-      }
-      ReleaseValueLocked(&it->second);
-    }
+    GetKeyLocked(CoreRef{server_, nullptr}, shard, key, rk, now, with_cas,
+                 out);
   }
   out->append(kEndLine);
 }
 
-void CacheAdapter::HandleStore(const Command& cmd, std::string* out) {
-  cmd_set_.fetch_add(1, std::memory_order_relaxed);
+bool CacheAdapter::CountAndAdmit(const Command& cmd, const RoutedKey& rk,
+                                 std::string* out) {
+  switch (cmd.type) {
+    case CommandType::kSet:
+    case CommandType::kAdd:
+    case CommandType::kReplace:
+    case CommandType::kCas:
+    case CommandType::kAppend:
+    case CommandType::kPrepend:
+      cmd_set_.fetch_add(1, std::memory_order_relaxed);
+      if (rk.app_known) return true;
+      store_rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (cmd.type == CommandType::kCas) {
+        cas_misses_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!cmd.noreply) {
+        AppendErrorLine(out, "SERVER_ERROR unknown application");
+      }
+      return false;
+    case CommandType::kIncr:
+    case CommandType::kDecr:
+      if (rk.app_known) return true;
+      (cmd.type == CommandType::kIncr ? incr_misses_ : decr_misses_)
+          .fetch_add(1, std::memory_order_relaxed);
+      if (!cmd.noreply) out->append(kNotFoundLine);
+      return false;
+    case CommandType::kTouch:
+      cmd_touch_.fetch_add(1, std::memory_order_relaxed);
+      if (rk.app_known) return true;
+      touch_misses_.fetch_add(1, std::memory_order_relaxed);
+      if (!cmd.noreply) out->append(kNotFoundLine);
+      return false;
+    case CommandType::kDelete:
+      cmd_delete_.fetch_add(1, std::memory_order_relaxed);
+      if (rk.app_known) return true;
+      if (!cmd.noreply) out->append(kNotFoundLine);
+      return false;
+    default:
+      return true;
+  }
+}
+
+void CacheAdapter::StoreLocked(CoreRef core, StoreShard& shard,
+                               const Command& cmd, const RoutedKey& rk,
+                               uint32_t now_s, std::string* out) {
   const bool is_cas = cmd.type == CommandType::kCas;
   const std::string_view key = cmd.key();
-  const RoutedKey rk = Route(key);
-  if (!rk.app_known) {
-    store_rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (is_cas) cas_misses_.fetch_add(1, std::memory_order_relaxed);
-    if (!cmd.noreply) AppendErrorLine(out, "SERVER_ERROR unknown application");
-    return;
-  }
-  const uint32_t now = Now();
-  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
-
-  // Held across presence check, core Delete/Set and side-table update:
-  // without it, two same-key SETs of different sizes could both delete the
-  // old incarnation and then leave the key resident in two slab classes.
-  std::lock_guard<std::mutex> lock(shard.mu);
   // The conditional verbs treat an expired/flushed entry as absent; its
   // value bytes are reclaimed on this touch-point rather than lingering.
   const Lookup lk =
-      LookupLocked(shard, rk, static_cast<uint32_t>(key.size()), now);
+      LookupLocked(core, shard, rk, static_cast<uint32_t>(key.size()), now_s);
   const bool exists = lk.entry != nullptr;
   const uint32_t old_size = exists ? lk.entry->value_size : 0;
 
@@ -300,12 +338,12 @@ void CacheAdapter::HandleStore(const Command& cmd, std::string* out) {
   // explicitly or it would linger in the old class's queue. (LookupLocked
   // already erased a just-invalidated entry from the core.)
   if (exists && !lk.reclaimed && old_size != new_size) {
-    server_->Delete(rk.app_id, ItemMeta{rk.key_id, key_size, old_size});
+    core.Delete(rk.app_id, ItemMeta{rk.key_id, key_size, old_size});
   }
   ItemMeta item{rk.key_id, key_size, new_size};
-  item.expiry_s = AbsoluteExpiry(cmd.exptime, now);
-  item.now_s = now;
-  const bool admitted = server_->Set(rk.app_id, item);
+  item.expiry_s = AbsoluteExpiry(cmd.exptime, now_s);
+  item.now_s = now_s;
+  const bool admitted = core.Set(rk.app_id, item);
   if (!admitted) {
     store_rejected_.fetch_add(1, std::memory_order_relaxed);
     if (exists) {
@@ -322,7 +360,7 @@ void CacheAdapter::HandleStore(const Command& cmd, std::string* out) {
                           std::memory_order_relaxed);
   entry.value.assign(cmd.data.data(), cmd.data.size());
   entry.value_size = new_size;
-  entry.stored_s = now;
+  entry.stored_s = now_s;
   entry.attrs.flags = cmd.flags;
   entry.attrs.expiry_s = item.expiry_s;
   entry.attrs.cas = NextCas();
@@ -331,24 +369,27 @@ void CacheAdapter::HandleStore(const Command& cmd, std::string* out) {
   if (!cmd.noreply) out->append(kStoredLine);
 }
 
+void CacheAdapter::HandleStore(const Command& cmd, std::string* out) {
+  const RoutedKey rk = Route(cmd.key());
+  if (!CountAndAdmit(cmd, rk, out)) return;
+  const uint32_t now = Now();
+  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
+  // Held across presence check, core Delete/Set and side-table update:
+  // without it, two same-key SETs of different sizes could both delete the
+  // old incarnation and then leave the key resident in two slab classes.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  StoreLocked(CoreRef{server_, nullptr}, shard, cmd, rk, now, out);
+}
+
 // append/prepend: splice onto an existing value. The command line's flags
 // and exptime are parsed but ignored (memcached semantics); only existence
 // gates the store, and the result re-slabs through the core.
-void CacheAdapter::HandleConcat(const Command& cmd, std::string* out) {
-  cmd_set_.fetch_add(1, std::memory_order_relaxed);
+void CacheAdapter::ConcatLocked(CoreRef core, StoreShard& shard,
+                                const Command& cmd, const RoutedKey& rk,
+                                uint32_t now_s, std::string* out) {
   const std::string_view key = cmd.key();
-  const RoutedKey rk = Route(key);
-  if (!rk.app_known) {
-    store_rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (!cmd.noreply) AppendErrorLine(out, "SERVER_ERROR unknown application");
-    return;
-  }
-  const uint32_t now = Now();
-  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
-
-  std::lock_guard<std::mutex> lock(shard.mu);
   const Lookup lk =
-      LookupLocked(shard, rk, static_cast<uint32_t>(key.size()), now);
+      LookupLocked(core, shard, rk, static_cast<uint32_t>(key.size()), now_s);
   if (!lk.valid) {
     store_rejected_.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) out->append(kNotStoredLine);
@@ -373,8 +414,9 @@ void CacheAdapter::HandleConcat(const Command& cmd, std::string* out) {
     combined.append(cmd.data.data(), cmd.data.size());
     combined.append(entry.value);
   }
-  if (!RewriteValueLocked(&entry, rk, static_cast<uint32_t>(key.size()),
-                          combined, now)) {
+  if (!RewriteValueLocked(core, &entry, rk,
+                          static_cast<uint32_t>(key.size()), combined,
+                          now_s)) {
     store_rejected_.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
     return;
@@ -382,23 +424,24 @@ void CacheAdapter::HandleConcat(const Command& cmd, std::string* out) {
   if (!cmd.noreply) out->append(kStoredLine);
 }
 
-void CacheAdapter::HandleArith(const Command& cmd, std::string* out,
-                               bool increment) {
+void CacheAdapter::HandleConcat(const Command& cmd, std::string* out) {
+  const RoutedKey rk = Route(cmd.key());
+  if (!CountAndAdmit(cmd, rk, out)) return;
+  const uint32_t now = Now();
+  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ConcatLocked(CoreRef{server_, nullptr}, shard, cmd, rk, now, out);
+}
+
+void CacheAdapter::ArithLocked(CoreRef core, StoreShard& shard,
+                               const Command& cmd, const RoutedKey& rk,
+                               uint32_t now_s, bool increment,
+                               std::string* out) {
   auto& hits = increment ? incr_hits_ : decr_hits_;
   auto& misses = increment ? incr_misses_ : decr_misses_;
   const std::string_view key = cmd.key();
-  const RoutedKey rk = Route(key);
-  if (!rk.app_known) {
-    misses.fetch_add(1, std::memory_order_relaxed);
-    if (!cmd.noreply) out->append(kNotFoundLine);
-    return;
-  }
-  const uint32_t now = Now();
-  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
-
-  std::lock_guard<std::mutex> lock(shard.mu);
   const Lookup lk =
-      LookupLocked(shard, rk, static_cast<uint32_t>(key.size()), now);
+      LookupLocked(core, shard, rk, static_cast<uint32_t>(key.size()), now_s);
   if (!lk.valid) {
     misses.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) out->append(kNotFoundLine);
@@ -425,8 +468,9 @@ void CacheAdapter::HandleArith(const Command& cmd, std::string* out,
   } while (v > 0);
   const std::string_view new_value(p,
                                    static_cast<size_t>(buf + sizeof(buf) - p));
-  if (!RewriteValueLocked(&entry, rk, static_cast<uint32_t>(key.size()),
-                          new_value, now)) {
+  if (!RewriteValueLocked(core, &entry, rk,
+                          static_cast<uint32_t>(key.size()), new_value,
+                          now_s)) {
     if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
     return;
   }
@@ -434,79 +478,88 @@ void CacheAdapter::HandleArith(const Command& cmd, std::string* out,
   if (!cmd.noreply) AppendNumericLine(out, result);
 }
 
-void CacheAdapter::HandleTouch(const Command& cmd, std::string* out) {
-  cmd_touch_.fetch_add(1, std::memory_order_relaxed);
-  const std::string_view key = cmd.key();
-  const RoutedKey rk = Route(key);
-  if (!rk.app_known) {
-    touch_misses_.fetch_add(1, std::memory_order_relaxed);
-    if (!cmd.noreply) out->append(kNotFoundLine);
-    return;
-  }
+void CacheAdapter::HandleArith(const Command& cmd, std::string* out,
+                               bool increment) {
+  const RoutedKey rk = Route(cmd.key());
+  if (!CountAndAdmit(cmd, rk, out)) return;
   const uint32_t now = Now();
   StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
-
   std::lock_guard<std::mutex> lock(shard.mu);
+  ArithLocked(CoreRef{server_, nullptr}, shard, cmd, rk, now, increment, out);
+}
+
+void CacheAdapter::TouchLocked(CoreRef core, StoreShard& shard,
+                               const Command& cmd, const RoutedKey& rk,
+                               uint32_t now_s, std::string* out) {
+  const std::string_view key = cmd.key();
   const Lookup lk =
-      LookupLocked(shard, rk, static_cast<uint32_t>(key.size()), now);
+      LookupLocked(core, shard, rk, static_cast<uint32_t>(key.size()), now_s);
   if (!lk.valid) {
     touch_misses_.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) out->append(kNotFoundLine);
     return;
   }
   Entry& entry = *lk.entry;
-  entry.attrs.expiry_s = AbsoluteExpiry(cmd.exptime, now);
+  entry.attrs.expiry_s = AbsoluteExpiry(cmd.exptime, now_s);
   ItemMeta item{rk.key_id, static_cast<uint32_t>(key.size()),
                 entry.value_size};
   item.expiry_s = entry.attrs.expiry_s;
-  item.now_s = now;
+  item.now_s = now_s;
   // Refresh the core's stored expiry and the item's recency standing; no
   // GET statistics move (memcached counts touches separately, and so does
   // the core — not at all).
-  server_->Touch(rk.app_id, item);
+  core.Touch(rk.app_id, item);
   touch_hits_.fetch_add(1, std::memory_order_relaxed);
   if (!cmd.noreply) out->append(kTouchedLine);
 }
 
-void CacheAdapter::HandleDelete(const Command& cmd, std::string* out) {
-  cmd_delete_.fetch_add(1, std::memory_order_relaxed);
-  const std::string_view key = cmd.key();
-  const RoutedKey rk = Route(key);
-  if (!rk.app_known) {
-    if (!cmd.noreply) out->append(kNotFoundLine);
-    return;
-  }
+void CacheAdapter::HandleTouch(const Command& cmd, std::string* out) {
+  const RoutedKey rk = Route(cmd.key());
+  if (!CountAndAdmit(cmd, rk, out)) return;
   const uint32_t now = Now();
   StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  TouchLocked(CoreRef{server_, nullptr}, shard, cmd, rk, now, out);
+}
 
+void CacheAdapter::DeleteLocked(CoreRef core, StoreShard& shard,
+                                const Command& cmd, const RoutedKey& rk,
+                                uint32_t now_s, std::string* out) {
+  const std::string_view key = cmd.key();
   bool valid = false;
-  {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const auto it = shard.map.find(rk.key_id);
-    uint32_t value_size = 0;
-    if (it != shard.map.end()) {
-      // An expired/flushed entry deletes as NOT_FOUND, like memcached.
-      valid = EntryValid(it->second, now);
-      value_size = it->second.value_size;
-      if (it->second.live) {
-        bytes_stored_.fetch_sub(it->second.value.size(),
-                                std::memory_order_relaxed);
-      }
-      shard.map.erase(it);
+  const auto it = shard.map.find(rk.key_id);
+  uint32_t value_size = 0;
+  if (it != shard.map.end()) {
+    // An expired/flushed entry deletes as NOT_FOUND, like memcached.
+    valid = EntryValid(it->second, now_s);
+    value_size = it->second.value_size;
+    if (it->second.live) {
+      bytes_stored_.fetch_sub(it->second.value.size(),
+                              std::memory_order_relaxed);
     }
-    // Forward under the same lock (same-key serialization as the other
-    // handlers): even a not-live key may still occupy a shadow segment,
-    // and the core's Delete is a no-op for absent keys.
-    server_->Delete(rk.app_id, ItemMeta{rk.key_id,
-                                        static_cast<uint32_t>(key.size()),
-                                        value_size});
+    shard.map.erase(it);
   }
+  // Forward under the same lock (same-key serialization as the other
+  // handlers): even a not-live key may still occupy a shadow segment,
+  // and the core's Delete is a no-op for absent keys.
+  core.Delete(rk.app_id, ItemMeta{rk.key_id,
+                                  static_cast<uint32_t>(key.size()),
+                                  value_size});
   if (valid) {
     delete_hits_.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) out->append(kDeletedLine);
   } else {
     if (!cmd.noreply) out->append(kNotFoundLine);
   }
+}
+
+void CacheAdapter::HandleDelete(const Command& cmd, std::string* out) {
+  const RoutedKey rk = Route(cmd.key());
+  if (!CountAndAdmit(cmd, rk, out)) return;
+  const uint32_t now = Now();
+  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  DeleteLocked(CoreRef{server_, nullptr}, shard, cmd, rk, now, out);
 }
 
 void CacheAdapter::HandleFlushAll(const Command& cmd, std::string* out) {
@@ -567,6 +620,167 @@ void CacheAdapter::HandleStats(std::string* out) {
     AppendStat(out, name, server_->AppReservation(app_id));
   }
   out->append(kEndLine);
+}
+
+// ---------------------------------------------------------------------------
+// Burst path (epoll backend): per-shard op batching
+// ---------------------------------------------------------------------------
+
+// One shard-routed operation of a burst, bound to its response slot. A
+// multiget expands into one BurstOp per key (plus a pre-filled END slot), so
+// reassembling the slots in index order reproduces the sequential byte
+// stream exactly.
+struct CacheAdapter::BurstOp {
+  const Command* cmd;
+  size_t key_idx;  // which key of a multiget; 0 for single-key verbs
+  size_t slot;     // response segment index
+  uint32_t now_s;  // stamped at collection, in command order (clock contract)
+  RoutedKey rk;
+  size_t shard;
+};
+
+namespace {
+
+// Commands whose effects are confined to one key's shard. Everything else
+// (stats/version/flush_all/quit/protocol errors) acts as a barrier and goes
+// through the sequential Handle() in stream order.
+bool IsShardable(CommandType type) {
+  switch (type) {
+    case CommandType::kGet:
+    case CommandType::kGets:
+    case CommandType::kSet:
+    case CommandType::kAdd:
+    case CommandType::kReplace:
+    case CommandType::kCas:
+    case CommandType::kAppend:
+    case CommandType::kPrepend:
+    case CommandType::kIncr:
+    case CommandType::kDecr:
+    case CommandType::kTouch:
+    case CommandType::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void CacheAdapter::ExecuteOpLocked(CoreRef core, StoreShard& shard,
+                                   const BurstOp& op, std::string* out) {
+  const Command& cmd = *op.cmd;
+  switch (cmd.type) {
+    case CommandType::kGet:
+    case CommandType::kGets:
+      GetKeyLocked(core, shard, cmd.keys[op.key_idx], op.rk, op.now_s,
+                   /*with_cas=*/cmd.type == CommandType::kGets, out);
+      break;
+    case CommandType::kSet:
+    case CommandType::kAdd:
+    case CommandType::kReplace:
+    case CommandType::kCas:
+      StoreLocked(core, shard, cmd, op.rk, op.now_s, out);
+      break;
+    case CommandType::kAppend:
+    case CommandType::kPrepend:
+      ConcatLocked(core, shard, cmd, op.rk, op.now_s, out);
+      break;
+    case CommandType::kIncr:
+    case CommandType::kDecr:
+      ArithLocked(core, shard, cmd, op.rk, op.now_s,
+                  /*increment=*/cmd.type == CommandType::kIncr, out);
+      break;
+    case CommandType::kTouch:
+      TouchLocked(core, shard, cmd, op.rk, op.now_s, out);
+      break;
+    case CommandType::kDelete:
+      DeleteLocked(core, shard, cmd, op.rk, op.now_s, out);
+      break;
+    default:
+      break;  // unreachable: only shardable ops are collected
+  }
+}
+
+void CacheAdapter::ExecuteShardedRun(const Command* cmds, size_t count,
+                                     std::vector<std::string>* segments) {
+  // Collection: expand commands into shard-routed ops and pre-create their
+  // response slots in stream order. Admission (unknown app) and the
+  // command counters run here, before any lock, exactly as the sequential
+  // handlers do; Now() is read once per command, in command order.
+  std::vector<BurstOp> ops;
+  ops.reserve(count);
+  for (size_t c = 0; c < count; ++c) {
+    const Command& cmd = cmds[c];
+    const uint32_t now = Now();
+    if (cmd.type == CommandType::kGet || cmd.type == CommandType::kGets) {
+      for (size_t k = 0; k < cmd.keys.size(); ++k) {
+        cmd_get_.fetch_add(1, std::memory_order_relaxed);
+        segments->emplace_back();
+        const RoutedKey rk = Route(cmd.keys[k]);
+        if (!rk.app_known) {
+          get_misses_.fetch_add(1, std::memory_order_relaxed);
+          continue;  // slot stays empty, like the sequential loop
+        }
+        ops.push_back(BurstOp{&cmd, k, segments->size() - 1, now, rk,
+                              server_->ShardForKey(rk.key_id)});
+      }
+      // The terminator's content is known now; giving it its own slot keeps
+      // every VALUE block independently writev-able.
+      segments->emplace_back(kEndLine);
+      continue;
+    }
+    segments->emplace_back();
+    const RoutedKey rk = Route(cmd.key());
+    if (!CountAndAdmit(cmd, rk, &segments->back())) continue;
+    ops.push_back(BurstOp{&cmd, 0, segments->size() - 1, now, rk,
+                          server_->ShardForKey(rk.key_id)});
+  }
+
+  // Group by shard; the stable sort preserves same-shard (and therefore
+  // same-key) op order, which is what makes the grouped execution
+  // equivalent to the sequential stream — including read-your-write for a
+  // pipelined `set k` ... `get k` in one burst.
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const BurstOp& a, const BurstOp& b) {
+                     return a.shard < b.shard;
+                   });
+
+  // Execution: one store-shard lock + one core ShardBatch per shard per
+  // run. The store shard and core shard share the key routing, so each run
+  // touches exactly one of each; lock order (store shard -> core shard) is
+  // the same as every sequential handler's.
+  size_t i = 0;
+  while (i < ops.size()) {
+    const size_t shard_index = ops[i].shard;
+    StoreShard& shard = *store_[shard_index];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    ShardedCacheServer::ShardBatch batch = server_->BeginBatch(shard_index);
+    CoreRef core{server_, &batch};
+    for (; i < ops.size() && ops[i].shard == shard_index; ++i) {
+      ExecuteOpLocked(core, shard, ops[i], &(*segments)[ops[i].slot]);
+    }
+    // ~ShardBatch publishes the counter deltas and bumps the rebalance
+    // cadence after the core lock is released (still under the store lock,
+    // like the sequential path's own in-handler core calls).
+  }
+}
+
+bool CacheAdapter::HandleBatch(const Command* cmds, size_t count,
+                               std::vector<std::string>* segments) {
+  size_t i = 0;
+  while (i < count) {
+    if (!IsShardable(cmds[i].type)) {
+      segments->emplace_back();
+      if (!Handle(cmds[i], &segments->back())) return false;
+      ++i;
+      continue;
+    }
+    size_t run_end = i + 1;
+    while (run_end < count && IsShardable(cmds[run_end].type)) ++run_end;
+    ExecuteShardedRun(cmds + i, run_end - i, segments);
+    i = run_end;
+  }
+  return true;
 }
 
 bool CacheAdapter::Handle(const Command& cmd, std::string* out) {

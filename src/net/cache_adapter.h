@@ -104,6 +104,17 @@ class CacheAdapter final : public CommandHandler {
   CacheAdapter& operator=(const CacheAdapter&) = delete;
 
   bool Handle(const Command& cmd, std::string* out) override;
+  // Burst entry point (epoll backend): consecutive shardable commands are
+  // grouped by shard and executed with ONE store-shard lock plus ONE core
+  // ShardBatch per shard per run, instead of one lock pair per op. Response
+  // slots are pre-created in command/key order, so the segment sequence is
+  // byte-identical to sequential handling: ops on different shards touch
+  // disjoint state, and same-key ops always hash to the same shard, where
+  // the stable grouping preserves their order (read-your-write within a
+  // pipelined burst included). Barrier commands (stats/version/flush_all/
+  // quit/errors) fall back to Handle() in place.
+  bool HandleBatch(const Command* cmds, size_t count,
+                   std::vector<std::string>* segments) override;
 
   // Protocol-level counters (what `stats` reports, memcached names).
   struct Counters {
@@ -134,10 +145,39 @@ class CacheAdapter final : public CommandHandler {
  private:
   struct StoreShard;
   struct Entry;
+  struct BurstOp;
   struct RoutedKey {
     uint32_t app_id = 0;
     uint64_t key_id = 0;
     bool app_known = false;
+  };
+  // Routes core calls either straight to the server (single-op path) or
+  // through an open ShardBatch (burst path: one core-lock acquisition per
+  // shard per burst). Everything below the store-shard lock goes through
+  // this seam, so both paths share one implementation of the memcached
+  // semantics — they cannot drift apart.
+  struct CoreRef {
+    ShardedCacheServer* server;
+    ShardedCacheServer::ShardBatch* batch;  // nullptr = unbatched
+    Outcome Get(uint32_t app_id, const ItemMeta& item) {
+      return batch != nullptr ? batch->Get(app_id, item)
+                              : server->Get(app_id, item);
+    }
+    bool Set(uint32_t app_id, const ItemMeta& item) {
+      return batch != nullptr ? batch->Set(app_id, item)
+                              : server->Set(app_id, item);
+    }
+    bool Touch(uint32_t app_id, const ItemMeta& item) {
+      return batch != nullptr ? batch->Touch(app_id, item)
+                              : server->Touch(app_id, item);
+    }
+    void Delete(uint32_t app_id, const ItemMeta& item) {
+      if (batch != nullptr) {
+        batch->Delete(app_id, item);
+      } else {
+        server->Delete(app_id, item);
+      }
+    }
   };
 
   [[nodiscard]] RoutedKey Route(std::string_view key) const;
@@ -154,7 +194,8 @@ class CacheAdapter final : public CommandHandler {
   // Pre: the owning shard's mutex is held. Frees the value bytes of a
   // dead-but-still-live entry (size metadata survives) and erases the key
   // from the core so shadow state cannot linger past invalidation.
-  void ReclaimLocked(Entry* entry, const RoutedKey& rk, uint32_t key_size);
+  void ReclaimLocked(CoreRef core, Entry* entry, const RoutedKey& rk,
+                     uint32_t key_size);
   // Pre: shard lock held. The shared lookup kernel of every conditional
   // verb (store/concat/arith/touch): finds the entry, lazily reclaims it
   // when live-but-invalid (expired/flushed), and reports what remains.
@@ -165,7 +206,7 @@ class CacheAdapter final : public CommandHandler {
     bool valid = false;      // live && unexpired && unflushed after reclaim
     bool reclaimed = false;  // this call reclaimed a stale entry
   };
-  Lookup LookupLocked(StoreShard& shard, const RoutedKey& rk,
+  Lookup LookupLocked(CoreRef core, StoreShard& shard, const RoutedKey& rk,
                       uint32_t key_size, uint32_t now_s);
   // Replace an entry's value in place: re-slab through the core when the
   // size changed (Delete old + Set new), core-Touch when it did not (the
@@ -173,9 +214,42 @@ class CacheAdapter final : public CommandHandler {
   // shard lock held; entry live and valid. Returns false when the core
   // rejected the new size (the entry was erased, memcached's SERVER_ERROR
   // path).
-  bool RewriteValueLocked(Entry* entry, const RoutedKey& rk,
+  bool RewriteValueLocked(CoreRef core, Entry* entry, const RoutedKey& rk,
                           uint32_t key_size, std::string_view new_value,
                           uint32_t now_s);
+
+  // Counts the command and, when its app is unknown, emits the verb's
+  // soft-failure response (shared by the single-op and burst paths, which
+  // both run it before taking any lock). Returns true when the command
+  // should proceed to its shard op.
+  bool CountAndAdmit(const Command& cmd, const RoutedKey& rk,
+                     std::string* out);
+
+  // Locked per-op executors: the memcached semantics of one operation,
+  // below the store-shard lock, core access through the CoreRef seam.
+  // Pre for all: the shard's mutex held, rk.app_known true, CountAndAdmit
+  // (or the per-key get admission) already ran.
+  void GetKeyLocked(CoreRef core, StoreShard& shard, std::string_view key,
+                    const RoutedKey& rk, uint32_t now_s, bool with_cas,
+                    std::string* out);
+  void StoreLocked(CoreRef core, StoreShard& shard, const Command& cmd,
+                   const RoutedKey& rk, uint32_t now_s, std::string* out);
+  void ConcatLocked(CoreRef core, StoreShard& shard, const Command& cmd,
+                    const RoutedKey& rk, uint32_t now_s, std::string* out);
+  void ArithLocked(CoreRef core, StoreShard& shard, const Command& cmd,
+                   const RoutedKey& rk, uint32_t now_s, bool increment,
+                   std::string* out);
+  void TouchLocked(CoreRef core, StoreShard& shard, const Command& cmd,
+                   const RoutedKey& rk, uint32_t now_s, std::string* out);
+  void DeleteLocked(CoreRef core, StoreShard& shard, const Command& cmd,
+                    const RoutedKey& rk, uint32_t now_s, std::string* out);
+  void ExecuteOpLocked(CoreRef core, StoreShard& shard, const BurstOp& op,
+                       std::string* out);
+  // The burst engine: expands a run of shardable commands into per-key ops
+  // with pre-ordered response slots, groups the ops by shard (stable), and
+  // executes each group under one store-lock + core-batch pair.
+  void ExecuteShardedRun(const Command* cmds, size_t count,
+                         std::vector<std::string>* segments);
 
   void HandleGet(const Command& cmd, std::string* out, bool with_cas);
   void HandleStore(const Command& cmd, std::string* out);

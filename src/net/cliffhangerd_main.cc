@@ -52,6 +52,7 @@ void Usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --port N          listen port (default 11311; 0 = ephemeral)\n"
       "  --workers N       connection worker threads (default 2)\n"
+      "  --backend B       epoll | poll event loop (default epoll)\n"
       "  --shards N        cache shards (default 4)\n"
       "  --mode M          default | cliffhanger (default cliffhanger)\n"
       "  --eviction E      lru | midpoint | arc | lfu (default lru)\n"
@@ -65,6 +66,7 @@ void Usage(const char* argv0) {
 int Main(int argc, char** argv) {
   uint16_t port = 11311;
   size_t workers = 2;
+  net::SocketBackend backend = net::SocketBackend::kEpoll;
   size_t shards = 4;
   bool cliffhanger_mode = true;
   EvictionScheme eviction = EvictionScheme::kLru;
@@ -91,6 +93,16 @@ int Main(int argc, char** argv) {
         return Usage(argv[0]), 1;
       }
       workers = parsed;
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]), 1;
+      if (std::strcmp(v, "epoll") == 0) {
+        backend = net::SocketBackend::kEpoll;
+      } else if (std::strcmp(v, "poll") == 0) {
+        backend = net::SocketBackend::kPoll;
+      } else {
+        return Usage(argv[0]), 1;
+      }
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       const char* v = next();
       uint64_t parsed = 0;
@@ -205,6 +217,7 @@ int Main(int argc, char** argv) {
   net::SocketServerConfig net_config;
   net_config.port = port;
   net_config.num_workers = workers;
+  net_config.backend = backend;
   net::SocketServer socket_server(net_config, &adapter);
   std::string error;
   if (!socket_server.Start(&error)) {
@@ -217,8 +230,9 @@ int Main(int argc, char** argv) {
 
   std::fprintf(stderr,
                "cliffhangerd listening on port %u (%zu workers, %zu shards, "
-               "%s mode, %zu app%s)\n",
+               "%s backend, %s mode, %zu app%s)\n",
                socket_server.port(), workers, shards,
+               backend == net::SocketBackend::kEpoll ? "epoll" : "poll",
                cliffhanger_mode ? "cliffhanger" : "default", apps.size(),
                apps.size() == 1 ? "" : "s");
   while (!g_stop.load()) {

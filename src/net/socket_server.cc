@@ -8,7 +8,9 @@
 #include <poll.h>
 #include <signal.h>
 #include <string.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -19,6 +21,12 @@ namespace net {
 namespace {
 
 constexpr size_t kReadChunk = 64 * 1024;
+// epoll_wait batch size per wakeup (not a connection limit: remaining ready
+// fds are returned by the next wait immediately).
+constexpr int kEpollEvents = 64;
+// iovec slots per writev call — well under any IOV_MAX; larger bursts just
+// take another writev.
+constexpr int kMaxIov = 64;
 
 // Writing to a peer that already closed must surface as EPIPE, not a
 // process-killing SIGPIPE; done once, process-wide, on first Start().
@@ -30,16 +38,24 @@ void IgnoreSigpipeOnce() {
   (void)done;
 }
 
+void DrainWakePipe(int fd) {
+  char drain[64];
+  while (::read(fd, drain, sizeof(drain)) > 0) {
+  }
+}
+
 }  // namespace
 
 // One TCP connection, owned by exactly one worker thread.
 struct SocketServer::Connection {
   int fd = -1;
+  size_t index = 0;     // slot in Worker::conns, maintained on swap-remove
   std::string rd;       // unconsumed inbound bytes (parser input)
   size_t rd_offset = 0; // parsed prefix of rd, compacted after the drain loop
   std::string wr;       // pending outbound bytes
   size_t wr_offset = 0;
   AsciiParser parser;
+  uint32_t armed = 0;     // epoll backend: currently registered event mask
   bool closing = false;   // quit/abuse: stop parsing, flush wr, close
   bool peer_eof = false;  // FIN seen: stop reading, but keep parsing and
                           // answering the frames already buffered — even
@@ -50,6 +66,11 @@ struct SocketServer::Worker {
   std::thread thread;
   int wake_rd = -1;
   int wake_wr = -1;
+  int epfd = -1;  // epoll backend only; -1 under kPoll
+  // Queued-plus-open connection count: bumped by the acceptor at dispatch,
+  // dropped at close. The acceptor routes each new fd to the worker with
+  // the smallest load.
+  std::atomic<size_t> load{0};
   std::mutex mu;
   std::vector<int> mailbox;  // fds accepted for this worker
   std::vector<std::unique_ptr<Connection>> conns;
@@ -74,6 +95,7 @@ bool SocketServer::Start(std::string* error) {
     return false;
   }
   stopping_.store(false);
+  accept_stalled_.store(false);
   IgnoreSigpipeOnce();
 
   // Non-blocking listen socket: the acceptor drains accept4 until EAGAIN,
@@ -124,11 +146,28 @@ bool SocketServer::Start(std::string* error) {
     if (::pipe2(wake, O_NONBLOCK | O_CLOEXEC) != 0) return fail("pipe2");
     worker->wake_rd = wake[0];
     worker->wake_wr = wake[1];
+    if (config_.backend == SocketBackend::kEpoll) {
+      worker->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+      if (worker->epfd < 0) return fail("epoll_create1");
+      // The wake pipe is the one permanent registration; data.ptr == nullptr
+      // distinguishes it from connections.
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = nullptr;
+      if (::epoll_ctl(worker->epfd, EPOLL_CTL_ADD, worker->wake_rd, &ev) !=
+          0) {
+        return fail("epoll_ctl(wake)");
+      }
+    }
     workers_.push_back(std::move(worker));
   }
   for (auto& worker : workers_) {
     Worker* w = worker.get();
-    w->thread = std::thread([this, w] { WorkerLoop(w); });
+    if (config_.backend == SocketBackend::kEpoll) {
+      w->thread = std::thread([this, w] { WorkerLoopEpoll(w); });
+    } else {
+      w->thread = std::thread([this, w] { WorkerLoop(w); });
+    }
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return true;
@@ -159,6 +198,7 @@ void SocketServer::Stop() {
     worker->conns.clear();
     for (const int fd : worker->mailbox) ::close(fd);
     worker->mailbox.clear();
+    if (worker->epfd >= 0) ::close(worker->epfd);
     if (worker->wake_rd >= 0) ::close(worker->wake_rd);
     if (worker->wake_wr >= 0) ::close(worker->wake_wr);
   }
@@ -179,14 +219,24 @@ void SocketServer::AcceptLoop() {
   pollfd fds[2];
   fds[0] = {listen_fd_, POLLIN, 0};
   fds[1] = {accept_wake_[0], POLLIN, 0};
+  std::vector<int> batch;
   while (!stopping_.load()) {
     const int rc = ::poll(fds, 2, -1);
+    acceptor_iterations_.fetch_add(1, std::memory_order_relaxed);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    // Drain the wake pipe so a wake byte is a level change, not a permanent
+    // readable state. (Harmless to leave under level-triggered poll with an
+    // infinite timeout — every loop also checks stopping_ — but any finite
+    // timeout or edge-triggered reuse of this pipe would spin or wedge.)
+    if (fds[1].revents & POLLIN) DrainWakePipe(accept_wake_[0]);
     if (stopping_.load()) break;
     if ((fds[0].revents & POLLIN) == 0) continue;
+    // Batch: drain accept4 until EAGAIN, then dispatch the whole batch with
+    // one mailbox lock + wake byte per worker touched.
+    batch.clear();
     while (true) {
       const int fd = ::accept4(listen_fd_, nullptr, nullptr,
                                SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -194,24 +244,85 @@ void SocketServer::AcceptLoop() {
         if (errno == EINTR) continue;
         if (errno != EAGAIN && errno != EWOULDBLOCK) {
           // EMFILE/ENFILE and friends: the pending connection keeps the
-          // listen fd readable, so poll would return immediately and spin
-          // a core. Back off briefly before polling again.
-          ::poll(nullptr, 0, 50);
+          // listen fd readable, so an unconditional re-poll would spin a
+          // core. Back off — but on the wake pipe, so Stop() interrupts
+          // immediately and a worker freeing an fd (CloseConnection writes
+          // a wake byte while accept_stalled_) retries at once instead of
+          // waiting out the backoff.
+          accept_stalled_.store(true);
+          pollfd wake = {accept_wake_[0], POLLIN, 0};
+          if (::poll(&wake, 1, 50) > 0 && (wake.revents & POLLIN)) {
+            DrainWakePipe(accept_wake_[0]);
+          }
+          accept_stalled_.store(false);
+          if (stopping_.load()) return;
         }
         break;
       }
       const int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      Worker* w = workers_[next_worker_].get();
-      next_worker_ = (next_worker_ + 1) % workers_.size();
-      {
-        std::lock_guard<std::mutex> lock(w->mu);
-        w->mailbox.push_back(fd);
-      }
-      const char b = 'x';
-      [[maybe_unused]] ssize_t n = ::write(w->wake_wr, &b, 1);
-      total_connections_.fetch_add(1, std::memory_order_relaxed);
+      batch.push_back(fd);
     }
+    if (!batch.empty()) DispatchAccepted(&batch);
+  }
+}
+
+void SocketServer::DispatchAccepted(std::vector<int>* fds) {
+  const size_t n_workers = workers_.size();
+  // Snapshot the loads once, then assign greedily against local estimates:
+  // the whole batch lands least-loaded without re-reading atomics per fd.
+  std::vector<size_t> load(n_workers);
+  std::vector<std::vector<int>> assigned(n_workers);
+  for (size_t i = 0; i < n_workers; ++i) {
+    load[i] = workers_[i]->load.load(std::memory_order_relaxed);
+  }
+  for (const int fd : *fds) {
+    const size_t w = static_cast<size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    ++load[w];
+    assigned[w].push_back(fd);
+  }
+  for (size_t i = 0; i < n_workers; ++i) {
+    if (assigned[i].empty()) continue;
+    Worker* w = workers_[i].get();
+    w->load.fetch_add(assigned[i].size(), std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->mailbox.insert(w->mailbox.end(), assigned[i].begin(),
+                        assigned[i].end());
+    }
+    const char b = 'x';
+    [[maybe_unused]] ssize_t n = ::write(w->wake_wr, &b, 1);
+  }
+  total_connections_.fetch_add(fds->size(), std::memory_order_relaxed);
+  fds->clear();
+}
+
+void SocketServer::AdoptIncoming(Worker* worker) {
+  std::vector<int> incoming;
+  {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    incoming.swap(worker->mailbox);
+  }
+  for (const int fd : incoming) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->index = worker->conns.size();
+    if (worker->epfd >= 0) {
+      // Registered exactly once; later interest changes go through
+      // EPOLL_CTL_MOD in UpdateEpollInterest.
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = conn.get();
+      if (::epoll_ctl(worker->epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        worker->load.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      conn->armed = EPOLLIN;
+    }
+    worker->conns.push_back(std::move(conn));
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -248,6 +359,34 @@ bool SocketServer::DrainCommands(Connection* conn) {
   return conn->rd.size() <= config_.max_read_buffer;
 }
 
+size_t SocketServer::CollectBurst(Connection* conn,
+                                  std::vector<Command>* cmds) {
+  size_t frames = 0;
+  // A burst is bounded in frames AND in key-operations: one multiget counts
+  // each of its keys, so a burst's worst-case response volume stays at the
+  // single-command bound (kMaxKeysPerGet × kMaxValueBytes) the write cap
+  // documents. The key-op check runs after parsing (a frame cannot be
+  // un-parsed), so one command may overshoot the budget — bounded overshoot.
+  size_t key_ops = 0;
+  while (frames < config_.max_burst_frames && key_ops < kMaxKeysPerGet) {
+    if (cmds->size() == frames) cmds->emplace_back();
+    Command& cmd = (*cmds)[frames];
+    const std::string_view unparsed(conn->rd.data() + conn->rd_offset,
+                                    conn->rd.size() - conn->rd_offset);
+    size_t consumed = 0;
+    const ParseStatus status = conn->parser.Next(unparsed, &consumed, &cmd);
+    conn->rd_offset += consumed;
+    if (status == ParseStatus::kCommand) {
+      key_ops += std::max<size_t>(1, cmd.keys.size());
+      ++frames;
+      continue;
+    }
+    if (consumed > 0) continue;  // resync progress; try again on this buffer
+    break;                       // genuinely need more bytes
+  }
+  return frames;
+}
+
 bool SocketServer::FlushWrites(Connection* conn) {
   while (conn->wr_offset < conn->wr.size()) {
     const ssize_t n =
@@ -266,11 +405,107 @@ bool SocketServer::FlushWrites(Connection* conn) {
   return true;
 }
 
+bool SocketServer::FlushSegments(Connection* conn,
+                                 const std::vector<std::string>& segments) {
+  // Scatter-gather straight from the response segments: any queued write-
+  // buffer tail goes first (response order), then each non-empty segment.
+  // Whatever the socket does not take is spilled into wr so the normal
+  // flush/backpressure machinery owns it from there.
+  size_t seg_i = 0;   // first segment with unsent bytes
+  size_t seg_off = 0; // sent prefix of segments[seg_i]
+  while (true) {
+    while (seg_i < segments.size() && seg_off >= segments[seg_i].size()) {
+      ++seg_i;
+      seg_off = 0;
+    }
+    iovec iov[kMaxIov];
+    int iov_count = 0;
+    if (conn->wr_offset < conn->wr.size()) {
+      iov[iov_count++] = {
+          const_cast<char*>(conn->wr.data()) + conn->wr_offset,
+          conn->wr.size() - conn->wr_offset};
+    }
+    for (size_t s = seg_i; s < segments.size() && iov_count < kMaxIov; ++s) {
+      const size_t off = (s == seg_i) ? seg_off : 0;
+      if (segments[s].size() > off) {
+        iov[iov_count++] = {const_cast<char*>(segments[s].data()) + off,
+                            segments[s].size() - off};
+      }
+    }
+    if (iov_count == 0) {
+      conn->wr.clear();
+      conn->wr_offset = 0;
+      return true;  // everything flushed
+    }
+    const ssize_t n = ::writev(conn->fd, iov, iov_count);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+        return false;  // peer gone
+      }
+      // Socket full: queue the unsent segment bytes behind the wr tail.
+      for (size_t s = seg_i; s < segments.size(); ++s) {
+        const size_t off = (s == seg_i) ? seg_off : 0;
+        conn->wr.append(segments[s], off, segments[s].size() - off);
+      }
+      return true;
+    }
+    size_t left = static_cast<size_t>(n);
+    if (conn->wr_offset < conn->wr.size()) {
+      const size_t take = std::min(left, conn->wr.size() - conn->wr_offset);
+      conn->wr_offset += take;
+      left -= take;
+      if (conn->wr_offset == conn->wr.size()) {
+        conn->wr.clear();
+        conn->wr_offset = 0;
+      }
+    }
+    while (left > 0) {
+      const size_t take = std::min(left, segments[seg_i].size() - seg_off);
+      seg_off += take;
+      left -= take;
+      if (seg_off == segments[seg_i].size()) {
+        ++seg_i;
+        seg_off = 0;
+      }
+    }
+  }
+}
+
+void SocketServer::MaybeReleaseBuffers(Connection* conn) {
+  const size_t threshold = config_.buffer_shrink_threshold;
+  if (threshold == 0) return;
+  // swap-with-empty, not shrink_to_fit: the latter is a non-binding request.
+  if (conn->rd.empty() && conn->rd.capacity() > threshold) {
+    std::string().swap(conn->rd);
+    buffer_releases_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (conn->wr.empty() && conn->wr.capacity() > threshold) {
+    std::string().swap(conn->wr);
+    buffer_releases_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void SocketServer::CloseConnection(Worker* worker, size_t index) {
+  // Swap-remove keeps close O(1); safe inside the poll backend's backwards
+  // sweep because the element moved down came from a higher slot that was
+  // already visited, and safe for epoll because events carry stable
+  // Connection pointers, not indexes.
   ::close(worker->conns[index]->fd);
-  worker->conns.erase(worker->conns.begin() +
-                      static_cast<ptrdiff_t>(index));
+  if (index + 1 < worker->conns.size()) {
+    worker->conns[index] = std::move(worker->conns.back());
+    worker->conns[index]->index = index;
+  }
+  worker->conns.pop_back();
   active_connections_.fetch_sub(1, std::memory_order_relaxed);
+  worker->load.fetch_sub(1, std::memory_order_relaxed);
+  // An acceptor stalled on EMFILE/ENFILE is waiting for exactly this fd;
+  // interrupt its backoff so it retries now.
+  if (accept_stalled_.load(std::memory_order_relaxed) &&
+      accept_wake_[1] >= 0) {
+    const char b = 'x';
+    [[maybe_unused]] ssize_t n = ::write(accept_wake_[1], &b, 1);
+  }
 }
 
 void SocketServer::WorkerLoop(Worker* worker) {
@@ -302,24 +537,12 @@ void SocketServer::WorkerLoop(Worker* worker) {
     if (stopping_.load()) break;
 
     if (fds[0].revents & POLLIN) {
-      char drain[64];
-      while (::read(worker->wake_rd, drain, sizeof(drain)) > 0) {
-      }
-      std::vector<int> incoming;
-      {
-        std::lock_guard<std::mutex> lock(worker->mu);
-        incoming.swap(worker->mailbox);
-      }
-      for (const int fd : incoming) {
-        auto conn = std::make_unique<Connection>();
-        conn->fd = fd;
-        worker->conns.push_back(std::move(conn));
-        active_connections_.fetch_add(1, std::memory_order_relaxed);
-      }
+      DrainWakePipe(worker->wake_rd);
+      AdoptIncoming(worker);
     }
 
-    // Iterate backwards so CloseConnection's erase cannot skip an entry.
-    // fds[i + 1] corresponds to conns[i] for the pre-mailbox prefix.
+    // Iterate backwards so CloseConnection's swap-remove cannot skip an
+    // entry. fds[i + 1] corresponds to conns[i] for the pre-mailbox prefix.
     const size_t polled = fds.size() - 1;
     for (size_t i = polled; i-- > 0;) {
       if (i >= worker->conns.size()) continue;
@@ -366,6 +589,7 @@ void SocketServer::WorkerLoop(Worker* worker) {
         if (alive && !conn->wr.empty()) alive = FlushWrites(conn);
         if (conn->rd.size() == rd_before) break;  // nothing consumable left
       }
+      MaybeReleaseBuffers(conn);
       // peer_eof close only fires once wr is fully flushed, and the cycle
       // above only leaves wr empty when no complete frame remains — so no
       // buffered command is ever dropped.
@@ -373,6 +597,130 @@ void SocketServer::WorkerLoop(Worker* worker) {
           ((conn->closing || conn->peer_eof) && conn->wr.empty())) {
         CloseConnection(worker, i);
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epoll burst backend
+// ---------------------------------------------------------------------------
+
+void SocketServer::UpdateEpollInterest(Worker* worker, Connection* conn,
+                                       uint32_t desired) {
+  if (desired == conn->armed) return;
+  epoll_event ev{};
+  ev.events = desired;
+  ev.data.ptr = conn;
+  if (::epoll_ctl(worker->epfd, EPOLL_CTL_MOD, conn->fd, &ev) == 0) {
+    conn->armed = desired;
+  }
+}
+
+void SocketServer::ServiceConnection(Worker* worker, Connection* conn,
+                                     uint32_t revents,
+                                     std::vector<char>* read_buf,
+                                     std::vector<Command>* cmds,
+                                     std::vector<std::string>* segments) {
+  if (revents & EPOLLERR) {
+    CloseConnection(worker, conn->index);
+    return;
+  }
+  bool alive = true;
+  // Drain the socket. EPOLLHUP can coexist with readable data (the peer
+  // closed both directions after pipelining), so it gates like POLLIN; the
+  // recv() == 0 below records the EOF.
+  if (!conn->closing && !conn->peer_eof &&
+      (revents & (EPOLLIN | EPOLLHUP)) &&
+      conn->rd.size() <= config_.max_read_buffer) {
+    while (true) {
+      const ssize_t n = ::recv(conn->fd, read_buf->data(),
+                               read_buf->size(), 0);
+      if (n > 0) {
+        conn->rd.append(read_buf->data(), static_cast<size_t>(n));
+        if (conn->rd.size() > config_.max_read_buffer) break;
+        continue;
+      }
+      if (n == 0) {
+        conn->peer_eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      alive = false;
+      break;
+    }
+  }
+  // Push out any bytes a previous wakeup left queued before generating more.
+  if (alive && !conn->wr.empty()) alive = FlushWrites(conn);
+  // Burst cycle: parse a burst, hand it to the handler as one batch (one
+  // shard-lock acquisition per shard per burst downstream), writev the
+  // response segments, repeat until the buffered frames are gone or write
+  // backpressure holds (EPOLLOUT resumes the cycle on a later event). The
+  // parsed Commands alias rd, so compaction waits until the cycle ends.
+  // Like the poll loop, this runs even after EOF: pipelined sessions that
+  // FIN immediately still get every buffered response.
+  while (alive && !conn->closing &&
+         conn->wr.size() - conn->wr_offset < config_.max_write_buffer) {
+    const size_t frames = CollectBurst(conn, cmds);
+    if (frames == 0) break;
+    segments->clear();
+    if (!handler_->HandleBatch(cmds->data(), frames, segments)) {
+      conn->closing = true;  // quit: flush what was produced, then close
+    }
+    if (alive) alive = FlushSegments(conn, *segments);
+  }
+  if (conn->rd_offset > 0) {
+    conn->rd.erase(0, conn->rd_offset);
+    conn->rd_offset = 0;
+  }
+  // Abuse guard, same rule as DrainCommands: a frame that cannot complete
+  // within the read cap — and is not merely waiting out write
+  // backpressure — means a broken or hostile client.
+  if (alive && !conn->closing &&
+      conn->wr.size() - conn->wr_offset < config_.max_write_buffer &&
+      conn->rd.size() > config_.max_read_buffer) {
+    conn->closing = true;
+  }
+  MaybeReleaseBuffers(conn);
+  if (!alive || ((conn->closing || conn->peer_eof) && conn->wr.empty())) {
+    CloseConnection(worker, conn->index);
+    return;
+  }
+  uint32_t desired = 0;
+  if (!conn->closing && !conn->peer_eof &&
+      conn->rd.size() <= config_.max_read_buffer) {
+    desired |= EPOLLIN;
+  }
+  if (conn->wr_offset < conn->wr.size()) desired |= EPOLLOUT;
+  UpdateEpollInterest(worker, conn, desired);
+}
+
+void SocketServer::WorkerLoopEpoll(Worker* worker) {
+  std::vector<char> read_buf(kReadChunk);
+  std::vector<Command> cmds;           // reused across bursts
+  std::vector<std::string> segments;   // reused across bursts
+  epoll_event events[kEpollEvents];
+  while (!stopping_.load()) {
+    const int rc = ::epoll_wait(worker->epfd, events, kEpollEvents, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load()) break;
+    for (int e = 0; e < rc; ++e) {
+      if (events[e].data.ptr == nullptr) {
+        // Wake pipe: drain it (it must stay level-clean) and adopt any
+        // mailbox fds. Stop() is handled by the loop condition.
+        DrainWakePipe(worker->wake_rd);
+        AdoptIncoming(worker);
+        continue;
+      }
+      // Servicing may close other slots only via this very event, never a
+      // different connection, and epoll reports each fd at most once per
+      // wait — so the Connection pointers in events[] stay valid.
+      auto* conn = static_cast<Connection*>(events[e].data.ptr);
+      ServiceConnection(worker, conn, events[e].events, &read_buf, &cmds,
+                        &segments);
     }
   }
 }

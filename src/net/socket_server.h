@@ -1,18 +1,31 @@
-// Poll-based TCP front: one acceptor thread plus N worker threads, each
-// worker owning its connections outright (read buffer, write buffer, parser
-// state), so no connection state is ever shared between threads. The layer
-// knows nothing about caches — it feeds parsed Commands to a CommandHandler
-// and writes back whatever the handler appended.
+// TCP front: one acceptor thread plus N worker threads, each worker owning
+// its connections outright (read buffer, write buffer, parser state), so no
+// connection state is ever shared between threads. The layer knows nothing
+// about caches — it feeds parsed Commands to a CommandHandler and writes
+// back whatever the handler appended.
 //
-// Connection lifecycle:
-//  - The acceptor poll()s the listen socket, accepts, sets O_NONBLOCK +
-//    TCP_NODELAY, and hands the fd to a worker round-robin via a mutexed
-//    mailbox + wake pipe.
-//  - A worker poll()s its wake pipe and every connection (POLLIN always,
-//    POLLOUT while the write buffer is non-empty). Reads append to the
-//    connection's read buffer; the parse loop then drains every complete
-//    pipelined frame, calling the handler per command. Partial frames stay
-//    buffered; partial writes stay queued.
+// Two event-loop backends, selected by SocketServerConfig::backend:
+//  - kEpoll (default): each worker owns an epoll instance; connections are
+//    registered once at adoption, and interest (EPOLLIN/EPOLLOUT) is only
+//    re-armed via EPOLL_CTL_MOD when it actually changes — no per-iteration
+//    fd-set rebuild. Each wakeup runs a run-to-completion burst: drain the
+//    socket, parse up to max_burst_frames pipelined frames, hand the whole
+//    burst to CommandHandler::HandleBatch (one per-shard lock per burst
+//    downstream), then flush the response segments with writev scatter-
+//    gather straight from the handler's segments — no concatenation copy.
+//  - kPoll: the original poll(2) loop, kept as the A/B baseline; it rebuilds
+//    its pollfd array per wakeup and calls Handle() per command.
+//
+// Connection lifecycle (both backends):
+//  - The acceptor poll()s the listen socket, drains accept4 until EAGAIN in
+//    batches, sets O_NONBLOCK + TCP_NODELAY, and hands each fd to the
+//    least-loaded worker via a mutexed mailbox + wake pipe. On EMFILE or
+//    ENFILE it backs off polling the wake pipe (so Stop() and fd-freeing
+//    closes interrupt the backoff instead of waiting out a sleep).
+//  - Reads append to the connection's read buffer; the parse loop drains
+//    every complete pipelined frame. Partial frames stay buffered; partial
+//    writes stay queued. Buffers that ballooned past
+//    buffer_shrink_threshold release their capacity once they empty.
 //  - `quit` (handler returns false) flushes the pending write buffer and
 //    closes. A read buffer driven past its cap without completing a frame
 //    closes the connection (protocol abuse guard).
@@ -37,22 +50,57 @@ class CommandHandler {
   // Appends the response for `cmd` (if any) to *out. Returns false to close
   // the connection after *out is flushed (quit).
   virtual bool Handle(const Command& cmd, std::string* out) = 0;
+  // Handles a burst of pipelined commands, appending one response segment
+  // per command (a segment may be empty, e.g. noreply) so the caller can
+  // writev the segments without concatenating them. Commands must be
+  // processed in array order (pipelined clients rely on response order and
+  // read-your-write within a burst). Returns false to close the connection
+  // after the segments produced so far are flushed; remaining commands are
+  // dropped, matching the sequential quit semantics. The default forwards
+  // to Handle() one command at a time; handlers with a cheaper batched path
+  // (per-shard lock amortization) override it.
+  virtual bool HandleBatch(const Command* cmds, size_t count,
+                           std::vector<std::string>* segments) {
+    for (size_t i = 0; i < count; ++i) {
+      segments->emplace_back();
+      if (!Handle(cmds[i], &segments->back())) return false;
+    }
+    return true;
+  }
+};
+
+enum class SocketBackend : uint8_t {
+  kPoll,   // original poll(2) loop: pollfd rebuild per wakeup, per-command
+           // Handle() — the A/B baseline
+  kEpoll,  // epoll + burst batching: register-once, HandleBatch, writev
 };
 
 struct SocketServerConfig {
   uint16_t port = 0;  // 0 = ephemeral; the bound port is port() after Start
   size_t num_workers = 2;
   int backlog = 128;
+  SocketBackend backend = SocketBackend::kEpoll;
   // Read-buffer cap: must fit a full storage frame (line + max value + 2).
   size_t max_read_buffer = kMaxLineBytes + kMaxValueBytes + 16;
   // Write-buffer cap: once this many response bytes are pending, the
   // worker stops parsing further pipelined commands until the peer drains
   // some (a non-reading client must not balloon server memory). Parsing
   // resumes automatically after a flush makes room. The check runs between
-  // commands, so the true per-connection bound is this cap plus one
-  // command's worst-case response — kMaxKeysPerGet × kMaxValueBytes for a
-  // multiget of maximal values.
+  // commands (poll) or bursts (epoll), so the true per-connection bound is
+  // this cap plus one command's or burst's worst-case response — both
+  // bounded by kMaxKeysPerGet × kMaxValueBytes (a burst is capped at
+  // kMaxKeysPerGet key-ops, see max_burst_frames).
   size_t max_write_buffer = 4 * (1 << 20);
+  // Epoll backend: max pipelined frames handed to one HandleBatch call.
+  // A burst is additionally capped at kMaxKeysPerGet key-operations (a
+  // multiget counts each key), so a burst's worst-case response volume
+  // never exceeds the single-command worst case the write cap documents.
+  size_t max_burst_frames = 64;
+  // A connection buffer whose capacity grew beyond this releases its
+  // memory once it empties (per-connection high-water-mark bloat would
+  // otherwise persist for the connection's lifetime — at 10k connections
+  // one large burst each would pin gigabytes). 0 disables shrinking.
+  size_t buffer_shrink_threshold = 256 * 1024;
 };
 
 class SocketServer {
@@ -77,20 +125,59 @@ class SocketServer {
   [[nodiscard]] uint64_t total_connections() const {
     return total_connections_.load();
   }
+  // Test hooks. acceptor_loop_iterations counts acceptor wakeups (a spin
+  // regression shows up as an unbounded rate); buffer_releases counts
+  // connection buffers whose capacity was returned to the allocator.
+  [[nodiscard]] uint64_t acceptor_loop_iterations() const {
+    return acceptor_iterations_.load();
+  }
+  [[nodiscard]] uint64_t buffer_releases() const {
+    return buffer_releases_.load();
+  }
 
  private:
   struct Connection;
   struct Worker;
 
   void AcceptLoop();
-  void WorkerLoop(Worker* worker);
+  // Distributes a batch of accepted fds to the least-loaded workers (one
+  // mailbox lock and one wake byte per worker touched, not per fd).
+  void DispatchAccepted(std::vector<int>* fds);
+  void WorkerLoop(Worker* worker);        // poll(2) backend
+  void WorkerLoopEpoll(Worker* worker);   // epoll burst backend
+  // Moves mailbox fds into owned connections (registering them with the
+  // worker's epoll instance when it has one).
+  void AdoptIncoming(Worker* worker);
+  // Epoll backend: full service of one connection event — drain reads,
+  // flush, run the burst cycle (CollectBurst → HandleBatch →
+  // FlushSegments), then close or re-arm interest.
+  void ServiceConnection(Worker* worker, Connection* conn, uint32_t revents,
+                         std::vector<char>* read_buf,
+                         std::vector<Command>* cmds,
+                         std::vector<std::string>* segments);
+  // Parses up to max_burst_frames complete frames (capped at kMaxKeysPerGet
+  // key-ops) from the read buffer into *cmds. The parsed Commands alias the
+  // read buffer; the caller compacts it only after the burst is handled.
+  size_t CollectBurst(Connection* conn, std::vector<Command>* cmds);
+  // Re-arms the connection's epoll interest via EPOLL_CTL_MOD, only when
+  // the desired event set differs from what is currently armed.
+  static void UpdateEpollInterest(Worker* worker, Connection* conn,
+                                  uint32_t desired);
   // Parse + handle complete frames in the read buffer until none remain or
   // the write buffer hits its cap (backpressure; complete frames may stay
   // buffered and are resumed after a flush). Returns false when the
-  // connection must close (quit or protocol abuse).
+  // connection must close (quit or protocol abuse). Poll backend only.
   bool DrainCommands(Connection* conn);
   // Non-blocking flush of the write buffer. Returns false on a dead socket.
   static bool FlushWrites(Connection* conn);
+  // Non-blocking writev of the queued write buffer plus the response
+  // segments, scatter-gather, no concatenation. Unsent segment bytes spill
+  // into the write buffer. Returns false on a dead socket.
+  static bool FlushSegments(Connection* conn,
+                            const std::vector<std::string>& segments);
+  // Releases a drained connection buffer's capacity once it exceeds
+  // buffer_shrink_threshold (counted in buffer_releases_).
+  void MaybeReleaseBuffers(Connection* conn);
   void CloseConnection(Worker* worker, size_t index);
 
   SocketServerConfig config_;
@@ -102,12 +189,16 @@ class SocketServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
+  // True while the acceptor is backing off on EMFILE/ENFILE; closes write a
+  // wake byte so the acceptor retries as soon as an fd is actually free.
+  std::atomic<bool> accept_stalled_{false};
   std::atomic<size_t> active_connections_{0};
   std::atomic<uint64_t> total_connections_{0};
+  std::atomic<uint64_t> acceptor_iterations_{0};
+  std::atomic<uint64_t> buffer_releases_{0};
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread acceptor_;
-  size_t next_worker_ = 0;
 };
 
 }  // namespace net

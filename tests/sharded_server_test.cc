@@ -233,5 +233,144 @@ TEST(ShardedServerTest, ManualRebalanceConservesAndEvens) {
   }
 }
 
+// --- Batch API equivalence -------------------------------------------------
+
+// Two identical servers replay the same scripted op stream, one through the
+// scalar Get/Mutate calls and one through GetBatch/MutateBatch in bursts of
+// awkward sizes. Batching groups ops by shard but must change nothing
+// observable: every per-op Outcome, and the counters at every aggregation
+// level, must be bit-identical. Rebalance is off because the batched path
+// intentionally defers the op-count bump to burst end; with a nonzero
+// interval the rebalance would land mid-burst on one side and post-burst on
+// the other.
+TEST(ShardedServerTest, BatchedOpsMatchSequentialBitExactly) {
+  const ShardedServerConfig config =
+      HammerConfig(/*num_shards=*/4, /*rebalance_interval=*/0);
+  ShardedCacheServer sequential(config);
+  ShardedCacheServer batched(config);
+  for (ShardedCacheServer* server : {&sequential, &batched}) {
+    server->AddApp(kAppA, kReservationA);
+    server->AddApp(kAppB, kReservationB);
+  }
+
+  const ZipfTable zipf(3000, 0.9);
+  Rng rng(0xBA7C4);
+  // Alternate mutation bursts (demand fills + touches + erases) and get
+  // bursts; awkward burst sizes so shard runs split at odd boundaries.
+  const size_t kBurstSizes[] = {1, 7, 37, 64, 3, 50};
+  size_t burst_pick = 0;
+  std::vector<ShardedCacheServer::BatchGet> gets;
+  std::vector<ShardedCacheServer::BatchMutation> mutations;
+  for (int round = 0; round < 300; ++round) {
+    const size_t burst = kBurstSizes[burst_pick++ % 6];
+    const bool mutate_round = round % 2 == 1;
+    gets.clear();
+    mutations.clear();
+    for (size_t i = 0; i < burst; ++i) {
+      const uint32_t app = rng.NextBernoulli(0.7) ? kAppA : kAppB;
+      const ItemMeta item = MakeItem(zipf.Sample(rng));
+      if (mutate_round) {
+        const uint64_t pick = rng.NextBounded(10);
+        const MutateOp op = pick < 7   ? MutateOp::kFill
+                            : pick < 9 ? MutateOp::kTouch
+                                       : MutateOp::kErase;
+        mutations.push_back({app, op, item});
+      } else {
+        gets.push_back({app, item});
+      }
+    }
+    if (mutate_round) {
+      std::vector<Outcome> batch_out(mutations.size());
+      batched.MutateBatch(mutations.data(), mutations.size(),
+                          batch_out.data());
+      for (size_t i = 0; i < mutations.size(); ++i) {
+        const Outcome seq_out = sequential.Mutate(
+            mutations[i].app_id, mutations[i].op, mutations[i].item);
+        EXPECT_EQ(batch_out[i].hit, seq_out.hit) << "round " << round;
+        EXPECT_EQ(batch_out[i].cacheable, seq_out.cacheable)
+            << "round " << round;
+        EXPECT_EQ(batch_out[i].region, seq_out.region) << "round " << round;
+      }
+    } else {
+      std::vector<Outcome> batch_out(gets.size());
+      batched.GetBatch(gets.data(), gets.size(), batch_out.data());
+      for (size_t i = 0; i < gets.size(); ++i) {
+        const Outcome seq_out = sequential.Get(gets[i].app_id, gets[i].item);
+        EXPECT_EQ(batch_out[i].hit, seq_out.hit) << "round " << round;
+        EXPECT_EQ(batch_out[i].region, seq_out.region) << "round " << round;
+      }
+    }
+  }
+
+  ExpectStatsEqual(sequential.MergedStats(), batched.MergedStats(), "merged");
+  ExpectStatsEqual(sequential.AppStats(kAppA), batched.AppStats(kAppA),
+                   "appA");
+  ExpectStatsEqual(sequential.AppStats(kAppB), batched.AppStats(kAppB),
+                   "appB");
+  for (size_t shard = 0; shard < sequential.num_shards(); ++shard) {
+    ExpectStatsEqual(sequential.ShardStats(shard), batched.ShardStats(shard),
+                     "shard");
+  }
+  // The stream must actually have exercised misses and shadow traffic for
+  // the equality to mean anything.
+  const ClassStats merged = batched.MergedStats();
+  EXPECT_GT(merged.gets, 0u);
+  EXPECT_LT(merged.hits, merged.gets);
+}
+
+// Concurrent batch hammer: several threads push overlapping batches at one
+// server (the TSan job sanitizes this via the `concurrency` label). The
+// per-burst counter deltas published at batch end must not lose updates:
+// the exact MergedStats tally has to equal the sum of what threads issued.
+TEST(ShardedServerTest, ConcurrentBatchesKeepCountersExact) {
+  ShardedCacheServer server(HammerConfig(/*num_shards=*/4,
+                                         /*rebalance_interval=*/2048));
+  server.AddApp(kAppA, kReservationA);
+  server.AddApp(kAppB, kReservationB);
+
+  constexpr int kThreads = 4;
+  constexpr size_t kBursts = 120;
+  constexpr size_t kBurstOps = 48;
+  const ZipfTable zipf(2000, 0.9);
+  std::atomic<uint64_t> issued_gets{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0xC0FFEEULL + static_cast<uint64_t>(t));
+      std::vector<ShardedCacheServer::BatchGet> gets;
+      std::vector<ShardedCacheServer::BatchMutation> fills;
+      std::vector<Outcome> outcomes(kBurstOps);
+      uint64_t local_gets = 0;
+      for (size_t b = 0; b < kBursts; ++b) {
+        gets.clear();
+        for (size_t i = 0; i < kBurstOps; ++i) {
+          const uint32_t app = rng.NextBernoulli(0.5) ? kAppA : kAppB;
+          gets.push_back({app, MakeItem(zipf.Sample(rng))});
+        }
+        server.GetBatch(gets.data(), gets.size(), outcomes.data());
+        local_gets += gets.size();
+        // Demand-fill the misses through the mutation batch.
+        fills.clear();
+        for (size_t i = 0; i < gets.size(); ++i) {
+          if (!outcomes[i].hit) {
+            fills.push_back({gets[i].app_id, MutateOp::kFill, gets[i].item});
+          }
+        }
+        if (!fills.empty()) {
+          server.MutateBatch(fills.data(), fills.size(), outcomes.data());
+        }
+      }
+      issued_gets.fetch_add(local_gets);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const ClassStats merged = server.MergedStats();
+  EXPECT_EQ(merged.gets, issued_gets.load());
+  EXPECT_EQ(SumShardReservations(server, kAppA), kReservationA);
+  EXPECT_EQ(SumShardReservations(server, kAppB), kReservationB);
+}
+
 }  // namespace
 }  // namespace cliffhanger
