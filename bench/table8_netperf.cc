@@ -21,6 +21,13 @@
 //        --requests N         logical requests per connection (default 20000)
 //        --universe N         key universe per connection stream (default 20000)
 //        --get-fraction F     GET share of the mix (default 0.967)
+//        --value-size LIST    comma-separated fixed value sizes, e.g.
+//                             64,1024,65536 — one row per (connections,
+//                             size) pair named netperf/cN/vS, overriding
+//                             the trace's own value sizes; makes the
+//                             GET-hit serving path's byte-movement cost
+//                             visible at each payload size
+//                             (default: trace-driven sizes)
 //        --mix                blended-verb mode: get/set/incr/touch/cas with
 //                             per-op latency percentile rows (same JSON
 //                             shape; rows named netperf/mix/cN/<op>)
@@ -65,6 +72,9 @@ struct Options {
   uint64_t requests = 20000;
   uint64_t universe = 20000;
   double get_fraction = 0.967;
+  // Fixed value sizes to sweep (empty = the trace's own sizes). Each size
+  // gets its own row per connection count.
+  std::vector<uint32_t> value_sizes;
   bool mix = false;  // blended-verb mode with per-op latency rows
   size_t workers = 2;
   size_t shards = 4;
@@ -75,6 +85,7 @@ struct Options {
 struct Row {
   std::string name;
   size_t connections = 0;
+  uint32_t value_size = 0;  // 0 = trace-driven sizes
   uint64_t ops = 0;          // client calls actually issued (gets + sets)
   uint64_t hits = 0;
   uint64_t gets = 0;
@@ -93,9 +104,21 @@ struct WorkerResult {
   uint64_t errors = 0;
 };
 
+// With a fixed value size the sweep measures the GET-hit serving path at
+// that payload, so the working set must actually fit: cap the key universe
+// so universe * (value + per-item overhead) stays within half the
+// reservation. Deterministic, and recorded nowhere else — the row's
+// hit_rate field shows the effect.
+uint64_t UniverseForValueSize(const Options& opt, uint32_t value_size) {
+  if (value_size == 0) return opt.universe;
+  const uint64_t fits = kReservation / 2 / (value_size + 64);
+  return std::max<uint64_t>(16, std::min<uint64_t>(opt.universe, fits));
+}
+
 // One connection's closed loop: replay a private Zipf stream demand-fill.
 WorkerResult RunConnection(const std::string& host, uint16_t port,
-                           const Options& opt, size_t conn_index) {
+                           const Options& opt, uint32_t value_size,
+                           size_t conn_index) {
   WorkerResult result;
   net::AsciiClient client;
   if (!client.Connect(host, port)) {
@@ -107,7 +130,7 @@ WorkerResult RunConnection(const std::string& host, uint16_t port,
 
   ZipfTraceSpec spec;
   spec.requests = opt.requests;
-  spec.universe = opt.universe;
+  spec.universe = UniverseForValueSize(opt, value_size);
   spec.zipf_alpha = 0.99;
   spec.seed = opt.seed + 0x1000 * (conn_index + 1);
   spec.app_id = kAppId;
@@ -118,6 +141,7 @@ WorkerResult RunConnection(const std::string& host, uint16_t port,
   using clock = std::chrono::steady_clock;
   for (const Request& r : trace) {
     const std::string key = net::ReplayKeyString(r.key);
+    const uint32_t vsize = value_size != 0 ? value_size : r.value_size;
     if (r.is_get()) {
       ++result.gets;
       const auto begin = clock::now();
@@ -128,7 +152,7 @@ WorkerResult RunConnection(const std::string& host, uint16_t port,
       if (value.has_value()) {
         ++result.hits;
       } else {
-        const std::string data = net::ReplayValueBytes(r.key, r.value_size);
+        const std::string data = net::ReplayValueBytes(r.key, vsize);
         const auto set_begin = clock::now();
         if (client.Set(key, data) != net::AsciiClient::StoreResult::kStored) {
           ++result.errors;
@@ -139,7 +163,7 @@ WorkerResult RunConnection(const std::string& host, uint16_t port,
                 .count());
       }
     } else {
-      const std::string data = net::ReplayValueBytes(r.key, r.value_size);
+      const std::string data = net::ReplayValueBytes(r.key, vsize);
       const auto begin = clock::now();
       if (client.Set(key, data) != net::AsciiClient::StoreResult::kStored) {
         ++result.errors;
@@ -291,10 +315,12 @@ double Percentile(const std::vector<double>& sorted, double p) {
 }
 
 Row RunLoad(const std::string& host, uint16_t port, const Options& opt,
-            size_t connections) {
-  std::fprintf(stderr, "netperf: %zu connection(s), %llu requests each...\n",
-               connections,
-               static_cast<unsigned long long>(opt.requests));
+            size_t connections, uint32_t value_size) {
+  std::fprintf(stderr,
+               "netperf: %zu connection(s), %llu requests each%s%s...\n",
+               connections, static_cast<unsigned long long>(opt.requests),
+               value_size != 0 ? ", value size " : "",
+               value_size != 0 ? std::to_string(value_size).c_str() : "");
   std::vector<WorkerResult> results(connections);
   const auto begin = std::chrono::steady_clock::now();
   {
@@ -302,7 +328,7 @@ Row RunLoad(const std::string& host, uint16_t port, const Options& opt,
     threads.reserve(connections);
     for (size_t c = 0; c < connections; ++c) {
       threads.emplace_back([&, c] {
-        results[c] = RunConnection(host, port, opt, c);
+        results[c] = RunConnection(host, port, opt, value_size, c);
       });
     }
     for (auto& thread : threads) thread.join();
@@ -311,7 +337,9 @@ Row RunLoad(const std::string& host, uint16_t port, const Options& opt,
 
   Row row;
   row.connections = connections;
+  row.value_size = value_size;
   row.name = "netperf/c" + std::to_string(connections);
+  if (value_size != 0) row.name += "/v" + std::to_string(value_size);
   std::vector<double> all;
   uint64_t errors = 0;
   for (const WorkerResult& r : results) {
@@ -464,14 +492,19 @@ void PrintJson(const Options& opt, const std::vector<Row>& rows) {
   std::printf("  \"results\": [\n");
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
+    std::string value_size_field;
+    if (r.value_size != 0) {
+      value_size_field =
+          "\"value_size\": " + std::to_string(r.value_size) + ", ";
+    }
     // "ops", not "requests": gets plus demand-fill sets, i.e. the number
     // of client calls actually measured — hit-rate dependent by design.
     std::printf(
-        "    {\"name\": \"%s\", \"connections\": %zu, \"ops\": %llu, "
+        "    {\"name\": \"%s\", \"connections\": %zu, %s\"ops\": %llu, "
         "\"gets\": %llu, \"hit_rate\": %.4f, \"seconds\": %.6f, "
         "\"ops_per_sec\": %.1f, \"mean_us\": %.2f, \"p50_us\": %.2f, "
         "\"p95_us\": %.2f, \"p99_us\": %.2f}%s\n",
-        r.name.c_str(), r.connections,
+        r.name.c_str(), r.connections, value_size_field.c_str(),
         static_cast<unsigned long long>(r.ops),
         static_cast<unsigned long long>(r.gets),
         r.gets == 0 ? 0.0
@@ -551,6 +584,29 @@ int Main(int argc, char** argv) {
       uint64_t parsed = 0;
       if (v == nullptr || !ParseUint(v, &parsed)) return 1;
       opt.universe = parsed;
+    } else if (std::strcmp(argv[i], "--value-size") == 0) {
+      const char* v = next();
+      if (v == nullptr) return 1;
+      // Comma-separated fixed sizes, one row per size: "64,1024,65536".
+      opt.value_sizes.clear();
+      std::string token;
+      for (const char* p = v;; ++p) {
+        if (*p != '\0' && *p != ',') {
+          token.push_back(*p);
+          continue;
+        }
+        uint64_t parsed = 0;
+        if (!ParseUint(token.c_str(), &parsed) || parsed == 0 ||
+            parsed > 1024 * 1024) {
+          std::fprintf(stderr,
+                       "--value-size expects sizes in [1, 1MiB], "
+                       "comma-separated (got \"%s\")\n", v);
+          return 1;
+        }
+        opt.value_sizes.push_back(static_cast<uint32_t>(parsed));
+        token.clear();
+        if (*p == '\0') break;
+      }
     } else if (std::strcmp(argv[i], "--mix") == 0) {
       opt.mix = true;
     } else if (std::strcmp(argv[i], "--get-fraction") == 0) {
@@ -594,7 +650,7 @@ int Main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--connect HOST:PORT] [--connections N[,N...]] "
                    "[--backend epoll|poll] [--requests N] [--universe N] "
-                   "[--get-fraction F] [--mix] "
+                   "[--get-fraction F] [--value-size N[,N...]] [--mix] "
                    "[--workers N] [--shards N] [--mode default|cliffhanger]\n",
                    argv[0]);
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 1;
@@ -605,11 +661,25 @@ int Main(int argc, char** argv) {
     return 1;
   }
 
-  std::vector<size_t> sweep = opt.connections;
-  if (sweep.empty()) sweep = {1, 2, 4};
+  std::vector<size_t> conn_sweep = opt.connections;
+  if (conn_sweep.empty()) conn_sweep = {1, 2, 4};
+  // One (connections, value_size) pair per row; value_size 0 means the
+  // trace's own sizes. Each in-process row gets a fresh server — fixed
+  // sizes reuse the same key universe, so sharing one cache across sizes
+  // would serve size-A payloads to the size-B pass.
+  std::vector<std::pair<size_t, uint32_t>> sweep;
+  for (const size_t connections : conn_sweep) {
+    if (opt.mix || opt.value_sizes.empty()) {
+      sweep.emplace_back(connections, 0);
+    } else {
+      for (const uint32_t value_size : opt.value_sizes) {
+        sweep.emplace_back(connections, value_size);
+      }
+    }
+  }
 
   std::vector<Row> rows;
-  for (const size_t connections : sweep) {
+  for (const auto& [connections, value_size] : sweep) {
     std::string host = opt.connect_host;
     uint16_t port = opt.connect_port;
     // In-process mode: a fresh server per row, so rows are independent.
@@ -620,6 +690,7 @@ int Main(int argc, char** argv) {
       ShardedServerConfig config;
       config.server = opt.cliffhanger_mode ? CliffhangerServerConfig()
                                            : DefaultServerConfig();
+      config.server.store_values = true;  // real bytes, zero-copy GET path
       config.num_shards = opt.shards;
       config.rebalance_interval_ops = 100000;
       server = std::make_unique<ShardedCacheServer>(config);
@@ -635,8 +706,8 @@ int Main(int argc, char** argv) {
       // The sweep's largest row must not trip listen-queue overflow when
       // all its connections dial in at once.
       net_config.backlog = static_cast<int>(
-          std::max<size_t>(128, *std::max_element(sweep.begin(),
-                                                  sweep.end())));
+          std::max<size_t>(128, *std::max_element(conn_sweep.begin(),
+                                                  conn_sweep.end())));
       socket_server =
           std::make_unique<net::SocketServer>(net_config, adapter.get());
       std::string error;
@@ -653,7 +724,7 @@ int Main(int argc, char** argv) {
       rows.insert(rows.end(), std::make_move_iterator(mix_rows.begin()),
                   std::make_move_iterator(mix_rows.end()));
     } else {
-      rows.push_back(RunLoad(host, port, opt, connections));
+      rows.push_back(RunLoad(host, port, opt, connections, value_size));
     }
     if (socket_server) socket_server->Stop();
   }

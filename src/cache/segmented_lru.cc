@@ -66,12 +66,15 @@ void SegmentedLru::Erase(uint64_t key) {
   Detach(idx);
   index_.Erase(key);
   arena_.Free(idx);
+  if (listener_ != nullptr) listener_->OnKeyGone(key);
 }
 
 void SegmentedLru::EraseHandle(Handle h) {
+  const uint64_t key = arena_[h].key;
   Detach(h);
-  index_.Erase(arena_[h].key);
+  index_.Erase(key);
   arena_.Free(h);
+  if (listener_ != nullptr) listener_->OnKeyGone(key);
 }
 
 bool SegmentedLru::MoveToFront(uint64_t key, size_t target_seg) {
@@ -112,11 +115,21 @@ void SegmentedLru::Cascade(size_t seg) {
       Detach(victim);
       if (i + 1 < segments_.size()) {
         // Pure relink: the node index (and the key's index entry) survive
-        // the demotion; only the segment chain and charge change.
+        // the demotion; only the segment chain and charge change. Crossing
+        // the physical -> keys-only boundary is the moment the value bytes
+        // stop being resident: tell the payload owner to reclaim eagerly.
+        // (Listener check first: the listener-free simulation paths pay
+        // one predictable branch here, nothing more.)
         AttachFront(i + 1, victim);
+        if (listener_ != nullptr && !s.config.keys_only &&
+            segments_[i + 1].config.keys_only) {
+          listener_->OnValueDrop(arena_[victim].key);
+        }
       } else {
-        index_.Erase(arena_[victim].key);
+        const uint64_t key = arena_[victim].key;
+        index_.Erase(key);
         arena_.Free(victim);
+        if (listener_ != nullptr) listener_->OnKeyGone(key);
       }
     }
   }

@@ -38,6 +38,25 @@ class SegmentedLru {
  public:
   enum class Unit : uint8_t { kBytes, kItems };
 
+  // Eviction observer for payload owners (cache/value_store.h). The queue
+  // itself stores no value bytes; a listener tracking which keys are
+  // physically resident needs exactly two signals:
+  //  - OnValueDrop: a cascade demoted the key across the physical ->
+  //    keys-only boundary. The key's value bytes are no longer resident
+  //    (only its shadow ghost remains); reclaim them eagerly.
+  //  - OnKeyGone: the key left the structure entirely (final eviction off
+  //    the last segment, Erase, or EraseHandle — including the
+  //    lazy-expiry erase path).
+  // Callbacks fire while the queue is mid-mutation: implementations must
+  // not call back into this SegmentedLru.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    virtual void OnValueDrop(uint64_t key) = 0;
+    virtual void OnKeyGone(uint64_t key) = 0;
+  };
+  void SetListener(Listener* listener) { listener_ = listener; }
+
   struct SegmentConfig {
     uint64_t capacity = 0;
     Unit unit = Unit::kBytes;
@@ -156,6 +175,7 @@ class SegmentedLru {
   std::vector<Segment> segments_;
   NodeArena<Node> arena_;
   FlatIndex index_;
+  Listener* listener_ = nullptr;
 };
 
 }  // namespace cliffhanger

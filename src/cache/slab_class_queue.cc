@@ -95,6 +95,7 @@ GetResult SlabClassQueue::Get(const ItemMeta& item) {
     // real memcached would have reclaimed it, so crediting the climbers
     // for it would overstate what extra memory could buy.
     lru_.EraseHandle(h);
+    result.expired = true;
     return result;
   }
   const int seg = h == SegmentedLru::kNoHandle ? -1 : lru_.HandleSegment(h);
@@ -156,6 +157,21 @@ bool SlabClassQueue::Touch(const ItemMeta& item) {
 
 void SlabClassQueue::Delete(uint64_t key) { lru_.Erase(key); }
 
+Residency SlabClassQueue::ResidencyOf(uint64_t key) const {
+  const int seg = lru_.Find(key);
+  if (seg < 0) return Residency::kAbsent;
+  return seg <= static_cast<int>(kTail) ? Residency::kPhysical
+                                        : Residency::kShadow;
+}
+
+bool SlabClassQueue::PeekPhysical(uint64_t key, uint32_t* expiry_s) const {
+  const SegmentedLru::Handle h = lru_.FindHandle(key);
+  if (h == SegmentedLru::kNoHandle) return false;
+  if (lru_.HandleSegment(h) > static_cast<int>(kTail)) return false;
+  *expiry_s = lru_.HandleExpiry(h);
+  return true;
+}
+
 uint64_t SlabClassQueue::shadow_overhead_bytes() const {
   return lru_.segment_bytes(kCliffShadow) + lru_.segment_bytes(kHillShadow);
 }
@@ -190,7 +206,8 @@ GetResult PartitionedSlabQueue::Get(const ItemMeta& item) {
   if (other_seg >= 0 && other_seg <= 2) {
     GetResult other_result = other.Get(item);
     // The inner Get may have lazily expired the entry; only a surviving
-    // physical hit counts.
+    // physical hit counts (the expiry still surfaces in the flag).
+    result.expired = result.expired || other_result.expired;
     if (!other_result.hit) return result;
     other_result.side = side == Side::kLeft ? Side::kRight : Side::kLeft;
     // Report the routed side's shadow signal if it had one; otherwise the
@@ -223,6 +240,27 @@ void PartitionedSlabQueue::Fill(const ItemMeta& item) {
 void PartitionedSlabQueue::Delete(uint64_t key) {
   left_->Delete(key);
   right_->Delete(key);
+}
+
+void PartitionedSlabQueue::SetListener(SegmentedLru::Listener* listener) {
+  left_->SetListener(listener);
+  right_->SetListener(listener);
+}
+
+Residency PartitionedSlabQueue::ResidencyOf(uint64_t key) const {
+  const Residency l = left_->ResidencyOf(key);
+  if (l == Residency::kPhysical) return l;
+  const Residency r = right_->ResidencyOf(key);
+  if (r == Residency::kPhysical) return r;
+  return l == Residency::kShadow || r == Residency::kShadow
+             ? Residency::kShadow
+             : Residency::kAbsent;
+}
+
+bool PartitionedSlabQueue::PeekPhysical(uint64_t key,
+                                        uint32_t* expiry_s) const {
+  return left_->PeekPhysical(key, expiry_s) ||
+         right_->PeekPhysical(key, expiry_s);
 }
 
 void PartitionedSlabQueue::SetCapacityBytes(uint64_t bytes) {

@@ -13,6 +13,12 @@
 
 namespace cliffhanger {
 
+// Where a key currently stands in a queue, residency-wise: physically
+// resident (value bytes live), shadow ghost (key only), or absent. Used by
+// the value store registration path (core/cache_server.cc) to decide
+// whether a just-filled item actually kept its payload.
+enum class Residency : uint8_t { kAbsent, kShadow, kPhysical };
+
 struct SlabQueueConfig {
   uint32_t chunk_size = 64;           // all items in a class cost one chunk
   InsertionPolicy policy = InsertionPolicy::kLru;
@@ -31,6 +37,19 @@ class SlabClassQueue final : public ClassQueue {
   void Fill(const ItemMeta& item) override;
   bool Touch(const ItemMeta& item) override;
   void Delete(uint64_t key) override;
+
+  // Eviction observer for the in-arena value store (threaded down to the
+  // underlying SegmentedLru; see SegmentedLru::Listener).
+  void SetListener(SegmentedLru::Listener* listener) {
+    lru_.SetListener(listener);
+  }
+  // Passive residency probe: no recency change, no expiry enforcement, no
+  // statistics.
+  [[nodiscard]] Residency ResidencyOf(uint64_t key) const;
+  // Passive read of a physically resident key's stored expiry. Returns
+  // false when the key is absent or shadow-only. Like ResidencyOf, mutates
+  // nothing — expiry enforcement stays on the access paths.
+  [[nodiscard]] bool PeekPhysical(uint64_t key, uint32_t* expiry_s) const;
 
   void SetCapacityBytes(uint64_t bytes) override;
   void SetCapacityItems(uint64_t items);
@@ -94,6 +113,13 @@ class PartitionedSlabQueue final : public ClassQueue {
   void Fill(const ItemMeta& item) override;
   bool Touch(const ItemMeta& item) override;
   void Delete(uint64_t key) override;
+
+  // Listener/residency surface, forwarded to both sides. A key lives on at
+  // most one side (Fill deletes both before inserting), so the residency
+  // probes union the sides.
+  void SetListener(SegmentedLru::Listener* listener);
+  [[nodiscard]] Residency ResidencyOf(uint64_t key) const;
+  [[nodiscard]] bool PeekPhysical(uint64_t key, uint32_t* expiry_s) const;
 
   // The byte capacity is tracked exactly (not rounded to whole chunks):
   // hill-climber credits are often smaller than one chunk, and rounding

@@ -27,6 +27,11 @@ struct GetResult {
   bool hit = false;  // value present (kPhysical or kPhysicalTail)
   HitRegion region = HitRegion::kMiss;
   Side side = Side::kLeft;
+  // True when this access lazily expired the entry (the erased-on-access
+  // path). Such an access is a full miss; the flag lets a payload-serving
+  // front count expiry-misses separately (memcached's get_expired) without
+  // keeping its own expiry records.
+  bool expired = false;
 };
 
 // Insertion discipline for the physical queue.
@@ -69,8 +74,9 @@ inline constexpr uint32_t kKeepExpiry = UINT32_MAX;
 // Full memcached item metadata as the upper layers carry it: the opaque
 // client flags, the absolute expiry and the compare-and-swap version. The
 // cache queues store only expiry_s (the piece eviction semantics depend
-// on); flags and cas live in the value side-table of whoever owns the
-// payload bytes (net::CacheAdapter for the network front end).
+// on); flags and cas ride in the value slot's header when the server runs
+// with in-arena value storage (ServerConfig::store_values — see
+// cache/value_store.h and util/value_arena.h).
 struct ItemAttrs {
   uint32_t flags = 0;
   uint32_t expiry_s = 0;  // absolute; 0 = never

@@ -6,6 +6,7 @@
 #include "cache/arc_queue.h"
 #include "cache/global_log_queue.h"
 #include "cache/lfu_queue.h"
+#include "cache/slab_class_queue.h"
 #include "util/hashing.h"
 
 namespace cliffhanger {
@@ -59,6 +60,13 @@ AppCache::AppCache(uint32_t app_id, uint64_t reservation,
     climber_ = std::make_unique<HillClimber>(
         config_.knobs.climber, HashCombine(config_.seed, app_id));
   }
+  if (config_.store_values) {
+    // Value residency is driven by the partitioned queues' eviction
+    // listener; the other schemes have no shadow/demotion callbacks.
+    assert(config_.eviction == EvictionScheme::kLru ||
+           config_.eviction == EvictionScheme::kMidpoint);
+    value_store_ = std::make_unique<ValueStore>();
+  }
   if (config_.eviction == EvictionScheme::kGlobalLog) {
     // The log owns the whole reservation outright (100% utilization).
     auto& entry = GetOrCreateEntry(0);
@@ -99,6 +107,7 @@ AppCache::ClassEntry& AppCache::GetOrCreateEntry(int slab_class) {
       pc.queue.hill_shadow_bytes = config_.hill_shadow_bytes;
       auto partitioned = std::make_unique<PartitionedSlabQueue>(pc);
       entry->partitioned = partitioned.get();
+      if (value_store_) partitioned->SetListener(value_store_.get());
       entry->queue = std::move(partitioned);
       break;
     }
@@ -159,6 +168,11 @@ Outcome AppCache::Get(const ItemMeta& item) {
 
   const int slab_class =
       SlabClassFor(ExactFootprint(item.key_size, item.value_size));
+  return GetAtClass(slab_class, item);
+}
+
+Outcome AppCache::GetAtClass(int slab_class, const ItemMeta& item) {
+  Outcome outcome;
   outcome.slab_class = slab_class;
   if (slab_class < 0) {
     outcome.cacheable = false;
@@ -175,6 +189,7 @@ Outcome AppCache::Get(const ItemMeta& item) {
   const GetResult r = entry.queue->Get(item);
   outcome.hit = r.hit;
   outcome.region = r.region;
+  outcome.expired = r.expired;
   if (r.hit) {
     ++entry.stats.hits;
     if (r.region == HitRegion::kPhysicalTail) ++entry.stats.tail_hits;
@@ -255,6 +270,236 @@ void AppCache::Delete(const ItemMeta& item) {
   if (slab_class < 0) return;
   const auto it = classes_.find(slab_class);
   if (it != classes_.end()) it->second->queue->Delete(item.key);
+}
+
+// --- Value-mode verbs ---
+
+PartitionedSlabQueue* AppCache::PartitionedFor(int slab_class) const {
+  const auto it = classes_.find(slab_class);
+  return it == classes_.end() ? nullptr : it->second->partitioned;
+}
+
+void AppCache::RegisterStoredValue(uint64_t key, int slab_class,
+                                   const void* data, uint32_t size,
+                                   uint32_t flags, uint64_t cas,
+                                   uint32_t stored_s) {
+  PartitionedSlabQueue* q = PartitionedFor(slab_class);
+  if (q == nullptr) return;
+  switch (q->ResidencyOf(key)) {
+    case Residency::kPhysical:
+      value_store_->StorePhysical(key, slab_class, data, size, flags, cas,
+                                  stored_s);
+      break;
+    case Residency::kShadow:
+      value_store_->RegisterShadow(key, slab_class);
+      break;
+    case Residency::kAbsent:
+      break;
+  }
+}
+
+ValueOutcome AppCache::GetByKey(uint64_t key, uint32_t key_size,
+                                uint32_t now_s, uint32_t flush_at_s) {
+  assert(value_store_);
+  ValueOutcome vo;
+  const ValueStore::Ref ref = value_store_->Find(key);
+  // Unknown keys probe the class a zero-byte value of this key would land
+  // in — the smallest class that fits the key itself.
+  const int slab_class = ref.found
+                             ? ref.slab_class
+                             : SlabClassFor(ExactFootprint(key_size, 0));
+
+  // flush_all enforcement happens before the counted probe, and reclaims
+  // without statistics: the old adapter's flush reclamation was likewise
+  // invisible to the core. Entries that are ALSO past their own expiry are
+  // left for the counted lazy-expiry path below so get_expired stays
+  // truthful.
+  if (ref.has_slot() && flush_at_s != 0 && now_s >= flush_at_s) {
+    PartitionedSlabQueue* q = PartitionedFor(ref.slab_class);
+    uint32_t expiry_s = 0;
+    if (q != nullptr && q->PeekPhysical(key, &expiry_s) &&
+        !ExpiredAt(expiry_s, now_s) &&
+        value_store_->Header(ref).stored_s < flush_at_s) {
+      q->Delete(key);  // the listener frees the slot and forgets the key
+      vo.flush_reclaimed = true;
+      vo.outcome.slab_class = ref.slab_class;
+      vo.outcome.cacheable = false;
+      return vo;
+    }
+  }
+
+  ItemMeta item;
+  item.key = key;
+  item.key_size = key_size;
+  item.value_size = 0;
+  item.now_s = now_s;
+  vo.outcome = GetAtClass(slab_class, item);
+  vo.expired = vo.outcome.expired;
+  if (vo.outcome.hit) {
+    // Residency invariant: a queue hit implies a live slot (shadow entries
+    // can only re-enter the physical segments through Fill).
+    const ValueStore::Ref hit_ref = value_store_->Find(key);
+    if (hit_ref.has_slot()) {
+      value_store_->FillView(hit_ref, &vo.view);
+      uint32_t expiry_s = 0;
+      PartitionedSlabQueue* q = PartitionedFor(hit_ref.slab_class);
+      if (q != nullptr) (void)q->PeekPhysical(key, &expiry_s);
+      vo.view.expiry_s = expiry_s;
+      vo.valid = true;
+    }
+  }
+  return vo;
+}
+
+ValueOutcome AppCache::PeekByKey(uint64_t key, uint32_t now_s,
+                                 uint32_t flush_at_s) {
+  assert(value_store_);
+  ValueOutcome vo;
+  const ValueStore::Ref ref = value_store_->Find(key);
+  if (!ref.has_slot()) return vo;  // absent or shadow-only: nothing resident
+  PartitionedSlabQueue* q = PartitionedFor(ref.slab_class);
+  uint32_t expiry_s = 0;
+  if (q == nullptr || !q->PeekPhysical(key, &expiry_s)) return vo;
+  if (ExpiredAt(expiry_s, now_s)) {
+    q->Delete(key);
+    vo.expired = true;
+    return vo;
+  }
+  if (flush_at_s != 0 && now_s >= flush_at_s &&
+      value_store_->Header(ref).stored_s < flush_at_s) {
+    q->Delete(key);
+    vo.flush_reclaimed = true;
+    return vo;
+  }
+  value_store_->FillView(ref, &vo.view);
+  vo.view.expiry_s = expiry_s;
+  vo.valid = true;
+  vo.outcome.slab_class = ref.slab_class;
+  return vo;
+}
+
+bool AppCache::SetValue(const ItemMeta& item, const void* data,
+                        uint32_t flags, uint64_t cas) {
+  assert(value_store_);
+  const int new_class =
+      SlabClassFor(ExactFootprint(item.key_size, item.value_size));
+  const ValueStore::Ref old = value_store_->Find(item.key);
+  if (new_class < 0) {
+    // Too large for any class: memcached drops the old incarnation
+    // entirely. Uncounted, exactly like the metadata Set's false return.
+    if (old.found) {
+      PartitionedSlabQueue* q = PartitionedFor(old.slab_class);
+      if (q != nullptr) q->Delete(item.key);
+    }
+    return false;
+  }
+  if (old.found && old.slab_class != new_class) {
+    // The key changes slab class: evict the old incarnation explicitly.
+    // (Same-class replacement needs nothing here — Fill erases first, and
+    // the listener's OnKeyGone frees the old slot.)
+    PartitionedSlabQueue* q = PartitionedFor(old.slab_class);
+    if (q != nullptr) q->Delete(item.key);
+  }
+  const bool admitted = Set(item);
+  assert(admitted);  // new_class >= 0
+  (void)admitted;
+  RegisterStoredValue(item.key, new_class, data, item.value_size, flags, cas,
+                      item.now_s);
+  return true;
+}
+
+ReplaceResult AppCache::ReplaceValue(uint64_t key, uint32_t key_size,
+                                     const void* data, uint32_t size,
+                                     uint64_t cas, uint32_t now_s) {
+  assert(value_store_);
+  const ValueStore::Ref ref = value_store_->Find(key);
+  if (!ref.has_slot()) return ReplaceResult::kFailed;
+  const int new_class = SlabClassFor(ExactFootprint(key_size, size));
+  PartitionedSlabQueue* old_q = PartitionedFor(ref.slab_class);
+  if (new_class < 0) {
+    // The rewritten object fits no class: the old incarnation dies (the
+    // adapter surfaces SERVER_ERROR for the rewrite itself).
+    if (old_q != nullptr) old_q->Delete(key);
+    return ReplaceResult::kFailed;
+  }
+  if (new_class == ref.slab_class) {
+    // Same footprint class: overwrite the slot and refresh recency without
+    // minting phantom set statistics. Flags survive the rewrite.
+    const uint32_t flags = value_store_->Header(ref).flags;
+    value_store_->RewriteInPlace(ref, data, size, flags, cas, now_s);
+    ItemMeta item;
+    item.key = key;
+    item.key_size = key_size;
+    item.value_size = size;
+    item.expiry_s = kKeepExpiry;
+    item.now_s = now_s;
+    Touch(item);
+    return ReplaceResult::kInPlace;
+  }
+  // Re-slab: preserve the stored expiry and flags across the move. This is
+  // a real re-fill, counted like a Set.
+  uint32_t expiry_s = 0;
+  if (old_q != nullptr) (void)old_q->PeekPhysical(key, &expiry_s);
+  const uint32_t flags = value_store_->Header(ref).flags;
+  if (old_q != nullptr) old_q->Delete(key);  // frees the old slot
+  ItemMeta item;
+  item.key = key;
+  item.key_size = key_size;
+  item.value_size = size;
+  item.expiry_s = expiry_s;
+  item.now_s = now_s;
+  const bool admitted = Set(item);
+  assert(admitted);  // new_class >= 0
+  (void)admitted;
+  RegisterStoredValue(key, new_class, data, size, flags, cas, now_s);
+  return ReplaceResult::kReSlabbed;
+}
+
+bool AppCache::TouchByKey(uint64_t key, uint32_t key_size, uint32_t expiry_s,
+                          uint32_t now_s, uint32_t flush_at_s) {
+  assert(value_store_);
+  const ValueStore::Ref ref = value_store_->Find(key);
+  if (!ref.has_slot()) return false;
+  PartitionedSlabQueue* q = PartitionedFor(ref.slab_class);
+  uint32_t stored_expiry_s = 0;
+  if (q == nullptr || !q->PeekPhysical(key, &stored_expiry_s)) return false;
+  if (ExpiredAt(stored_expiry_s, now_s)) {
+    q->Delete(key);
+    return false;
+  }
+  const ValueArena::SlotHeader& h = value_store_->Header(ref);
+  if (flush_at_s != 0 && now_s >= flush_at_s && h.stored_s < flush_at_s) {
+    q->Delete(key);
+    return false;
+  }
+  ItemMeta item;
+  item.key = key;
+  item.key_size = key_size;
+  item.value_size = h.value_size;
+  item.expiry_s = expiry_s;
+  item.now_s = now_s;
+  return Touch(item);
+}
+
+bool AppCache::DeleteByKey(uint64_t key, uint32_t now_s,
+                           uint32_t flush_at_s) {
+  assert(value_store_);
+  const ValueStore::Ref ref = value_store_->Find(key);
+  // No index entry means no queue state either (every Fill registers), so
+  // an unknown key is a pure no-op.
+  if (!ref.found) return false;
+  PartitionedSlabQueue* q = PartitionedFor(ref.slab_class);
+  bool valid = false;
+  if (ref.has_slot() && q != nullptr) {
+    uint32_t expiry_s = 0;
+    if (q->PeekPhysical(key, &expiry_s) && !ExpiredAt(expiry_s, now_s)) {
+      const uint32_t stored_s = value_store_->Header(ref).stored_s;
+      valid =
+          flush_at_s == 0 || now_s < flush_at_s || stored_s >= flush_at_s;
+    }
+  }
+  if (q != nullptr) q->Delete(key);  // physical or shadow; listener cleans up
+  return valid;
 }
 
 void AppCache::SetStaticAllocation(
@@ -450,6 +695,52 @@ Outcome CacheServer::Mutate(uint32_t app_id, MutateOp op,
   AppCache* a = app(app_id);
   assert(a != nullptr);
   return a->Mutate(op, item);
+}
+
+ValueOutcome CacheServer::GetByKey(uint32_t app_id, uint64_t key,
+                                   uint32_t key_size, uint32_t now_s,
+                                   uint32_t flush_at_s) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  return a->GetByKey(key, key_size, now_s, flush_at_s);
+}
+
+ValueOutcome CacheServer::PeekByKey(uint32_t app_id, uint64_t key,
+                                    uint32_t now_s, uint32_t flush_at_s) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  return a->PeekByKey(key, now_s, flush_at_s);
+}
+
+bool CacheServer::SetValue(uint32_t app_id, const ItemMeta& item,
+                           const void* data, uint32_t flags, uint64_t cas) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  return a->SetValue(item, data, flags, cas);
+}
+
+ReplaceResult CacheServer::ReplaceValue(uint32_t app_id, uint64_t key,
+                                        uint32_t key_size, const void* data,
+                                        uint32_t size, uint64_t cas,
+                                        uint32_t now_s) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  return a->ReplaceValue(key, key_size, data, size, cas, now_s);
+}
+
+bool CacheServer::TouchByKey(uint32_t app_id, uint64_t key, uint32_t key_size,
+                             uint32_t expiry_s, uint32_t now_s,
+                             uint32_t flush_at_s) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  return a->TouchByKey(key, key_size, expiry_s, now_s, flush_at_s);
+}
+
+bool CacheServer::DeleteByKey(uint32_t app_id, uint64_t key, uint32_t now_s,
+                              uint32_t flush_at_s) {
+  AppCache* a = app(app_id);
+  assert(a != nullptr);
+  return a->DeleteByKey(key, now_s, flush_at_s);
 }
 
 void CacheServer::OnAppShadowHit(size_t app_index) {

@@ -17,11 +17,14 @@
 #include <vector>
 
 #include "cache/types.h"
+#include "cache/value_store.h"
 #include "core/cliff_scaler.h"
 #include "core/hill_climber.h"
 #include "util/slab_geometry.h"
 
 namespace cliffhanger {
+
+class PartitionedSlabQueue;
 
 enum class AllocationMode : uint8_t {
   kFcfs,        // memcached default: slabs grab pages first-come-first-serve
@@ -57,6 +60,14 @@ struct ServerConfig {
   uint64_t hill_shadow_bytes = 1 << 20;
   uint64_t page_size = kPageSize;
   uint64_t seed = 0xC11FF;
+  // In-arena value storage: every AppCache owns a ValueStore, and the
+  // *ByKey/SetValue verbs below carry real payload bytes through slab-class
+  // slot arenas (value bytes count against the reservation's queues and are
+  // reclaimed eagerly on eviction). Requires kLru or kMidpoint eviction
+  // (the shadow-capable partitioned queues drive the eviction listener).
+  // Off by default: simulation/replay drivers keep the metadata-only paths
+  // bit-identical.
+  bool store_values = false;
 };
 
 struct ClassStats {
@@ -86,6 +97,29 @@ struct Outcome {
   bool cacheable = true;
   int slab_class = -1;
   HitRegion region = HitRegion::kMiss;
+  // The probe found the key but its expiry had passed, so it was lazily
+  // erased and the access counted as a miss (memcached's get_expired).
+  bool expired = false;
+};
+
+// Result of a value-mode access (ServerConfig::store_values). `outcome`
+// carries the usual statistics view; `view` is a borrowed span into the
+// app's value arena, valid only while the owning shard stays unmutated
+// (see ShardBatch in core/sharded_server.h for the lifetime rule).
+struct ValueOutcome {
+  Outcome outcome;
+  // The entry was invalidated by flush_all and reclaimed on this access
+  // without touching the statistics (outcome.cacheable == false).
+  bool flush_reclaimed = false;
+  bool expired = false;  // lazily reclaimed as expired on this access
+  bool valid = false;    // `view` is filled and serveable
+  ValueView view;
+};
+
+enum class ReplaceResult : uint8_t {
+  kFailed,    // no longer resident, or rewrite no longer fits any class
+  kInPlace,   // same slab class: payload rewritten in its slot (uncounted)
+  kReSlabbed  // class changed: old slot freed, counted re-fill in new class
 };
 
 class CacheServer;
@@ -117,6 +151,44 @@ class AppCache {
   // an op stream rather than calling the verbs directly.
   Outcome Mutate(MutateOp op, const ItemMeta& item);
 
+  // --- Value-mode verbs (ServerConfig::store_values only) ---
+  //
+  // These carry real payload bytes through the per-class ValueStore while
+  // reusing the metadata verbs above for every statistics/shadow/eviction
+  // decision, so the Cliffhanger signals are identical whether or not
+  // values are stored.
+
+  // Counted lookup. Statistics move exactly as Get() would for the key's
+  // resident class (or the class a zero-byte value of this key would land
+  // in, when the key is unknown). On a serveable hit `valid` is true and
+  // `view` points at the stored bytes.
+  ValueOutcome GetByKey(uint64_t key, uint32_t key_size, uint32_t now_s,
+                        uint32_t flush_at_s);
+  // Uncounted validity probe for the read-before-write verbs (add/replace/
+  // cas/append/incr/touch/delete). Performs lazy expiry/flush reclamation
+  // but moves no statistics and no recency.
+  ValueOutcome PeekByKey(uint64_t key, uint32_t now_s, uint32_t flush_at_s);
+  // Unconditional store. Returns false (uncounted, old incarnation dropped)
+  // when no slab class fits; otherwise counted exactly like Set().
+  bool SetValue(const ItemMeta& item, const void* data, uint32_t flags,
+                uint64_t cas);
+  // Rewrite an existing resident value (append/prepend/incr/decr). The
+  // caller must have just Peeked it valid under the same shard lock.
+  // Preserves stored flags and expiry across the rewrite.
+  ReplaceResult ReplaceValue(uint64_t key, uint32_t key_size,
+                             const void* data, uint32_t size, uint64_t cas,
+                             uint32_t now_s);
+  // memcached `touch`/`delete` against the value store, with peek-style
+  // validity (lazy expiry/flush reclamation, no statistics).
+  bool TouchByKey(uint64_t key, uint32_t key_size, uint32_t expiry_s,
+                  uint32_t now_s, uint32_t flush_at_s);
+  bool DeleteByKey(uint64_t key, uint32_t now_s, uint32_t flush_at_s);
+
+  // Null unless store_values.
+  [[nodiscard]] const ValueStore* value_store() const {
+    return value_store_.get();
+  }
+
   // Fixed allocation for AllocationMode::kStatic (bytes per slab class).
   void SetStaticAllocation(const std::map<int, uint64_t>& bytes_per_class);
   // Cross-app climbing resizes reservations through this.
@@ -147,6 +219,20 @@ class AppCache {
   ClassEntry& GetOrCreateEntry(int slab_class);
   void EnsureCapacityFor(ClassEntry& entry, uint64_t needed_bytes);
   void ShrinkProportionally(uint64_t deficit);
+  // The counted probe body shared by Get() and GetByKey(): statistics,
+  // shadow signals, climber/scaler feedback — everything after the slab
+  // class is known. Declared inline deliberately: letting the optimizer
+  // outline this (both callers live in cache_server.cc) costs ~10% on the
+  // GET-hit microbenchmark, which the bench-regression gate treats as
+  // real.
+  inline Outcome GetAtClass(int slab_class, const ItemMeta& item);
+  // The partitioned queue for an already-materialized class, or nullptr.
+  [[nodiscard]] PartitionedSlabQueue* PartitionedFor(int slab_class) const;
+  // Re-register `key` with the value store according to what Fill actually
+  // produced (a tiny class can demote a fresh item straight into shadow).
+  void RegisterStoredValue(uint64_t key, int slab_class, const void* data,
+                           uint32_t size, uint32_t flags, uint64_t cas,
+                           uint32_t stored_s);
 
   uint32_t app_id_;
   uint64_t reservation_;
@@ -161,6 +247,9 @@ class AppCache {
 
   std::map<int, std::unique_ptr<ClassEntry>> classes_;
   std::unique_ptr<HillClimber> climber_;  // within-app (slab class) climbing
+  // Non-null iff config_.store_values: owns the payload bytes and listens
+  // to every class queue's evictions.
+  std::unique_ptr<ValueStore> value_store_;
 };
 
 class CacheServer {
@@ -181,6 +270,21 @@ class CacheServer {
   bool Touch(uint32_t app_id, const ItemMeta& item);
   void Delete(uint32_t app_id, const ItemMeta& item);
   Outcome Mutate(uint32_t app_id, MutateOp op, const ItemMeta& item);
+
+  // Value-mode verbs, routed by app id (ServerConfig::store_values only).
+  ValueOutcome GetByKey(uint32_t app_id, uint64_t key, uint32_t key_size,
+                        uint32_t now_s, uint32_t flush_at_s);
+  ValueOutcome PeekByKey(uint32_t app_id, uint64_t key, uint32_t now_s,
+                         uint32_t flush_at_s);
+  bool SetValue(uint32_t app_id, const ItemMeta& item, const void* data,
+                uint32_t flags, uint64_t cas);
+  ReplaceResult ReplaceValue(uint32_t app_id, uint64_t key, uint32_t key_size,
+                             const void* data, uint32_t size, uint64_t cas,
+                             uint32_t now_s);
+  bool TouchByKey(uint32_t app_id, uint64_t key, uint32_t key_size,
+                  uint32_t expiry_s, uint32_t now_s, uint32_t flush_at_s);
+  bool DeleteByKey(uint32_t app_id, uint64_t key, uint32_t now_s,
+                   uint32_t flush_at_s);
 
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] ClassStats TotalStats() const;

@@ -159,6 +159,96 @@ Outcome ShardedCacheServer::Mutate(uint32_t app_id, MutateOp op,
   return outcome;
 }
 
+ValueOutcome ShardedCacheServer::GetValue(uint32_t app_id, uint64_t key,
+                                          uint32_t key_size, uint32_t now_s,
+                                          uint32_t flush_at_s) {
+  Shard& shard = *shards_[ShardForKey(key)];
+  ValueOutcome vo;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    vo = shard.server->GetByKey(app_id, key, key_size, now_s, flush_at_s);
+  }
+  ClassStats delta;
+  MirrorGetOutcome(vo.outcome, &delta);  // flush-reclaim is uncacheable
+  PublishDelta(shard, delta);
+  BumpOpCount(shard);
+  return vo;
+}
+
+ValueOutcome ShardedCacheServer::PeekValue(uint32_t app_id, uint64_t key,
+                                           uint32_t now_s,
+                                           uint32_t flush_at_s) {
+  Shard& shard = *shards_[ShardForKey(key)];
+  ValueOutcome vo;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    vo = shard.server->PeekByKey(app_id, key, now_s, flush_at_s);
+  }
+  // Peeks move no statistics; they still advance the rebalance cadence.
+  BumpOpCount(shard);
+  return vo;
+}
+
+bool ShardedCacheServer::SetValue(uint32_t app_id, const ItemMeta& item,
+                                  const void* data, uint32_t flags,
+                                  uint64_t cas) {
+  Shard& shard = *shards_[ShardForKey(item.key)];
+  bool counted;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    counted = shard.server->SetValue(app_id, item, data, flags, cas);
+  }
+  if (counted) shard.sets.fetch_add(1, std::memory_order_relaxed);
+  BumpOpCount(shard);
+  return counted;
+}
+
+ReplaceResult ShardedCacheServer::ReplaceValue(uint32_t app_id, uint64_t key,
+                                               uint32_t key_size,
+                                               const void* data,
+                                               uint32_t size, uint64_t cas,
+                                               uint32_t now_s) {
+  Shard& shard = *shards_[ShardForKey(key)];
+  ReplaceResult result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    result = shard.server->ReplaceValue(app_id, key, key_size, data, size,
+                                        cas, now_s);
+  }
+  // Only a re-slab runs a counted Set inside the shard; mirror exactly that.
+  if (result == ReplaceResult::kReSlabbed) {
+    shard.sets.fetch_add(1, std::memory_order_relaxed);
+  }
+  BumpOpCount(shard);
+  return result;
+}
+
+bool ShardedCacheServer::TouchValue(uint32_t app_id, uint64_t key,
+                                    uint32_t key_size, uint32_t expiry_s,
+                                    uint32_t now_s, uint32_t flush_at_s) {
+  Shard& shard = *shards_[ShardForKey(key)];
+  bool resident;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    resident = shard.server->TouchByKey(app_id, key, key_size, expiry_s,
+                                        now_s, flush_at_s);
+  }
+  BumpOpCount(shard);
+  return resident;
+}
+
+bool ShardedCacheServer::DeleteValue(uint32_t app_id, uint64_t key,
+                                     uint32_t now_s, uint32_t flush_at_s) {
+  Shard& shard = *shards_[ShardForKey(key)];
+  bool was_valid;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    was_valid = shard.server->DeleteByKey(app_id, key, now_s, flush_at_s);
+  }
+  BumpOpCount(shard);
+  return was_valid;
+}
+
 // ---------------------------------------------------------------------------
 // ShardBatch: one lock acquisition amortized over a burst of same-shard ops.
 // ---------------------------------------------------------------------------
@@ -186,9 +276,13 @@ ShardedCacheServer::ShardBatch::~ShardBatch() {
   // publish the counter deltas, then advance the rebalance cadence (which
   // may run Rebalance() — it takes apps_mu_ plus every shard lock, so it
   // must never run while this batch still holds one).
-  lock_.unlock();
+  if (lock_.owns_lock()) lock_.unlock();
   owner_->PublishDelta(*shard_, delta_);
   owner_->BumpOpCount(*shard_, ops_);
+}
+
+void ShardedCacheServer::ShardBatch::Unlock() {
+  if (lock_.owns_lock()) lock_.unlock();
 }
 
 Outcome ShardedCacheServer::ShardBatch::Get(uint32_t app_id,
@@ -239,6 +333,82 @@ Outcome ShardedCacheServer::ShardBatch::Mutate(uint32_t app_id, MutateOp op,
       break;
   }
   return outcome;
+}
+
+ValueOutcome ShardedCacheServer::ShardBatch::GetValue(uint32_t app_id,
+                                                      uint64_t key,
+                                                      uint32_t key_size,
+                                                      uint32_t now_s,
+                                                      uint32_t flush_at_s) {
+  assert(lock_.owns_lock());
+  assert(owner_->ShardForKey(key) == shard_index_);
+  const ValueOutcome vo =
+      shard_->server->GetByKey(app_id, key, key_size, now_s, flush_at_s);
+  MirrorGetOutcome(vo.outcome, &delta_);
+  ++ops_;
+  return vo;
+}
+
+ValueOutcome ShardedCacheServer::ShardBatch::PeekValue(uint32_t app_id,
+                                                       uint64_t key,
+                                                       uint32_t now_s,
+                                                       uint32_t flush_at_s) {
+  assert(lock_.owns_lock());
+  assert(owner_->ShardForKey(key) == shard_index_);
+  const ValueOutcome vo =
+      shard_->server->PeekByKey(app_id, key, now_s, flush_at_s);
+  ++ops_;
+  return vo;
+}
+
+bool ShardedCacheServer::ShardBatch::SetValue(uint32_t app_id,
+                                              const ItemMeta& item,
+                                              const void* data,
+                                              uint32_t flags, uint64_t cas) {
+  assert(lock_.owns_lock());
+  assert(owner_->ShardForKey(item.key) == shard_index_);
+  const bool counted =
+      shard_->server->SetValue(app_id, item, data, flags, cas);
+  if (counted) ++delta_.sets;
+  ++ops_;
+  return counted;
+}
+
+ReplaceResult ShardedCacheServer::ShardBatch::ReplaceValue(
+    uint32_t app_id, uint64_t key, uint32_t key_size, const void* data,
+    uint32_t size, uint64_t cas, uint32_t now_s) {
+  assert(lock_.owns_lock());
+  assert(owner_->ShardForKey(key) == shard_index_);
+  const ReplaceResult result = shard_->server->ReplaceValue(
+      app_id, key, key_size, data, size, cas, now_s);
+  if (result == ReplaceResult::kReSlabbed) ++delta_.sets;
+  ++ops_;
+  return result;
+}
+
+bool ShardedCacheServer::ShardBatch::TouchValue(uint32_t app_id, uint64_t key,
+                                                uint32_t key_size,
+                                                uint32_t expiry_s,
+                                                uint32_t now_s,
+                                                uint32_t flush_at_s) {
+  assert(lock_.owns_lock());
+  assert(owner_->ShardForKey(key) == shard_index_);
+  const bool resident = shard_->server->TouchByKey(app_id, key, key_size,
+                                                   expiry_s, now_s,
+                                                   flush_at_s);
+  ++ops_;
+  return resident;
+}
+
+bool ShardedCacheServer::ShardBatch::DeleteValue(uint32_t app_id,
+                                                 uint64_t key, uint32_t now_s,
+                                                 uint32_t flush_at_s) {
+  assert(lock_.owns_lock());
+  assert(owner_->ShardForKey(key) == shard_index_);
+  const bool was_valid =
+      shard_->server->DeleteByKey(app_id, key, now_s, flush_at_s);
+  ++ops_;
+  return was_valid;
 }
 
 ShardedCacheServer::ShardBatch ShardedCacheServer::BeginBatch(
@@ -312,6 +482,27 @@ ClassStats ShardedCacheServer::ShardStats(size_t shard) const {
   assert(shard < num_shards_);
   std::lock_guard<std::mutex> lock(shards_[shard]->mu);
   return shards_[shard]->server->TotalStats();
+}
+
+ShardedCacheServer::ValueStats ShardedCacheServer::MergedValueStats() const {
+  const auto locks = LockAllShards();
+  ValueStats total;
+  for (const auto& shard : shards_) {
+    for (const uint32_t app_id : shard->server->app_ids()) {
+      const AppCache* app = shard->server->app(app_id);
+      const ValueStore* store = app->value_store();
+      if (store == nullptr) continue;
+      total.value_bytes += store->value_bytes();
+      total.tracked_keys += store->tracked_keys();
+      for (const ValueStore::ClassOccupancy& o : store->Occupancy()) {
+        ClassUse& use = total.classes[o.slab_class];
+        use.chunk_size = o.chunk_size;
+        use.used_chunks += o.used_chunks;
+        use.resident_bytes += o.resident_bytes;
+      }
+    }
+  }
+  return total;
 }
 
 ClassStats ShardedCacheServer::AppStats(uint32_t app_id) const {

@@ -77,6 +77,27 @@ class ShardedCacheServer {
   void Delete(uint32_t app_id, const ItemMeta& item);
   Outcome Mutate(uint32_t app_id, MutateOp op, const ItemMeta& item);
 
+  // Value-mode routed verbs (ServerConfig::store_values; see the AppCache
+  // declarations for semantics). NOTE on GetValue/PeekValue lifetimes: the
+  // returned ValueOutcome::view borrows arena memory guarded by the shard
+  // lock — with the routed verbs the lock is already released on return, so
+  // the view is only safe if no other thread can mutate the shard. Callers
+  // needing a stable span across concurrent traffic must go through a
+  // ShardBatch and keep it alive while reading the view.
+  ValueOutcome GetValue(uint32_t app_id, uint64_t key, uint32_t key_size,
+                        uint32_t now_s, uint32_t flush_at_s);
+  ValueOutcome PeekValue(uint32_t app_id, uint64_t key, uint32_t now_s,
+                         uint32_t flush_at_s);
+  bool SetValue(uint32_t app_id, const ItemMeta& item, const void* data,
+                uint32_t flags, uint64_t cas);
+  ReplaceResult ReplaceValue(uint32_t app_id, uint64_t key, uint32_t key_size,
+                             const void* data, uint32_t size, uint64_t cas,
+                             uint32_t now_s);
+  bool TouchValue(uint32_t app_id, uint64_t key, uint32_t key_size,
+                  uint32_t expiry_s, uint32_t now_s, uint32_t flush_at_s);
+  bool DeleteValue(uint32_t app_id, uint64_t key, uint32_t now_s,
+                   uint32_t flush_at_s);
+
   // Holds one shard's lock for a burst of operations, so a caller that has
   // already grouped its ops by shard pays one lock acquisition per burst
   // instead of one per op. Every key passed to a batch method MUST hash to
@@ -98,6 +119,33 @@ class ShardedCacheServer {
     bool Touch(uint32_t app_id, const ItemMeta& item);
     void Delete(uint32_t app_id, const ItemMeta& item);
     Outcome Mutate(uint32_t app_id, MutateOp op, const ItemMeta& item);
+
+    // Value-mode batch verbs. A ValueOutcome::view returned here stays
+    // valid for exactly as long as this batch holds the shard lock AND no
+    // further mutating call is made through it — the natural pattern for a
+    // zero-copy GET burst: collect views, write them out, then destroy (or
+    // Unlock()) the batch.
+    ValueOutcome GetValue(uint32_t app_id, uint64_t key, uint32_t key_size,
+                          uint32_t now_s, uint32_t flush_at_s);
+    ValueOutcome PeekValue(uint32_t app_id, uint64_t key, uint32_t now_s,
+                           uint32_t flush_at_s);
+    bool SetValue(uint32_t app_id, const ItemMeta& item, const void* data,
+                  uint32_t flags, uint64_t cas);
+    ReplaceResult ReplaceValue(uint32_t app_id, uint64_t key,
+                               uint32_t key_size, const void* data,
+                               uint32_t size, uint64_t cas, uint32_t now_s);
+    bool TouchValue(uint32_t app_id, uint64_t key, uint32_t key_size,
+                    uint32_t expiry_s, uint32_t now_s, uint32_t flush_at_s);
+    bool DeleteValue(uint32_t app_id, uint64_t key, uint32_t now_s,
+                     uint32_t flush_at_s);
+
+    // Releases the shard lock early, before destruction. Borrowed views
+    // die here. Required when a caller pins several batches at once and a
+    // destructor side effect (PublishDelta -> BumpOpCount -> Rebalance,
+    // which takes every shard lock) could otherwise run while sibling
+    // batches still hold theirs: Unlock() all pins first, then let the
+    // destructors run lock-free. Idempotent; no further ops are legal.
+    void Unlock();
 
     [[nodiscard]] size_t shard_index() const { return shard_index_; }
 
@@ -152,6 +200,22 @@ class ShardedCacheServer {
   // cross-shard sum; AppReservation is the registered total (O(1), no
   // shard locks — rebalancing conserves it by construction);
   // AppShardReservation reads one shard's current share.
+  // Real value-memory occupancy summed across every shard and app, taken
+  // under all shard locks for a mutually consistent snapshot (the `stats`
+  // command's `bytes` / `stats slabs` surface). Empty when the shards were
+  // not built with store_values.
+  struct ClassUse {
+    uint32_t chunk_size = 0;
+    uint64_t used_chunks = 0;
+    uint64_t resident_bytes = 0;
+  };
+  struct ValueStats {
+    uint64_t value_bytes = 0;   // live payload bytes across all slots
+    uint64_t tracked_keys = 0;  // index entries (resident + shadow)
+    std::map<int, ClassUse> classes;
+  };
+  [[nodiscard]] ValueStats MergedValueStats() const;
+
   [[nodiscard]] ClassStats AppStats(uint32_t app_id) const;
   [[nodiscard]] uint64_t AppReservation(uint32_t app_id) const;
   [[nodiscard]] uint64_t AppShardReservation(uint32_t app_id,

@@ -379,15 +379,33 @@ void AppendU64(std::string* out, uint64_t v) {
 }
 }  // namespace
 
-void AppendValueResponse(std::string* out, std::string_view key,
-                         uint32_t flags, std::string_view data) {
+void AppendValueHeader(std::string* out, std::string_view key, uint32_t flags,
+                       uint64_t bytes) {
   out->append("VALUE ");
   out->append(key);
   out->push_back(' ');
   AppendU64(out, flags);
   out->push_back(' ');
-  AppendU64(out, data.size());
+  AppendU64(out, bytes);
   out->append(kCrlf);
+}
+
+void AppendValueHeaderCas(std::string* out, std::string_view key,
+                          uint32_t flags, uint64_t bytes, uint64_t cas) {
+  out->append("VALUE ");
+  out->append(key);
+  out->push_back(' ');
+  AppendU64(out, flags);
+  out->push_back(' ');
+  AppendU64(out, bytes);
+  out->push_back(' ');
+  AppendU64(out, cas);
+  out->append(kCrlf);
+}
+
+void AppendValueResponse(std::string* out, std::string_view key,
+                         uint32_t flags, std::string_view data) {
+  AppendValueHeader(out, key, flags, data.size());
   out->append(data);
   out->append(kCrlf);
 }
@@ -395,15 +413,7 @@ void AppendValueResponse(std::string* out, std::string_view key,
 void AppendValueResponseCas(std::string* out, std::string_view key,
                             uint32_t flags, std::string_view data,
                             uint64_t cas) {
-  out->append("VALUE ");
-  out->append(key);
-  out->push_back(' ');
-  AppendU64(out, flags);
-  out->push_back(' ');
-  AppendU64(out, data.size());
-  out->push_back(' ');
-  AppendU64(out, cas);
-  out->append(kCrlf);
+  AppendValueHeaderCas(out, key, flags, data.size(), cas);
   out->append(data);
   out->append(kCrlf);
 }

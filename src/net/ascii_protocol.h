@@ -163,6 +163,13 @@ void AppendValueResponse(std::string* out, std::string_view key,
 void AppendValueResponseCas(std::string* out, std::string_view key,
                             uint32_t flags, std::string_view data,
                             uint64_t cas);
+// Header line only — "VALUE <key> <flags> <bytes>[ <cas>]\r\n" — for the
+// zero-copy GET path, where the payload bytes and trailing CRLF travel as
+// separate writev pieces borrowed from the value arena.
+void AppendValueHeader(std::string* out, std::string_view key, uint32_t flags,
+                       uint64_t bytes);
+void AppendValueHeaderCas(std::string* out, std::string_view key,
+                          uint32_t flags, uint64_t bytes, uint64_t cas);
 
 void AppendErrorLine(std::string* out, std::string_view error);
 

@@ -3,9 +3,11 @@
 #include <time.h>
 
 #include <algorithm>
+#include <cassert>
 
 #include "util/argparse.h"
 #include "util/hashing.h"
+#include "util/slab_geometry.h"
 
 namespace cliffhanger {
 namespace net {
@@ -27,6 +29,23 @@ bool ParseAppPrefix(std::string_view key, uint32_t* app_id) {
   *app_id = static_cast<uint32_t>(id);
   return true;
 }
+
+// Claims the next response slot, recycling a caller-Reset() element when
+// one is available and growing the vector otherwise (see the HandleBatch
+// contract in socket_server.h: the steady-state burst cycle reuses slots
+// and their string capacities, so it does not touch the allocator).
+ResponseSegment& ClaimSlot(std::vector<ResponseSegment>* segments,
+                           size_t* used) {
+  if (*used == segments->size()) segments->emplace_back();
+  return (*segments)[(*used)++];
+}
+
+// ShardBatches pinned by a pure-GET burst: they keep the shard locks — and
+// therefore the borrowed arena payload spans in the response segments —
+// alive until ReleaseBurstPins() runs after the flush. Thread-local
+// because each epoll worker runs its own bursts; the socket server calls
+// HandleBatch and ReleaseBurstPins on the same thread, back to back.
+thread_local std::vector<ShardedCacheServer::ShardBatch> t_burst_pins;
 
 }  // namespace
 
@@ -51,33 +70,6 @@ uint32_t AbsoluteExpiry(int64_t exptime, uint32_t now_s) {
              : static_cast<uint32_t>(exptime);
 }
 
-// One key's full memcached state: the payload bytes plus ItemAttrs (flags,
-// absolute expiry, cas version) and the store time flush_all compares
-// against. value_size survives reclamation so later core probes stay in
-// the right slab class (the determinism contract).
-struct CacheAdapter::Entry {
-  std::string value;        // cleared lazily after an observed core miss
-  uint32_t value_size = 0;  // survives reclamation: keeps GETs in class
-  uint32_t stored_s = 0;    // store time; compared against the flush point
-  ItemAttrs attrs;
-  bool live = false;
-};
-
-// Value-byte side table, sharded by the same key routing as the core so a
-// store shard's working set mirrors a cache shard's.
-//
-// Lock order: a store-shard mutex is held ACROSS the core call for the
-// same key (store mutex -> core shard mutex / core rebalance locks), which
-// serializes same-key operations from different connections — the side
-// table can never disagree with the core about a key's slab class or
-// liveness. This nests safely because the core never calls back into the
-// adapter and no thread ever takes a store mutex while holding a core
-// lock (stats readers take core locks only).
-struct CacheAdapter::StoreShard {
-  std::mutex mu;
-  std::unordered_map<uint64_t, Entry> map;
-};
-
 CacheAdapter::CacheAdapter(ShardedCacheServer* server,
                            const CacheAdapterConfig& config)
     : server_(server), config_(config), app_ids_(server->app_ids()) {
@@ -85,10 +77,6 @@ CacheAdapter::CacheAdapter(ShardedCacheServer* server,
     config_.clock = [] { return static_cast<uint32_t>(::time(nullptr)); };
   }
   std::sort(app_ids_.begin(), app_ids_.end());
-  store_.reserve(server_->num_shards());
-  for (size_t i = 0; i < server_->num_shards(); ++i) {
-    store_.push_back(std::make_unique<StoreShard>());
-  }
 }
 
 CacheAdapter::~CacheAdapter() = default;
@@ -106,130 +94,51 @@ CacheAdapter::RoutedKey CacheAdapter::Route(std::string_view key) const {
   return rk;
 }
 
-bool CacheAdapter::EntryValid(const Entry& entry, uint32_t now_s) const {
-  if (!entry.live) return false;
-  if (ExpiredAt(entry.attrs.expiry_s, now_s)) return false;
-  const uint32_t flush_at = flush_at_s_.load(std::memory_order_relaxed);
-  return flush_at == 0 || now_s < flush_at || entry.stored_s >= flush_at;
-}
-
-// Pre: shard lock held. The one place the byte-accounting invariant
-// (bytes_stored_ tracks live value bytes) is released: frees the payload,
-// keeps the size metadata, marks the entry dead.
-void CacheAdapter::ReleaseValueLocked(Entry* entry) {
-  bytes_stored_.fetch_sub(entry->value.size(), std::memory_order_relaxed);
-  std::string().swap(entry->value);
-  entry->live = false;
-}
-
-void CacheAdapter::ReclaimLocked(CoreRef core, Entry* entry,
-                                 const RoutedKey& rk, uint32_t key_size) {
-  ReleaseValueLocked(entry);
-  // Erase from the core too (physical and shadow): an invalidated item
-  // must not keep earning shadow credit an unexpired refill would not.
-  core.Delete(rk.app_id, ItemMeta{rk.key_id, key_size, entry->value_size});
-}
-
-CacheAdapter::Lookup CacheAdapter::LookupLocked(CoreRef core,
-                                                StoreShard& shard,
-                                                const RoutedKey& rk,
-                                                uint32_t key_size,
-                                                uint32_t now_s) {
-  Lookup lk;
-  const auto it = shard.map.find(rk.key_id);
-  if (it == shard.map.end()) return lk;
-  lk.entry = &it->second;
-  lk.valid = EntryValid(it->second, now_s);
-  if (it->second.live && !lk.valid) {
-    ReclaimLocked(core, lk.entry, rk, key_size);
-    lk.reclaimed = true;
-  }
-  return lk;
-}
-
-bool CacheAdapter::RewriteValueLocked(CoreRef core, Entry* entry,
-                                      const RoutedKey& rk, uint32_t key_size,
-                                      std::string_view new_value,
-                                      uint32_t now_s) {
-  const uint32_t old_size = entry->value_size;
-  const auto new_size = static_cast<uint32_t>(new_value.size());
-  ItemMeta item{rk.key_id, key_size, new_size};
-  item.expiry_s = entry->attrs.expiry_s;
-  item.now_s = now_s;
-  if (new_size != old_size) {
-    // Re-slab: the size change moves the item between slab classes, and
-    // the per-class accounting the climbers feed on must see the move.
-    core.Delete(rk.app_id, ItemMeta{rk.key_id, key_size, old_size});
-    if (!core.Set(rk.app_id, item)) {
-      // No slab class fits the rewritten value: the old incarnation is
-      // already gone from the core, so drop it here too.
-      ReleaseValueLocked(entry);
-      return false;
-    }
-  } else {
-    // Same footprint: the rewrite is an access, not a re-fill — promote
-    // recency without minting phantom set statistics.
-    core.Touch(rk.app_id, item);
-  }
-  bytes_stored_.fetch_add(new_value.size(), std::memory_order_relaxed);
-  bytes_stored_.fetch_sub(entry->value.size(), std::memory_order_relaxed);
-  entry->value.assign(new_value.data(), new_value.size());
-  entry->value_size = new_size;
-  entry->stored_s = now_s;
-  entry->attrs.cas = NextCas();
-  return true;
-}
-
-void CacheAdapter::GetKeyLocked(CoreRef core, StoreShard& shard,
+void CacheAdapter::GetKeyLocked(ShardedCacheServer::ShardBatch& core,
                                 std::string_view key, const RoutedKey& rk,
                                 uint32_t now_s, bool with_cas,
-                                std::string* out) {
-  const auto it = shard.map.find(rk.key_id);
-  const bool was_live = it != shard.map.end() && it->second.live;
-
-  // flush_all is enforced here (the core has no store times): a flushed
-  // entry is reclaimed and erased from the core before any probe.
-  if (was_live && !EntryValid(it->second, now_s) &&
-      !ExpiredAt(it->second.attrs.expiry_s, now_s)) {
-    ReclaimLocked(core, &it->second, rk, static_cast<uint32_t>(key.size()));
+                                std::string* out, ResponseSegment* zc) {
+  const ValueOutcome vo = core.GetValue(
+      rk.app_id, rk.key_id, static_cast<uint32_t>(key.size()), now_s,
+      FlushAt());
+  if (vo.flush_reclaimed) {
+    // flush_all invalidation, reclaimed on this access without touching
+    // the core statistics (the probe never ran).
     get_misses_.fetch_add(1, std::memory_order_relaxed);
     get_expired_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-
-  // The stored value_size keeps the core probe in the right slab class
-  // even for keys the core has evicted. now_s arms the core's lazy
-  // expiration: an expired item comes back as a clean miss.
-  const uint32_t value_size =
-      it == shard.map.end() ? 0 : it->second.value_size;
-  ItemMeta item{rk.key_id, static_cast<uint32_t>(key.size()), value_size};
-  item.now_s = now_s;
-  const Outcome outcome = core.Get(rk.app_id, item);
-
-  if (outcome.hit && was_live) {
+  if (vo.valid) {
     get_hits_.fetch_add(1, std::memory_order_relaxed);
-    // Serialize straight from the entry — *out is connection-local (or a
-    // dedicated response slot), so no intermediate copy of the value bytes
-    // is needed.
-    if (with_cas) {
-      AppendValueResponseCas(out, key, it->second.attrs.flags,
-                             it->second.value, it->second.attrs.cas);
+    bytes_written_.fetch_add(vo.view.size, std::memory_order_relaxed);
+    if (zc != nullptr) {
+      // Zero-copy: the VALUE header goes into the segment text, the
+      // payload piece borrows the arena bytes (stable while the caller
+      // keeps `core` pinned), and the terminating CRLF is the trailer.
+      if (with_cas) {
+        AppendValueHeaderCas(&zc->text, key, vo.view.flags, vo.view.size,
+                             vo.view.cas);
+      } else {
+        AppendValueHeader(&zc->text, key, vo.view.flags, vo.view.size);
+      }
+      zc->payload = vo.view.data;
+      zc->payload_size = vo.view.size;
+      zc->trailer.append(kCrlf);
     } else {
-      AppendValueResponse(out, key, it->second.attrs.flags,
-                          it->second.value);
+      // Copy path (poll backend, mixed bursts): the batch dies before the
+      // response is written, so the payload must move into the text.
+      const std::string_view data(vo.view.data, vo.view.size);
+      if (with_cas) {
+        AppendValueResponseCas(out, key, vo.view.flags, data, vo.view.cas);
+      } else {
+        AppendValueResponse(out, key, vo.view.flags, data);
+      }
     }
     return;
   }
   get_misses_.fetch_add(1, std::memory_order_relaxed);
-  if (!outcome.hit && was_live) {
-    // The core evicted or lazily expired this key: the value bytes can
-    // never be served again (only a new SET restores residency), so
-    // reclaim them now. No core Delete — eviction legitimately leaves
-    // shadow state, and expiry already erased everything.
-    if (ExpiredAt(it->second.attrs.expiry_s, now_s)) {
-      get_expired_.fetch_add(1, std::memory_order_relaxed);
-    }
-    ReleaseValueLocked(&it->second);
+  if (vo.expired) {
+    get_expired_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -243,15 +152,13 @@ void CacheAdapter::HandleGet(const Command& cmd, std::string* out,
       get_misses_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
-    StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
-
-    // One shard lock around the side-table read, the core probe and the
-    // response/reclaim: concurrent operations on the same key from other
-    // connections are serialized, so the side table can never disagree
-    // with the core about this key (see the lock-order note on StoreShard).
-    std::lock_guard<std::mutex> lock(shard.mu);
-    GetKeyLocked(CoreRef{server_, nullptr}, shard, key, rk, now, with_cas,
-                 out);
+    // One shard lock around the probe and the response serialization:
+    // concurrent same-key operations from other connections are
+    // serialized, and the borrowed view is copied out before the batch
+    // (and the lock) is released.
+    ShardedCacheServer::ShardBatch batch =
+        server_->BeginBatch(server_->ShardForKey(rk.key_id));
+    GetKeyLocked(batch, key, rk, now, with_cas, out, /*zc=*/nullptr);
   }
   out->append(kEndLine);
 }
@@ -298,73 +205,62 @@ bool CacheAdapter::CountAndAdmit(const Command& cmd, const RoutedKey& rk,
   }
 }
 
-void CacheAdapter::StoreLocked(CoreRef core, StoreShard& shard,
+void CacheAdapter::StoreLocked(ShardedCacheServer::ShardBatch& core,
                                const Command& cmd, const RoutedKey& rk,
                                uint32_t now_s, std::string* out) {
   const bool is_cas = cmd.type == CommandType::kCas;
   const std::string_view key = cmd.key();
-  // The conditional verbs treat an expired/flushed entry as absent; its
-  // value bytes are reclaimed on this touch-point rather than lingering.
-  const Lookup lk =
-      LookupLocked(core, shard, rk, static_cast<uint32_t>(key.size()), now_s);
-  const bool exists = lk.entry != nullptr;
-  const uint32_t old_size = exists ? lk.entry->value_size : 0;
-
-  if ((cmd.type == CommandType::kAdd && lk.valid) ||
-      (cmd.type == CommandType::kReplace && !lk.valid)) {
-    store_rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (!cmd.noreply) out->append(kNotStoredLine);
-    return;
-  }
-  if (is_cas) {
-    if (!lk.valid) {
-      cas_misses_.fetch_add(1, std::memory_order_relaxed);
-      store_rejected_.fetch_add(1, std::memory_order_relaxed);
-      if (!cmd.noreply) out->append(kNotFoundLine);
-      return;
-    }
-    if (lk.entry->attrs.cas != cmd.cas_unique) {
-      cas_badval_.fetch_add(1, std::memory_order_relaxed);
-      store_rejected_.fetch_add(1, std::memory_order_relaxed);
-      if (!cmd.noreply) out->append(kExistsLine);
-      return;
-    }
-  }
-
   const auto key_size = static_cast<uint32_t>(key.size());
-  const auto new_size = static_cast<uint32_t>(cmd.data.size());
-  // A size change moves the item to a different slab class; the core's
-  // Fill only replaces within one class, so evict the old incarnation
-  // explicitly or it would linger in the old class's queue. (LookupLocked
-  // already erased a just-invalidated entry from the core.)
-  if (exists && !lk.reclaimed && old_size != new_size) {
-    core.Delete(rk.app_id, ItemMeta{rk.key_id, key_size, old_size});
+
+  // The conditional verbs decide presence from the core directly
+  // (resident, unexpired, unflushed) — a statistics-neutral peek that also
+  // lazily reclaims an expired/flushed incarnation on this touch-point.
+  if (cmd.type == CommandType::kAdd || cmd.type == CommandType::kReplace ||
+      is_cas) {
+    const ValueOutcome peek =
+        core.PeekValue(rk.app_id, rk.key_id, now_s, FlushAt());
+    if ((cmd.type == CommandType::kAdd && peek.valid) ||
+        (cmd.type == CommandType::kReplace && !peek.valid)) {
+      store_rejected_.fetch_add(1, std::memory_order_relaxed);
+      if (!cmd.noreply) out->append(kNotStoredLine);
+      return;
+    }
+    if (is_cas) {
+      if (!peek.valid) {
+        cas_misses_.fetch_add(1, std::memory_order_relaxed);
+        store_rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (!cmd.noreply) out->append(kNotFoundLine);
+        return;
+      }
+      if (peek.view.cas != cmd.cas_unique) {
+        cas_badval_.fetch_add(1, std::memory_order_relaxed);
+        store_rejected_.fetch_add(1, std::memory_order_relaxed);
+        if (!cmd.noreply) out->append(kExistsLine);
+        return;
+      }
+    }
   }
+
+  const auto new_size = static_cast<uint32_t>(cmd.data.size());
   ItemMeta item{rk.key_id, key_size, new_size};
   item.expiry_s = AbsoluteExpiry(cmd.exptime, now_s);
   item.now_s = now_s;
-  const bool admitted = core.Set(rk.app_id, item);
-  if (!admitted) {
+  if (SlabClassFor(ExactFootprint(key_size, new_size)) < 0) {
+    // No slab class fits. SetValue still runs to drop any old incarnation
+    // (memcached erases the key on an oversized store attempt); no cas is
+    // minted for a rejected store, keeping the cas stream identical to the
+    // success-only sequence.
+    core.SetValue(rk.app_id, item, cmd.data.data(), cmd.flags, 0);
     store_rejected_.fetch_add(1, std::memory_order_relaxed);
-    if (exists) {
-      if (lk.entry->live) ReleaseValueLocked(lk.entry);
-      shard.map.erase(rk.key_id);
-    }
     if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
     return;
   }
-
-  Entry& entry = shard.map[rk.key_id];
-  const size_t old_bytes = entry.live ? entry.value.size() : 0;
-  bytes_stored_.fetch_add(cmd.data.size() - old_bytes,
-                          std::memory_order_relaxed);
-  entry.value.assign(cmd.data.data(), cmd.data.size());
-  entry.value_size = new_size;
-  entry.stored_s = now_s;
-  entry.attrs.flags = cmd.flags;
-  entry.attrs.expiry_s = item.expiry_s;
-  entry.attrs.cas = NextCas();
-  entry.live = true;
+  const uint64_t cas = NextCas();
+  const bool admitted =
+      core.SetValue(rk.app_id, item, cmd.data.data(), cmd.flags, cas);
+  assert(admitted);
+  (void)admitted;
+  bytes_read_.fetch_add(cmd.data.size(), std::memory_order_relaxed);
   if (is_cas) cas_hits_.fetch_add(1, std::memory_order_relaxed);
   if (!cmd.noreply) out->append(kStoredLine);
 }
@@ -373,31 +269,31 @@ void CacheAdapter::HandleStore(const Command& cmd, std::string* out) {
   const RoutedKey rk = Route(cmd.key());
   if (!CountAndAdmit(cmd, rk, out)) return;
   const uint32_t now = Now();
-  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
-  // Held across presence check, core Delete/Set and side-table update:
-  // without it, two same-key SETs of different sizes could both delete the
-  // old incarnation and then leave the key resident in two slab classes.
-  std::lock_guard<std::mutex> lock(shard.mu);
-  StoreLocked(CoreRef{server_, nullptr}, shard, cmd, rk, now, out);
+  // Held across the presence peek and the store: without it, two same-key
+  // SETs of different sizes could interleave their cross-class moves.
+  ShardedCacheServer::ShardBatch batch =
+      server_->BeginBatch(server_->ShardForKey(rk.key_id));
+  StoreLocked(batch, cmd, rk, now, out);
 }
 
 // append/prepend: splice onto an existing value. The command line's flags
 // and exptime are parsed but ignored (memcached semantics); only existence
-// gates the store, and the result re-slabs through the core.
-void CacheAdapter::ConcatLocked(CoreRef core, StoreShard& shard,
+// gates the store, and the result re-slabs through the core when the size
+// leaves the slab class.
+void CacheAdapter::ConcatLocked(ShardedCacheServer::ShardBatch& core,
                                 const Command& cmd, const RoutedKey& rk,
                                 uint32_t now_s, std::string* out) {
   const std::string_view key = cmd.key();
-  const Lookup lk =
-      LookupLocked(core, shard, rk, static_cast<uint32_t>(key.size()), now_s);
-  if (!lk.valid) {
+  const auto key_size = static_cast<uint32_t>(key.size());
+  const ValueOutcome peek =
+      core.PeekValue(rk.app_id, rk.key_id, now_s, FlushAt());
+  if (!peek.valid) {
     store_rejected_.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) out->append(kNotStoredLine);
     return;
   }
-  Entry& entry = *lk.entry;
   const uint64_t combined_size =
-      static_cast<uint64_t>(entry.value.size()) + cmd.data.size();
+      static_cast<uint64_t>(peek.view.size) + cmd.data.size();
   if (combined_size > kMaxValueBytes) {
     // Reject the splice but keep the original item intact, as memcached
     // does when the concatenated object no longer fits.
@@ -405,22 +301,34 @@ void CacheAdapter::ConcatLocked(CoreRef core, StoreShard& shard,
     if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
     return;
   }
+  // The splice copies by necessity; the view stays stable while `core`
+  // holds the shard lock.
   std::string combined;
   combined.reserve(static_cast<size_t>(combined_size));
   if (cmd.type == CommandType::kAppend) {
-    combined.append(entry.value);
+    combined.append(peek.view.data, peek.view.size);
     combined.append(cmd.data.data(), cmd.data.size());
   } else {
     combined.append(cmd.data.data(), cmd.data.size());
-    combined.append(entry.value);
+    combined.append(peek.view.data, peek.view.size);
   }
-  if (!RewriteValueLocked(core, &entry, rk,
-                          static_cast<uint32_t>(key.size()), combined,
-                          now_s)) {
+  const auto new_size = static_cast<uint32_t>(combined.size());
+  if (SlabClassFor(ExactFootprint(key_size, new_size)) < 0) {
+    // Under kMaxValueBytes but over the largest chunk once the key and
+    // item overhead are added: the old incarnation dies (ReplaceValue
+    // deletes it before failing), no cas is minted.
+    core.ReplaceValue(rk.app_id, rk.key_id, key_size, combined.data(),
+                      new_size, 0, now_s);
     store_rejected_.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
     return;
   }
+  const uint64_t cas = NextCas();
+  const ReplaceResult r = core.ReplaceValue(
+      rk.app_id, rk.key_id, key_size, combined.data(), new_size, cas, now_s);
+  assert(r != ReplaceResult::kFailed);
+  (void)r;
+  bytes_read_.fetch_add(cmd.data.size(), std::memory_order_relaxed);
   if (!cmd.noreply) out->append(kStoredLine);
 }
 
@@ -428,28 +336,28 @@ void CacheAdapter::HandleConcat(const Command& cmd, std::string* out) {
   const RoutedKey rk = Route(cmd.key());
   if (!CountAndAdmit(cmd, rk, out)) return;
   const uint32_t now = Now();
-  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  ConcatLocked(CoreRef{server_, nullptr}, shard, cmd, rk, now, out);
+  ShardedCacheServer::ShardBatch batch =
+      server_->BeginBatch(server_->ShardForKey(rk.key_id));
+  ConcatLocked(batch, cmd, rk, now, out);
 }
 
-void CacheAdapter::ArithLocked(CoreRef core, StoreShard& shard,
+void CacheAdapter::ArithLocked(ShardedCacheServer::ShardBatch& core,
                                const Command& cmd, const RoutedKey& rk,
                                uint32_t now_s, bool increment,
                                std::string* out) {
   auto& hits = increment ? incr_hits_ : decr_hits_;
   auto& misses = increment ? incr_misses_ : decr_misses_;
   const std::string_view key = cmd.key();
-  const Lookup lk =
-      LookupLocked(core, shard, rk, static_cast<uint32_t>(key.size()), now_s);
-  if (!lk.valid) {
+  const ValueOutcome peek =
+      core.PeekValue(rk.app_id, rk.key_id, now_s, FlushAt());
+  if (!peek.valid) {
     misses.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) out->append(kNotFoundLine);
     return;
   }
-  Entry& entry = *lk.entry;
   uint64_t value = 0;
-  if (!ParseDecimalU64(entry.value, &value)) {
+  if (!ParseDecimalU64(std::string_view(peek.view.data, peek.view.size),
+                       &value)) {
     // Neither a hit nor a miss in memcached's books: the key exists but
     // its payload is not a 64-bit decimal.
     if (!cmd.noreply) AppendErrorLine(out, kErrNonNumeric);
@@ -466,14 +374,16 @@ void CacheAdapter::ArithLocked(CoreRef core, StoreShard& shard,
     *--p = static_cast<char>('0' + v % 10);
     v /= 10;
   } while (v > 0);
-  const std::string_view new_value(p,
-                                   static_cast<size_t>(buf + sizeof(buf) - p));
-  if (!RewriteValueLocked(core, &entry, rk,
-                          static_cast<uint32_t>(key.size()), new_value,
-                          now_s)) {
-    if (!cmd.noreply) AppendErrorLine(out, kErrTooLarge);
-    return;
-  }
+  const auto new_size = static_cast<size_t>(buf + sizeof(buf) - p);
+  // A <=20-byte decimal always fits a slab class next to a protocol-legal
+  // key, so the rewrite cannot fail.
+  const uint64_t cas = NextCas();
+  const ReplaceResult r = core.ReplaceValue(
+      rk.app_id, rk.key_id, static_cast<uint32_t>(key.size()), p,
+      static_cast<uint32_t>(new_size), cas, now_s);
+  assert(r != ReplaceResult::kFailed);
+  (void)r;
+  bytes_read_.fetch_add(new_size, std::memory_order_relaxed);
   hits.fetch_add(1, std::memory_order_relaxed);
   if (!cmd.noreply) AppendNumericLine(out, result);
 }
@@ -483,68 +393,48 @@ void CacheAdapter::HandleArith(const Command& cmd, std::string* out,
   const RoutedKey rk = Route(cmd.key());
   if (!CountAndAdmit(cmd, rk, out)) return;
   const uint32_t now = Now();
-  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  ArithLocked(CoreRef{server_, nullptr}, shard, cmd, rk, now, increment, out);
+  ShardedCacheServer::ShardBatch batch =
+      server_->BeginBatch(server_->ShardForKey(rk.key_id));
+  ArithLocked(batch, cmd, rk, now, increment, out);
 }
 
-void CacheAdapter::TouchLocked(CoreRef core, StoreShard& shard,
+void CacheAdapter::TouchLocked(ShardedCacheServer::ShardBatch& core,
                                const Command& cmd, const RoutedKey& rk,
                                uint32_t now_s, std::string* out) {
   const std::string_view key = cmd.key();
-  const Lookup lk =
-      LookupLocked(core, shard, rk, static_cast<uint32_t>(key.size()), now_s);
-  if (!lk.valid) {
+  // Refreshes the stored expiry and the item's recency standing; no GET
+  // statistics move (memcached counts touches separately, and so does the
+  // core — not at all). An expired/flushed item touches as NOT_FOUND and
+  // is reclaimed on this access.
+  const bool ok = core.TouchValue(
+      rk.app_id, rk.key_id, static_cast<uint32_t>(key.size()),
+      AbsoluteExpiry(cmd.exptime, now_s), now_s, FlushAt());
+  if (ok) {
+    touch_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (!cmd.noreply) out->append(kTouchedLine);
+  } else {
     touch_misses_.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) out->append(kNotFoundLine);
-    return;
   }
-  Entry& entry = *lk.entry;
-  entry.attrs.expiry_s = AbsoluteExpiry(cmd.exptime, now_s);
-  ItemMeta item{rk.key_id, static_cast<uint32_t>(key.size()),
-                entry.value_size};
-  item.expiry_s = entry.attrs.expiry_s;
-  item.now_s = now_s;
-  // Refresh the core's stored expiry and the item's recency standing; no
-  // GET statistics move (memcached counts touches separately, and so does
-  // the core — not at all).
-  core.Touch(rk.app_id, item);
-  touch_hits_.fetch_add(1, std::memory_order_relaxed);
-  if (!cmd.noreply) out->append(kTouchedLine);
 }
 
 void CacheAdapter::HandleTouch(const Command& cmd, std::string* out) {
   const RoutedKey rk = Route(cmd.key());
   if (!CountAndAdmit(cmd, rk, out)) return;
   const uint32_t now = Now();
-  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  TouchLocked(CoreRef{server_, nullptr}, shard, cmd, rk, now, out);
+  ShardedCacheServer::ShardBatch batch =
+      server_->BeginBatch(server_->ShardForKey(rk.key_id));
+  TouchLocked(batch, cmd, rk, now, out);
 }
 
-void CacheAdapter::DeleteLocked(CoreRef core, StoreShard& shard,
+void CacheAdapter::DeleteLocked(ShardedCacheServer::ShardBatch& core,
                                 const Command& cmd, const RoutedKey& rk,
                                 uint32_t now_s, std::string* out) {
-  const std::string_view key = cmd.key();
-  bool valid = false;
-  const auto it = shard.map.find(rk.key_id);
-  uint32_t value_size = 0;
-  if (it != shard.map.end()) {
-    // An expired/flushed entry deletes as NOT_FOUND, like memcached.
-    valid = EntryValid(it->second, now_s);
-    value_size = it->second.value_size;
-    if (it->second.live) {
-      bytes_stored_.fetch_sub(it->second.value.size(),
-                              std::memory_order_relaxed);
-    }
-    shard.map.erase(it);
-  }
-  // Forward under the same lock (same-key serialization as the other
-  // handlers): even a not-live key may still occupy a shadow segment,
-  // and the core's Delete is a no-op for absent keys.
-  core.Delete(rk.app_id, ItemMeta{rk.key_id,
-                                  static_cast<uint32_t>(key.size()),
-                                  value_size});
+  // The core reports whether a live, unexpired, unflushed item existed
+  // (memcached's DELETED/NOT_FOUND split) and erases every trace either
+  // way — including shadow state, which must not keep earning credit an
+  // explicit delete revoked.
+  const bool valid = core.DeleteValue(rk.app_id, rk.key_id, now_s, FlushAt());
   if (valid) {
     delete_hits_.fetch_add(1, std::memory_order_relaxed);
     if (!cmd.noreply) out->append(kDeletedLine);
@@ -557,9 +447,9 @@ void CacheAdapter::HandleDelete(const Command& cmd, std::string* out) {
   const RoutedKey rk = Route(cmd.key());
   if (!CountAndAdmit(cmd, rk, out)) return;
   const uint32_t now = Now();
-  StoreShard& shard = *store_[server_->ShardForKey(rk.key_id)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  DeleteLocked(CoreRef{server_, nullptr}, shard, cmd, rk, now, out);
+  ShardedCacheServer::ShardBatch batch =
+      server_->BeginBatch(server_->ShardForKey(rk.key_id));
+  DeleteLocked(batch, cmd, rk, now, out);
 }
 
 void CacheAdapter::HandleFlushAll(const Command& cmd, std::string* out) {
@@ -567,7 +457,7 @@ void CacheAdapter::HandleFlushAll(const Command& cmd, std::string* out) {
   const uint32_t now = Now();
   const uint64_t at = static_cast<uint64_t>(now) +
                       static_cast<uint64_t>(cmd.exptime);
-  // Entries with stored_s < flush point are dead once now reaches it; the
+  // Items with stored_s < flush point are dead once now reaches it; the
   // reclaim is lazy (first access), O(1) per key, no sweeper. Items stored
   // at or after the flush point — including later in the same second —
   // survive. A later flush_all overwrites an earlier one, as memcached's
@@ -603,7 +493,18 @@ void CacheAdapter::HandleStats(std::string* out) {
   AppendStat(out, "cmd_delete", c.cmd_delete);
   AppendStat(out, "delete_hits", c.delete_hits);
   AppendStat(out, "protocol_errors", c.protocol_errors);
-  AppendStat(out, "bytes_stored", c.bytes_stored);
+
+  // Real memory accounting, straight from the value arenas (a mutually
+  // consistent snapshot: MergedValueStats holds every shard lock at once).
+  // `bytes` is live payload bytes (what memcached reports for stored
+  // data); bytes_stored keeps the pre-0.6 name for the same quantity;
+  // bytes_read/bytes_written count payload bytes accepted by stores and
+  // served by get hits.
+  const ShardedCacheServer::ValueStats vs = server_->MergedValueStats();
+  AppendStat(out, "bytes_stored", vs.value_bytes);
+  AppendStat(out, "bytes", vs.value_bytes);
+  AppendStat(out, "bytes_read", c.bytes_read);
+  AppendStat(out, "bytes_written", c.bytes_written);
 
   // The paper's signals, straight from the core (exact snapshot: MergedStats
   // holds every shard lock at once).
@@ -615,6 +516,15 @@ void CacheAdapter::HandleStats(std::string* out) {
   AppendStat(out, "cliffhanger_cliff_shadow_hits", core.cliff_shadow_hits);
   AppendStat(out, "cliffhanger_hill_shadow_hits", core.hill_shadow_hits);
   AppendStat(out, "cliffhanger_rebalances", server_->rebalance_count());
+
+  // Per-class arena occupancy (memcached's `stats slabs` shape, inlined
+  // into the general stats block): chunk geometry and chunks in use.
+  for (const auto& [cls, use] : vs.classes) {
+    const std::string prefix = "slabs:" + std::to_string(cls);
+    AppendStat(out, prefix + ":chunk_size",
+               static_cast<uint64_t>(use.chunk_size));
+    AppendStat(out, prefix + ":used_chunks", use.used_chunks);
+  }
   for (const uint32_t app_id : app_ids_) {
     std::string name = "app_" + std::to_string(app_id) + "_reservation_bytes";
     AppendStat(out, name, server_->AppReservation(app_id));
@@ -623,7 +533,7 @@ void CacheAdapter::HandleStats(std::string* out) {
 }
 
 // ---------------------------------------------------------------------------
-// Burst path (epoll backend): per-shard op batching
+// Burst path (epoll backend): per-shard op batching, zero-copy GET
 // ---------------------------------------------------------------------------
 
 // One shard-routed operation of a burst, bound to its response slot. A
@@ -666,35 +576,39 @@ bool IsShardable(CommandType type) {
 
 }  // namespace
 
-void CacheAdapter::ExecuteOpLocked(CoreRef core, StoreShard& shard,
-                                   const BurstOp& op, std::string* out) {
+void CacheAdapter::ExecuteOpLocked(ShardedCacheServer::ShardBatch& core,
+                                   const BurstOp& op, ResponseSegment* seg,
+                                   bool pinned) {
   const Command& cmd = *op.cmd;
   switch (cmd.type) {
     case CommandType::kGet:
     case CommandType::kGets:
-      GetKeyLocked(core, shard, cmd.keys[op.key_idx], op.rk, op.now_s,
-                   /*with_cas=*/cmd.type == CommandType::kGets, out);
+      // In a pinned (pure-GET) burst the segment borrows the payload from
+      // the arena; otherwise the batch dies before the flush, so copy.
+      GetKeyLocked(core, cmd.keys[op.key_idx], op.rk, op.now_s,
+                   /*with_cas=*/cmd.type == CommandType::kGets, &seg->text,
+                   pinned ? seg : nullptr);
       break;
     case CommandType::kSet:
     case CommandType::kAdd:
     case CommandType::kReplace:
     case CommandType::kCas:
-      StoreLocked(core, shard, cmd, op.rk, op.now_s, out);
+      StoreLocked(core, cmd, op.rk, op.now_s, &seg->text);
       break;
     case CommandType::kAppend:
     case CommandType::kPrepend:
-      ConcatLocked(core, shard, cmd, op.rk, op.now_s, out);
+      ConcatLocked(core, cmd, op.rk, op.now_s, &seg->text);
       break;
     case CommandType::kIncr:
     case CommandType::kDecr:
-      ArithLocked(core, shard, cmd, op.rk, op.now_s,
-                  /*increment=*/cmd.type == CommandType::kIncr, out);
+      ArithLocked(core, cmd, op.rk, op.now_s,
+                  /*increment=*/cmd.type == CommandType::kIncr, &seg->text);
       break;
     case CommandType::kTouch:
-      TouchLocked(core, shard, cmd, op.rk, op.now_s, out);
+      TouchLocked(core, cmd, op.rk, op.now_s, &seg->text);
       break;
     case CommandType::kDelete:
-      DeleteLocked(core, shard, cmd, op.rk, op.now_s, out);
+      DeleteLocked(core, cmd, op.rk, op.now_s, &seg->text);
       break;
     default:
       break;  // unreachable: only shardable ops are collected
@@ -702,12 +616,16 @@ void CacheAdapter::ExecuteOpLocked(CoreRef core, StoreShard& shard,
 }
 
 void CacheAdapter::ExecuteShardedRun(const Command* cmds, size_t count,
-                                     std::vector<std::string>* segments) {
-  // Collection: expand commands into shard-routed ops and pre-create their
+                                     std::vector<ResponseSegment>* segments,
+                                     size_t* used, bool pinned) {
+  // Collection: expand commands into shard-routed ops and claim their
   // response slots in stream order. Admission (unknown app) and the
   // command counters run here, before any lock, exactly as the sequential
   // handlers do; Now() is read once per command, in command order.
-  std::vector<BurstOp> ops;
+  // Thread-local so the steady-state burst cycle reuses its capacity and
+  // stays off the allocator (each worker runs its own bursts).
+  static thread_local std::vector<BurstOp> ops;
+  ops.clear();
   ops.reserve(count);
   for (size_t c = 0; c < count; ++c) {
     const Command& cmd = cmds[c];
@@ -715,24 +633,24 @@ void CacheAdapter::ExecuteShardedRun(const Command* cmds, size_t count,
     if (cmd.type == CommandType::kGet || cmd.type == CommandType::kGets) {
       for (size_t k = 0; k < cmd.keys.size(); ++k) {
         cmd_get_.fetch_add(1, std::memory_order_relaxed);
-        segments->emplace_back();
+        ClaimSlot(segments, used);
         const RoutedKey rk = Route(cmd.keys[k]);
         if (!rk.app_known) {
           get_misses_.fetch_add(1, std::memory_order_relaxed);
           continue;  // slot stays empty, like the sequential loop
         }
-        ops.push_back(BurstOp{&cmd, k, segments->size() - 1, now, rk,
+        ops.push_back(BurstOp{&cmd, k, *used - 1, now, rk,
                               server_->ShardForKey(rk.key_id)});
       }
       // The terminator's content is known now; giving it its own slot keeps
       // every VALUE block independently writev-able.
-      segments->emplace_back(kEndLine);
+      ClaimSlot(segments, used).text.append(kEndLine);
       continue;
     }
-    segments->emplace_back();
+    ResponseSegment& seg = ClaimSlot(segments, used);
     const RoutedKey rk = Route(cmd.key());
-    if (!CountAndAdmit(cmd, rk, &segments->back())) continue;
-    ops.push_back(BurstOp{&cmd, 0, segments->size() - 1, now, rk,
+    if (!CountAndAdmit(cmd, rk, &seg.text)) continue;
+    ops.push_back(BurstOp{&cmd, 0, *used - 1, now, rk,
                           server_->ShardForKey(rk.key_id)});
   }
 
@@ -745,42 +663,56 @@ void CacheAdapter::ExecuteShardedRun(const Command* cmds, size_t count,
                      return a.shard < b.shard;
                    });
 
-  // Execution: one store-shard lock + one core ShardBatch per shard per
-  // run. The store shard and core shard share the key routing, so each run
-  // touches exactly one of each; lock order (store shard -> core shard) is
-  // the same as every sequential handler's.
+  // Execution: one core ShardBatch (shard lock) per shard per run. In a
+  // pinned run the batches are parked — in ascending shard order, which
+  // keeps concurrent pinning workers deadlock-free — so the zero-copy
+  // payload spans stay valid until ReleaseBurstPins(); otherwise
+  // ~ShardBatch publishes the counter deltas and bumps the rebalance
+  // cadence here, exactly like the sequential path.
   size_t i = 0;
   while (i < ops.size()) {
     const size_t shard_index = ops[i].shard;
-    StoreShard& shard = *store_[shard_index];
-    std::lock_guard<std::mutex> lock(shard.mu);
     ShardedCacheServer::ShardBatch batch = server_->BeginBatch(shard_index);
-    CoreRef core{server_, &batch};
     for (; i < ops.size() && ops[i].shard == shard_index; ++i) {
-      ExecuteOpLocked(core, shard, ops[i], &(*segments)[ops[i].slot]);
+      ExecuteOpLocked(batch, ops[i], &(*segments)[ops[i].slot], pinned);
     }
-    // ~ShardBatch publishes the counter deltas and bumps the rebalance
-    // cadence after the core lock is released (still under the store lock,
-    // like the sequential path's own in-handler core calls).
+    if (pinned) t_burst_pins.push_back(std::move(batch));
   }
 }
 
 bool CacheAdapter::HandleBatch(const Command* cmds, size_t count,
-                               std::vector<std::string>* segments) {
+                               std::vector<ResponseSegment>* segments) {
+  size_t used = 0;
+  // Zero-copy is only safe when the whole burst is get/gets: pinning shard
+  // locks across a burst that also runs barrier commands (stats takes every
+  // shard lock) or store verbs on the same shard would self-deadlock.
+  bool pure_get = count > 0;
+  for (size_t i = 0; i < count && pure_get; ++i) {
+    pure_get = cmds[i].type == CommandType::kGet ||
+               cmds[i].type == CommandType::kGets;
+  }
   size_t i = 0;
   while (i < count) {
     if (!IsShardable(cmds[i].type)) {
-      segments->emplace_back();
-      if (!Handle(cmds[i], &segments->back())) return false;
+      ResponseSegment& seg = ClaimSlot(segments, &used);
+      if (!Handle(cmds[i], &seg.text)) return false;
       ++i;
       continue;
     }
     size_t run_end = i + 1;
     while (run_end < count && IsShardable(cmds[run_end].type)) ++run_end;
-    ExecuteShardedRun(cmds + i, run_end - i, segments);
+    ExecuteShardedRun(cmds + i, run_end - i, segments, &used, pure_get);
     i = run_end;
   }
+  // Slots beyond `used` were Reset by the caller and flush as zero bytes.
   return true;
+}
+
+void CacheAdapter::ReleaseBurstPins() {
+  // Unlock every pinned batch before destroying any: a destructor may
+  // publish deltas and fire Rebalance(), which takes all shard locks.
+  for (ShardedCacheServer::ShardBatch& batch : t_burst_pins) batch.Unlock();
+  t_burst_pins.clear();
 }
 
 bool CacheAdapter::Handle(const Command& cmd, std::string* out) {
@@ -860,7 +792,11 @@ CacheAdapter::Counters CacheAdapter::counters() const {
   c.cmd_delete = cmd_delete_.load(std::memory_order_relaxed);
   c.delete_hits = delete_hits_.load(std::memory_order_relaxed);
   c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
-  c.bytes_stored = bytes_stored_.load(std::memory_order_relaxed);
+  // Live value bytes come from the arenas themselves — the accounting is
+  // the storage, so it cannot drift.
+  c.bytes_stored = server_->MergedValueStats().value_bytes;
+  c.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  c.bytes_written = bytes_written_.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -1,9 +1,13 @@
 // Maps memcached ASCII commands onto a ShardedCacheServer.
 //
-// The core server is a cache *simulation*: it tracks residency, eviction
-// and the Cliffhanger signals for (key hash, key_size, value_size) tuples —
-// it does not hold value bytes. The adapter supplies the missing pieces so
-// a real client sees real memcached semantics:
+// Since the core grew in-arena value storage (ServerConfig::store_values,
+// cache/value_store.h), the adapter is a thin protocol shim: value bytes,
+// item attributes (flags, cas, store time) and presence all live in the
+// core's per-shard ValueStore, and every verb below is one or two core
+// value-verb calls under the owning shard's lock. There is no side table,
+// no lazy reclamation, and no per-key metadata retained after eviction —
+// when the core evicts an item, its value slot is freed eagerly via the
+// eviction listener, and the adapter learns nothing and needs nothing.
 //
 //  - Key mapping. A text key maps to the core's 64-bit key id via Fnv1a64
 //    over the full key string (stable, process-independent). 64-bit FNV
@@ -13,56 +17,47 @@
 //    registered application; everything else goes to the default app (the
 //    listen port's tenant). Ops for unregistered apps fail softly (miss /
 //    SERVER_ERROR) rather than mutating anything.
-//  - Value store. Value bytes and the full memcached item attributes
-//    (ItemAttrs: flags, absolute expiry, cas version) live in a sharded
-//    side table. The core decides hit/miss; the table serves the payload
-//    and enforces the conditional verbs (add/replace/cas/append/prepend/
-//    incr/decr). Because the core evicts internally without callbacks, a
-//    dead value is reclaimed *lazily*: the first GET that the core answers
-//    with a miss frees the value bytes. The per-key size metadata is kept
-//    (~40 B per unique key ever stored) so later GETs for the key keep
-//    probing the correct slab class — which is exactly what makes a socket
-//    replay bit-identical to a library replay (tests/net_e2e_test.cc).
-//  - add/replace/cas/arith presence. Decided from the value store's live
-//    flag plus the expiry/flush check (the adapter's best knowledge of
-//    residency without issuing a statistics-mutating core lookup). An
-//    eviction is noticed at the next GET, so an `add` in the narrow window
-//    between eviction and that GET can return NOT_STORED where real
-//    memcached would store.
+//  - Presence. add/replace/cas/incr/decr/append/prepend/touch decide
+//    presence from the core directly (PeekValue: resident, unexpired,
+//    unflushed — statistics-neutral). There is no window between an
+//    eviction and the next GET where the adapter believes a dead key is
+//    alive: eviction frees the slot synchronously.
+//  - Zero-copy GET. A hit hands back a ValueView borrowing the payload
+//    bytes straight from the value arena, valid until the owning shard
+//    next mutates. On the epoll burst path, a burst consisting solely of
+//    get/gets pins the touched shards' ShardBatch objects (ascending
+//    shard order) until the response segments are flushed, so the writev
+//    scatter-gathers directly from arena memory — the value bytes are
+//    never copied. Mixed bursts and the poll backend copy the payload
+//    into the response text instead (the batch cannot outlive the call).
 //  - Time. Every core operation is stamped with `now` from an injectable
 //    clock (CacheAdapterConfig::clock; defaults to the wall clock), so
-//    expiry is lazy at both layers and fully deterministic under test.
-//    Expiry itself is enforced by the core queues (a stored item carries
-//    its absolute expiry; an expired access is a core miss and the adapter
-//    reclaims the bytes), while `flush_all` is enforced here: the adapter
-//    keeps the flush point and an entry's stored_s, since the core does
-//    not know store times. Both paths are O(1) per access; there is no
+//    expiry is lazy and fully deterministic under test. Expiry is
+//    enforced by the core queues; `flush_all` keeps its cutoff second
+//    here and passes it into every core value verb, which compares it
+//    against the slot's stored_s. Both are O(1) per access; there is no
 //    background sweeper thread.
 //  - Arithmetic and re-slabbing. incr/decr rewrite the decimal value
 //    (incr wraps mod 2^64, decr saturates at 0); append/prepend splice
-//    bytes. Whenever the value size changes, the adapter deletes the old
-//    incarnation from the core and re-fills at the new size, so the item
-//    migrates slab classes and the paper's per-class accounting (and the
-//    climbers feeding on it) stays truthful. A same-size rewrite issues a
-//    core Touch instead: recency moves, statistics do not.
+//    bytes. The core's ReplaceValue rewrites in place when the new value
+//    stays in the same slab class (recency moves, statistics do not) and
+//    re-slabs through a Delete + counted Set when it does not, so the
+//    paper's per-class accounting (and the climbers feeding on it) stays
+//    truthful.
 //
 // Determinism contract (relied on by the e2e test): for a single
-// connection, the sequence of core Get/Set/Touch/Delete calls — including
-// the ItemMeta sizes — is a pure function of the command stream and the
-// injected clock. GET uses the stored value_size when the key is known and
-// 0 otherwise; SET deletes the old item first when the value size changed
-// (slab-class move); DELETE always forwards to the core with the
-// best-known size.
+// connection, the sequence of core value-verb calls — including the
+// ItemMeta sizes — is a pure function of the command stream and the
+// injected clock. GET probes the stored size when the key is resident and
+// the class-for-size-0 footprint otherwise; a store whose size moves the
+// item across slab classes deletes the old incarnation first.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "core/sharded_server.h"
@@ -71,7 +66,7 @@
 namespace cliffhanger {
 namespace net {
 
-inline constexpr std::string_view kServerVersion = "cliffhanger-0.5.0";
+inline constexpr std::string_view kServerVersion = "cliffhanger-0.6.0";
 
 // memcached's relative/absolute exptime boundary: a positive exptime up to
 // 30 days is relative to now; anything larger is an absolute unix second.
@@ -84,20 +79,21 @@ struct CacheAdapterConfig {
   // Injectable second-resolution clock for expiry/flush determinism under
   // test. Must never report 0 (second 0 means "no expiry evaluation" in
   // the cache layers); the default wall clock cannot. Called outside the
-  // store-shard locks, once per command.
+  // shard locks, once per command.
   std::function<uint32_t()> clock;
 };
 
 // Resolves a protocol exptime against `now` into the absolute expiry
-// second stored in ItemAttrs: 0 stays 0 (never), a negative value means
+// second stored with the item: 0 stays 0 (never), a negative value means
 // already expired, values up to kRelativeExptimeCutoff are relative to
 // now, larger values are absolute unix seconds (clamped to uint32).
 [[nodiscard]] uint32_t AbsoluteExpiry(int64_t exptime, uint32_t now_s);
 
 class CacheAdapter final : public CommandHandler {
  public:
-  // `server` must outlive the adapter; its apps must be registered before
-  // traffic starts (same contract as ShardedCacheServer::AddApp).
+  // `server` must be constructed with ServerConfig::store_values = true
+  // and outlive the adapter; its apps must be registered before traffic
+  // starts (same contract as ShardedCacheServer::AddApp).
   CacheAdapter(ShardedCacheServer* server, const CacheAdapterConfig& config);
   ~CacheAdapter() override;
   CacheAdapter(const CacheAdapter&) = delete;
@@ -105,16 +101,23 @@ class CacheAdapter final : public CommandHandler {
 
   bool Handle(const Command& cmd, std::string* out) override;
   // Burst entry point (epoll backend): consecutive shardable commands are
-  // grouped by shard and executed with ONE store-shard lock plus ONE core
-  // ShardBatch per shard per run, instead of one lock pair per op. Response
-  // slots are pre-created in command/key order, so the segment sequence is
+  // grouped by shard and executed under ONE core ShardBatch per shard per
+  // run, instead of one lock acquisition per op. Response slots are
+  // claimed in command/key order, so the segment sequence is
   // byte-identical to sequential handling: ops on different shards touch
   // disjoint state, and same-key ops always hash to the same shard, where
   // the stable grouping preserves their order (read-your-write within a
-  // pipelined burst included). Barrier commands (stats/version/flush_all/
-  // quit/errors) fall back to Handle() in place.
+  // pipelined burst included). A burst that is entirely get/gets keeps
+  // its ShardBatches pinned until ReleaseBurstPins() so the response
+  // segments can borrow the payload bytes from the value arena (zero-copy
+  // writev). Barrier commands (stats/version/flush_all/quit/errors) fall
+  // back to Handle() in place.
   bool HandleBatch(const Command* cmds, size_t count,
-                   std::vector<std::string>* segments) override;
+                   std::vector<ResponseSegment>* segments) override;
+  // Unlocks and destroys the ShardBatches pinned by a pure-GET burst.
+  // Must run on the thread that called HandleBatch, after the segments
+  // are flushed (the socket server's burst cycle guarantees both).
+  void ReleaseBurstPins() override;
 
   // Protocol-level counters (what `stats` reports, memcached names).
   struct Counters {
@@ -138,46 +141,18 @@ class CacheAdapter final : public CommandHandler {
     uint64_t cmd_delete = 0;
     uint64_t delete_hits = 0;
     uint64_t protocol_errors = 0;
-    uint64_t bytes_stored = 0;   // live value bytes in the side table
+    uint64_t bytes_stored = 0;   // live value bytes in the core arenas
+    uint64_t bytes_read = 0;     // payload bytes accepted by stores
+    uint64_t bytes_written = 0;  // payload bytes served by get hits
   };
   [[nodiscard]] Counters counters() const;
 
  private:
-  struct StoreShard;
-  struct Entry;
   struct BurstOp;
   struct RoutedKey {
     uint32_t app_id = 0;
     uint64_t key_id = 0;
     bool app_known = false;
-  };
-  // Routes core calls either straight to the server (single-op path) or
-  // through an open ShardBatch (burst path: one core-lock acquisition per
-  // shard per burst). Everything below the store-shard lock goes through
-  // this seam, so both paths share one implementation of the memcached
-  // semantics — they cannot drift apart.
-  struct CoreRef {
-    ShardedCacheServer* server;
-    ShardedCacheServer::ShardBatch* batch;  // nullptr = unbatched
-    Outcome Get(uint32_t app_id, const ItemMeta& item) {
-      return batch != nullptr ? batch->Get(app_id, item)
-                              : server->Get(app_id, item);
-    }
-    bool Set(uint32_t app_id, const ItemMeta& item) {
-      return batch != nullptr ? batch->Set(app_id, item)
-                              : server->Set(app_id, item);
-    }
-    bool Touch(uint32_t app_id, const ItemMeta& item) {
-      return batch != nullptr ? batch->Touch(app_id, item)
-                              : server->Touch(app_id, item);
-    }
-    void Delete(uint32_t app_id, const ItemMeta& item) {
-      if (batch != nullptr) {
-        batch->Delete(app_id, item);
-      } else {
-        server->Delete(app_id, item);
-      }
-    }
   };
 
   [[nodiscard]] RoutedKey Route(std::string_view key) const;
@@ -185,38 +160,9 @@ class CacheAdapter final : public CommandHandler {
   [[nodiscard]] uint64_t NextCas() {
     return cas_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
-  // True when `entry` is live and neither expired nor flushed at now_s.
-  [[nodiscard]] bool EntryValid(const Entry& entry, uint32_t now_s) const;
-  // Pre: shard lock held. Frees the value bytes and marks the entry dead
-  // (size metadata survives); the single owner of the bytes_stored_
-  // accounting invariant on the release side.
-  void ReleaseValueLocked(Entry* entry);
-  // Pre: the owning shard's mutex is held. Frees the value bytes of a
-  // dead-but-still-live entry (size metadata survives) and erases the key
-  // from the core so shadow state cannot linger past invalidation.
-  void ReclaimLocked(CoreRef core, Entry* entry, const RoutedKey& rk,
-                     uint32_t key_size);
-  // Pre: shard lock held. The shared lookup kernel of every conditional
-  // verb (store/concat/arith/touch): finds the entry, lazily reclaims it
-  // when live-but-invalid (expired/flushed), and reports what remains.
-  // Keeping this in ONE place is what keeps the verbs' presence semantics
-  // in lockstep.
-  struct Lookup {
-    Entry* entry = nullptr;  // nullptr = key never stored
-    bool valid = false;      // live && unexpired && unflushed after reclaim
-    bool reclaimed = false;  // this call reclaimed a stale entry
-  };
-  Lookup LookupLocked(CoreRef core, StoreShard& shard, const RoutedKey& rk,
-                      uint32_t key_size, uint32_t now_s);
-  // Replace an entry's value in place: re-slab through the core when the
-  // size changed (Delete old + Set new), core-Touch when it did not (the
-  // rewrite is an access; statistics must not count a phantom set). Pre:
-  // shard lock held; entry live and valid. Returns false when the core
-  // rejected the new size (the entry was erased, memcached's SERVER_ERROR
-  // path).
-  bool RewriteValueLocked(CoreRef core, Entry* entry, const RoutedKey& rk,
-                          uint32_t key_size, std::string_view new_value,
-                          uint32_t now_s);
+  [[nodiscard]] uint32_t FlushAt() const {
+    return flush_at_s_.load(std::memory_order_relaxed);
+  }
 
   // Counts the command and, when its app is unknown, emits the verb's
   // soft-failure response (shared by the single-op and burst paths, which
@@ -226,30 +172,41 @@ class CacheAdapter final : public CommandHandler {
                      std::string* out);
 
   // Locked per-op executors: the memcached semantics of one operation,
-  // below the store-shard lock, core access through the CoreRef seam.
-  // Pre for all: the shard's mutex held, rk.app_known true, CountAndAdmit
-  // (or the per-key get admission) already ran.
-  void GetKeyLocked(CoreRef core, StoreShard& shard, std::string_view key,
-                    const RoutedKey& rk, uint32_t now_s, bool with_cas,
-                    std::string* out);
-  void StoreLocked(CoreRef core, StoreShard& shard, const Command& cmd,
+  // expressed over the core value verbs through an open ShardBatch (the
+  // single-op path opens a one-op batch; the burst path shares one per
+  // shard per run). Pre for all: rk.app_known true, CountAndAdmit (or the
+  // per-key get admission) already ran, `core` targets rk's shard.
+  //
+  // GetKeyLocked serves a hit either zero-copy (`zc` non-null: the VALUE
+  // header goes into zc->text and the payload span borrows the arena
+  // bytes — only legal when the caller keeps the batch pinned until the
+  // segments are flushed) or by copying the payload into *out.
+  void GetKeyLocked(ShardedCacheServer::ShardBatch& core,
+                    std::string_view key, const RoutedKey& rk,
+                    uint32_t now_s, bool with_cas, std::string* out,
+                    ResponseSegment* zc);
+  void StoreLocked(ShardedCacheServer::ShardBatch& core, const Command& cmd,
                    const RoutedKey& rk, uint32_t now_s, std::string* out);
-  void ConcatLocked(CoreRef core, StoreShard& shard, const Command& cmd,
+  void ConcatLocked(ShardedCacheServer::ShardBatch& core, const Command& cmd,
                     const RoutedKey& rk, uint32_t now_s, std::string* out);
-  void ArithLocked(CoreRef core, StoreShard& shard, const Command& cmd,
+  void ArithLocked(ShardedCacheServer::ShardBatch& core, const Command& cmd,
                    const RoutedKey& rk, uint32_t now_s, bool increment,
                    std::string* out);
-  void TouchLocked(CoreRef core, StoreShard& shard, const Command& cmd,
+  void TouchLocked(ShardedCacheServer::ShardBatch& core, const Command& cmd,
                    const RoutedKey& rk, uint32_t now_s, std::string* out);
-  void DeleteLocked(CoreRef core, StoreShard& shard, const Command& cmd,
+  void DeleteLocked(ShardedCacheServer::ShardBatch& core, const Command& cmd,
                     const RoutedKey& rk, uint32_t now_s, std::string* out);
-  void ExecuteOpLocked(CoreRef core, StoreShard& shard, const BurstOp& op,
-                       std::string* out);
+  void ExecuteOpLocked(ShardedCacheServer::ShardBatch& core,
+                       const BurstOp& op, ResponseSegment* seg, bool pinned);
   // The burst engine: expands a run of shardable commands into per-key ops
-  // with pre-ordered response slots, groups the ops by shard (stable), and
-  // executes each group under one store-lock + core-batch pair.
+  // with pre-claimed response slots, groups the ops by shard (stable), and
+  // executes each group under one core ShardBatch. With `pinned`, the
+  // batches are parked (ascending shard order) for ReleaseBurstPins
+  // instead of being destroyed, keeping the zero-copy payload spans alive
+  // through the flush.
   void ExecuteShardedRun(const Command* cmds, size_t count,
-                         std::vector<std::string>* segments);
+                         std::vector<ResponseSegment>* segments,
+                         size_t* used, bool pinned);
 
   void HandleGet(const Command& cmd, std::string* out, bool with_cas);
   void HandleStore(const Command& cmd, std::string* out);
@@ -264,10 +221,9 @@ class CacheAdapter final : public CommandHandler {
   CacheAdapterConfig config_;
   std::vector<uint32_t> app_ids_;  // registered apps, snapshot at ctor
 
-  std::vector<std::unique_ptr<StoreShard>> store_;
   std::atomic<uint64_t> cas_counter_{0};
-  // flush_all point: entries stored before it are dead once now reaches
-  // it. 0 = no flush scheduled.
+  // flush_all point: items stored before it are dead once now reaches it.
+  // 0 = no flush scheduled.
   std::atomic<uint32_t> flush_at_s_{0};
 
   std::atomic<uint64_t> cmd_get_{0};
@@ -290,7 +246,8 @@ class CacheAdapter final : public CommandHandler {
   std::atomic<uint64_t> cmd_delete_{0};
   std::atomic<uint64_t> delete_hits_{0};
   std::atomic<uint64_t> protocol_errors_{0};
-  std::atomic<uint64_t> bytes_stored_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
 };
 
 }  // namespace net

@@ -55,7 +55,8 @@ void Usage(const char* argv0) {
       "  --backend B       epoll | poll event loop (default epoll)\n"
       "  --shards N        cache shards (default 4)\n"
       "  --mode M          default | cliffhanger (default cliffhanger)\n"
-      "  --eviction E      lru | midpoint | arc | lfu (default lru)\n"
+      "  --eviction E      lru | midpoint (default lru; arc/lfu are\n"
+      "                    simulation-only — no in-arena value storage)\n"
       "  --app ID:MB       register app ID with MB MiB (repeatable;\n"
       "                    default 1:64)\n"
       "  --default-app ID  app for un-prefixed keys (default: first --app)\n"
@@ -127,10 +128,15 @@ int Main(int argc, char** argv) {
         eviction = EvictionScheme::kLru;
       } else if (std::strcmp(v, "midpoint") == 0) {
         eviction = EvictionScheme::kMidpoint;
-      } else if (std::strcmp(v, "arc") == 0) {
-        eviction = EvictionScheme::kArc;
-      } else if (std::strcmp(v, "lfu") == 0) {
-        eviction = EvictionScheme::kLfu;
+      } else if (std::strcmp(v, "arc") == 0 || std::strcmp(v, "lfu") == 0) {
+        // The ARC/LFU queues are simulation-only: they never grew the
+        // value-storage hooks (residency listener, PeekPhysical), so a
+        // daemon serving real bytes cannot run them.
+        std::fprintf(stderr,
+                     "--eviction %s is simulation-only; the daemon stores "
+                     "real values and needs lru or midpoint\n",
+                     v);
+        return 1;
       } else {
         return Usage(argv[0]), 1;
       }
@@ -203,6 +209,9 @@ int Main(int argc, char** argv) {
   config.server =
       cliffhanger_mode ? CliffhangerServerConfig() : DefaultServerConfig();
   config.server.eviction = eviction;
+  // The daemon serves real bytes: values live in the core's per-shard
+  // arenas (zero-copy GET), not in an adapter side table.
+  config.server.store_values = true;
   config.num_shards = shards;
   config.rebalance_interval_ops = rebalance_ops;
   ShardedCacheServer server(config);

@@ -405,18 +405,51 @@ bool SocketServer::FlushWrites(Connection* conn) {
   return true;
 }
 
+namespace {
+
+// The p-th writev piece of one response segment (0 = text, 1 = borrowed
+// payload, 2 = trailer). Empty pieces are skipped by the cursor logic.
+inline std::pair<const char*, size_t> SegmentPiece(const ResponseSegment& seg,
+                                                   size_t p) {
+  switch (p) {
+    case 0:
+      return {seg.text.data(), seg.text.size()};
+    case 1:
+      return {seg.payload, seg.payload_size};
+    default:
+      return {seg.trailer.data(), seg.trailer.size()};
+  }
+}
+
+}  // namespace
+
 bool SocketServer::FlushSegments(Connection* conn,
-                                 const std::vector<std::string>& segments) {
+                                 const std::vector<ResponseSegment>& segments,
+                                 size_t count) {
   // Scatter-gather straight from the response segments: any queued write-
-  // buffer tail goes first (response order), then each non-empty segment.
-  // Whatever the socket does not take is spilled into wr so the normal
-  // flush/backpressure machinery owns it from there.
-  size_t seg_i = 0;   // first segment with unsent bytes
-  size_t seg_off = 0; // sent prefix of segments[seg_i]
-  while (true) {
-    while (seg_i < segments.size() && seg_off >= segments[seg_i].size()) {
+  // buffer tail goes first (response order), then each segment's up to
+  // three pieces — protocol text, the borrowed payload span (pointing into
+  // the cache's value arena: this is the zero-copy GET path), trailer.
+  // Whatever the socket does not take is spilled into wr — copying the
+  // payload bytes, since the borrow ends when this function returns — so
+  // the normal flush/backpressure machinery owns it from there.
+  size_t seg_i = 0;    // first segment with unsent bytes
+  size_t piece_i = 0;  // piece cursor within segments[seg_i]
+  size_t off = 0;      // sent prefix of that piece
+  const auto advance = [&] {
+    off = 0;
+    if (++piece_i == 3) {
+      piece_i = 0;
       ++seg_i;
-      seg_off = 0;
+    }
+  };
+  while (true) {
+    // Skip fully-sent and empty pieces.
+    while (seg_i < count) {
+      const auto [ptr, len] = SegmentPiece(segments[seg_i], piece_i);
+      (void)ptr;
+      if (off < len) break;
+      advance();
     }
     iovec iov[kMaxIov];
     int iov_count = 0;
@@ -425,11 +458,16 @@ bool SocketServer::FlushSegments(Connection* conn,
           const_cast<char*>(conn->wr.data()) + conn->wr_offset,
           conn->wr.size() - conn->wr_offset};
     }
-    for (size_t s = seg_i; s < segments.size() && iov_count < kMaxIov; ++s) {
-      const size_t off = (s == seg_i) ? seg_off : 0;
-      if (segments[s].size() > off) {
-        iov[iov_count++] = {const_cast<char*>(segments[s].data()) + off,
-                            segments[s].size() - off};
+    for (size_t s = seg_i, p = piece_i, o = off;
+         s < count && iov_count < kMaxIov;) {
+      const auto [ptr, len] = SegmentPiece(segments[s], p);
+      if (o < len) {
+        iov[iov_count++] = {const_cast<char*>(ptr) + o, len - o};
+      }
+      o = 0;
+      if (++p == 3) {
+        p = 0;
+        ++s;
       }
     }
     if (iov_count == 0) {
@@ -443,10 +481,16 @@ bool SocketServer::FlushSegments(Connection* conn,
       if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
         return false;  // peer gone
       }
-      // Socket full: queue the unsent segment bytes behind the wr tail.
-      for (size_t s = seg_i; s < segments.size(); ++s) {
-        const size_t off = (s == seg_i) ? seg_off : 0;
-        conn->wr.append(segments[s], off, segments[s].size() - off);
+      // Socket full: queue the unsent bytes (payloads included — the
+      // borrow is over) behind the wr tail.
+      for (size_t s = seg_i, p = piece_i, o = off; s < count;) {
+        const auto [ptr, len] = SegmentPiece(segments[s], p);
+        if (o < len) conn->wr.append(ptr + o, len - o);
+        o = 0;
+        if (++p == 3) {
+          p = 0;
+          ++s;
+        }
       }
       return true;
     }
@@ -461,13 +505,12 @@ bool SocketServer::FlushSegments(Connection* conn,
       }
     }
     while (left > 0) {
-      const size_t take = std::min(left, segments[seg_i].size() - seg_off);
-      seg_off += take;
+      const auto [ptr, len] = SegmentPiece(segments[seg_i], piece_i);
+      (void)ptr;
+      const size_t take = std::min(left, len - off);
+      off += take;
       left -= take;
-      if (seg_off == segments[seg_i].size()) {
-        ++seg_i;
-        seg_off = 0;
-      }
+      if (off >= len) advance();
     }
   }
 }
@@ -620,7 +663,7 @@ void SocketServer::ServiceConnection(Worker* worker, Connection* conn,
                                      uint32_t revents,
                                      std::vector<char>* read_buf,
                                      std::vector<Command>* cmds,
-                                     std::vector<std::string>* segments) {
+                                     std::vector<ResponseSegment>* segments) {
   if (revents & EPOLLERR) {
     CloseConnection(worker, conn->index);
     return;
@@ -663,11 +706,20 @@ void SocketServer::ServiceConnection(Worker* worker, Connection* conn,
          conn->wr.size() - conn->wr_offset < config_.max_write_buffer) {
     const size_t frames = CollectBurst(conn, cmds);
     if (frames == 0) break;
-    segments->clear();
+    // Reset in place (not clear+emplace) so the segments — and their inner
+    // string capacities — are reused across bursts: the steady-state burst
+    // cycle must not touch the allocator. The handler decides the segment
+    // count (a multiget emits several per command), growing the vector if
+    // the recycled slots run out; unused tail slots stay empty and flush
+    // as zero bytes.
+    for (ResponseSegment& seg : *segments) seg.Reset();
     if (!handler_->HandleBatch(cmds->data(), frames, segments)) {
       conn->closing = true;  // quit: flush what was produced, then close
     }
-    if (alive) alive = FlushSegments(conn, *segments);
+    if (alive) alive = FlushSegments(conn, *segments, segments->size());
+    // The borrowed payload spans are now either on the wire or copied into
+    // wr; a handler that pinned shard locks to keep them alive lets go.
+    handler_->ReleaseBurstPins();
   }
   if (conn->rd_offset > 0) {
     conn->rd.erase(0, conn->rd_offset);
@@ -697,8 +749,8 @@ void SocketServer::ServiceConnection(Worker* worker, Connection* conn,
 
 void SocketServer::WorkerLoopEpoll(Worker* worker) {
   std::vector<char> read_buf(kReadChunk);
-  std::vector<Command> cmds;           // reused across bursts
-  std::vector<std::string> segments;   // reused across bursts
+  std::vector<Command> cmds;                // reused across bursts
+  std::vector<ResponseSegment> segments;    // reused across bursts
   epoll_event events[kEpollEvents];
   while (!stopping_.load()) {
     const int rc = ::epoll_wait(worker->epfd, events, kEpollEvents, -1);

@@ -44,29 +44,61 @@
 namespace cliffhanger {
 namespace net {
 
+// One command's response, in up to three writev-able pieces: protocol text,
+// an optional borrowed payload span (zero-copy GET: the bytes live in the
+// cache's value arena, not in this struct), and an optional trailer (the
+// CRLF/END bytes that follow a payload). The payload pointer must stay
+// valid until the server has either written it to the socket or spilled it
+// into the connection's write buffer — i.e. through the FlushSegments call
+// for the burst that produced it, after which ReleaseBurstPins() runs.
+struct ResponseSegment {
+  std::string text;
+  const char* payload = nullptr;
+  size_t payload_size = 0;
+  std::string trailer;
+
+  void Reset() {
+    text.clear();
+    payload = nullptr;
+    payload_size = 0;
+    trailer.clear();
+  }
+};
+
 class CommandHandler {
  public:
   virtual ~CommandHandler() = default;
   // Appends the response for `cmd` (if any) to *out. Returns false to close
   // the connection after *out is flushed (quit).
   virtual bool Handle(const Command& cmd, std::string* out) = 0;
-  // Handles a burst of pipelined commands, appending one response segment
-  // per command (a segment may be empty, e.g. noreply) so the caller can
-  // writev the segments without concatenating them. Commands must be
-  // processed in array order (pipelined clients rely on response order and
-  // read-your-write within a burst). Returns false to close the connection
-  // after the segments produced so far are flushed; remaining commands are
-  // dropped, matching the sequential quit semantics. The default forwards
-  // to Handle() one command at a time; handlers with a cheaper batched path
-  // (per-shard lock amortization) override it.
+  // Handles a burst of pipelined commands, filling response segments so the
+  // caller can writev them without concatenating. A command may produce
+  // zero segments (noreply) or several (a multiget emits one segment per
+  // key plus one END segment), so the segment count is the handler's to
+  // decide: the caller Reset()s every existing element of *segments before
+  // the call, the handler fills elements front-to-back — growing the
+  // vector when it runs out of recycled slots — and leaves any unused tail
+  // elements empty. The caller flushes the entire vector; empty elements
+  // contribute no bytes. Segment order must match command order (pipelined
+  // clients rely on response order and read-your-write within a burst).
+  // Returns false to close the connection after the segments filled so far
+  // are flushed; remaining commands are dropped, matching the sequential
+  // quit semantics. The default forwards to Handle() one command at a
+  // time; handlers with a cheaper batched path (per-shard lock
+  // amortization, zero-copy payloads) override it.
   virtual bool HandleBatch(const Command* cmds, size_t count,
-                           std::vector<std::string>* segments) {
+                           std::vector<ResponseSegment>* segments) {
     for (size_t i = 0; i < count; ++i) {
-      segments->emplace_back();
-      if (!Handle(cmds[i], &segments->back())) return false;
+      if (segments->size() == i) segments->emplace_back();
+      if (!Handle(cmds[i], &(*segments)[i].text)) return false;
     }
     return true;
   }
+  // Called after every FlushSegments for a burst whose segments this
+  // handler produced — the borrowed payload spans are dead from here on.
+  // Handlers that pinned shard locks to keep those spans alive release
+  // them now; the default has nothing to release.
+  virtual void ReleaseBurstPins() {}
 };
 
 enum class SocketBackend : uint8_t {
@@ -154,7 +186,7 @@ class SocketServer {
   void ServiceConnection(Worker* worker, Connection* conn, uint32_t revents,
                          std::vector<char>* read_buf,
                          std::vector<Command>* cmds,
-                         std::vector<std::string>* segments);
+                         std::vector<ResponseSegment>* segments);
   // Parses up to max_burst_frames complete frames (capped at kMaxKeysPerGet
   // key-ops) from the read buffer into *cmds. The parsed Commands alias the
   // read buffer; the caller compacts it only after the burst is handled.
@@ -170,11 +202,15 @@ class SocketServer {
   bool DrainCommands(Connection* conn);
   // Non-blocking flush of the write buffer. Returns false on a dead socket.
   static bool FlushWrites(Connection* conn);
-  // Non-blocking writev of the queued write buffer plus the response
-  // segments, scatter-gather, no concatenation. Unsent segment bytes spill
-  // into the write buffer. Returns false on a dead socket.
+  // Non-blocking writev of the queued write buffer plus the first `count`
+  // response segments (each up to three iovecs: text, borrowed payload,
+  // trailer), scatter-gather, no concatenation. Empty segments are skipped.
+  // Unsent bytes — including borrowed payload bytes, which must not be
+  // referenced after this call — spill into the write buffer. Returns
+  // false on a dead socket.
   static bool FlushSegments(Connection* conn,
-                            const std::vector<std::string>& segments);
+                            const std::vector<ResponseSegment>& segments,
+                            size_t count);
   // Releases a drained connection buffer's capacity once it exceeds
   // buffer_shrink_threshold (counted in buffer_releases_).
   void MaybeReleaseBuffers(Connection* conn);

@@ -63,6 +63,21 @@ class FlatIndex {
     ++size_;
   }
 
+  // Overwrite the value stored for `key`; returns false when absent.
+  // `value` must not be kNotFound.
+  bool Replace(uint64_t key, uint32_t value) {
+    assert(value != kNotFound);
+    size_t i = Mix64(key) & mask_;
+    while (values_[i] != kNotFound) {
+      if (keys_[i] == key) {
+        values_[i] = value;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
   // Remove `key`; returns false when absent. Backward-shift deletion: the
   // vacated slot is refilled with any displaced successor in the probe run,
   // so no tombstones accumulate.

@@ -1,0 +1,153 @@
+// ValueArena: a page-based pool of fixed-stride value slots for one slab
+// class — the in-cache home of real payload bytes (ISSUE 8 / ROADMAP
+// "in-arena value storage").
+//
+// Each slot is one slab-class chunk: a 24-byte SlotHeader (cas, size,
+// flags, store time) followed by the value payload. The stride equals the
+// class's chunk size, so `live_slots() * chunk_size` is the class's true
+// resident footprint — the same quantity the paper's per-class accounting
+// charges. Slots live inside kPageSize pages (one slot per page for
+// chunk sizes above the page size) that are allocated once and never
+// moved or released, so a pointer into a slot's payload is stable for the
+// arena's lifetime; whether the *contents* are still meaningful is the
+// caller's residency question (see cache/value_store.h).
+//
+// The free-list is threaded through SlotHeader::free_next — deliberately
+// NOT through the payload bytes. A reader may hold a borrowed span into a
+// slot that a concurrent-burst mutation has already freed-but-not-reused
+// (the span contract in core/sharded_server.h makes this impossible for
+// correct callers, but keeping freed payload bytes intact until genuine
+// reuse turns a lifetime bug into stale data instead of heap-structure
+// corruption). Steady-state churn (every allocate preceded by a free)
+// touches the heap zero times.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/slab_geometry.h"
+
+namespace cliffhanger {
+
+class ValueArena {
+ public:
+  static constexpr uint32_t kNullSlot = UINT32_MAX;
+
+  struct SlotHeader {
+    uint64_t cas = 0;
+    uint32_t value_size = 0;
+    uint32_t flags = 0;
+    uint32_t stored_s = 0;
+    uint32_t free_next = kNullSlot;  // free-list link; kNullSlot when live
+  };
+  static constexpr size_t kHeaderBytes = sizeof(SlotHeader);
+  static_assert(sizeof(SlotHeader) == 24, "slot layout is part of the API");
+
+  explicit ValueArena(uint32_t chunk_size)
+      : stride_(chunk_size),
+        slots_per_page_(std::max<uint64_t>(1, kPageSize / chunk_size)) {
+    assert(chunk_size > kHeaderBytes);
+  }
+  ValueArena(const ValueArena&) = delete;
+  ValueArena& operator=(const ValueArena&) = delete;
+
+  // Bytes of payload a slot can hold. Every admitted item fits: the slab
+  // geometry guarantees key_size + value_size + kItemOverhead(32) <= chunk,
+  // and the header (24) is smaller than key_size + kItemOverhead.
+  [[nodiscard]] uint32_t payload_capacity() const {
+    return stride_ - static_cast<uint32_t>(kHeaderBytes);
+  }
+  [[nodiscard]] uint32_t chunk_size() const { return stride_; }
+
+  // Returns a slot to (re)initialize: recycled LIFO from the free-list
+  // when possible, carved from the last page otherwise (growing by one
+  // page when full). Headers are caller-initialized; payload bytes of a
+  // recycled slot keep their previous contents until overwritten.
+  uint32_t Allocate() {
+    if (free_head_ != kNullSlot) {
+      const uint32_t slot = free_head_;
+      free_head_ = header(slot)->free_next;
+      header(slot)->free_next = kNullSlot;
+      ++live_slots_;
+      return slot;
+    }
+    const uint64_t pool = pool_slots_;
+    if (pool == pages_.size() * slots_per_page_) {
+      pages_.push_back(std::make_unique<char[]>(slots_per_page_ * stride_));
+    }
+    assert(pool < kNullSlot);
+    ++pool_slots_;
+    ++live_slots_;
+    const auto slot = static_cast<uint32_t>(pool);
+    *header(slot) = SlotHeader{};
+    return slot;
+  }
+
+  void Free(uint32_t slot) {
+    assert(slot < pool_slots_);
+    SlotHeader* h = header(slot);
+    assert(h->free_next == kNullSlot);
+    h->free_next = free_head_;
+    free_head_ = slot;
+    assert(live_slots_ > 0);
+    --live_slots_;
+  }
+
+  [[nodiscard]] SlotHeader* header(uint32_t slot) {
+    return reinterpret_cast<SlotHeader*>(SlotBase(slot));
+  }
+  [[nodiscard]] const SlotHeader* header(uint32_t slot) const {
+    return reinterpret_cast<const SlotHeader*>(SlotBase(slot));
+  }
+  [[nodiscard]] char* payload(uint32_t slot) {
+    return SlotBase(slot) + kHeaderBytes;
+  }
+  [[nodiscard]] const char* payload(uint32_t slot) const {
+    return SlotBase(slot) + kHeaderBytes;
+  }
+
+  [[nodiscard]] uint64_t live_slots() const { return live_slots_; }
+  [[nodiscard]] uint64_t pool_slots() const { return pool_slots_; }
+  [[nodiscard]] size_t pages() const { return pages_.size(); }
+  [[nodiscard]] uint64_t resident_bytes() const {
+    return pages_.size() * slots_per_page_ * stride_;
+  }
+
+  // Free-list integrity: every free slot in range, no cycles, and the
+  // chain length matches pool - live (no leak, no double-free).
+  [[nodiscard]] bool CheckFreeList() const {
+    std::vector<bool> seen(pool_slots_, false);
+    uint64_t n = 0;
+    for (uint32_t s = free_head_; s != kNullSlot; s = header(s)->free_next) {
+      if (s >= pool_slots_ || seen[s]) return false;
+      seen[s] = true;
+      if (++n > pool_slots_ - live_slots_) return false;
+    }
+    return n == pool_slots_ - live_slots_;
+  }
+
+ private:
+  [[nodiscard]] char* SlotBase(uint32_t slot) {
+    assert(slot < pool_slots_);
+    return pages_[slot / slots_per_page_].get() +
+           (slot % slots_per_page_) * stride_;
+  }
+  [[nodiscard]] const char* SlotBase(uint32_t slot) const {
+    assert(slot < pool_slots_);
+    return pages_[slot / slots_per_page_].get() +
+           (slot % slots_per_page_) * stride_;
+  }
+
+  uint64_t stride_;
+  uint64_t slots_per_page_;
+  std::vector<std::unique_ptr<char[]>> pages_;
+  uint32_t free_head_ = kNullSlot;
+  uint64_t pool_slots_ = 0;
+  uint64_t live_slots_ = 0;
+};
+
+}  // namespace cliffhanger

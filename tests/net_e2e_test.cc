@@ -22,7 +22,6 @@
 #include <optional>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,6 +33,7 @@
 #include "sim/experiment.h"
 #include "util/argparse.h"
 #include "util/hashing.h"
+#include "util/slab_geometry.h"
 #include "workload/generators.h"
 #include "workload/trace.h"
 
@@ -52,7 +52,12 @@ class NetE2eTest : public ::testing::TestWithParam<net::SocketBackend> {
       const ShardedServerConfig& config,
       const std::vector<std::pair<uint32_t, uint64_t>>& apps,
       uint32_t default_app) {
-    server_ = std::make_unique<ShardedCacheServer>(config);
+    // The network front always serves real bytes: values live in the
+    // core's per-shard arenas (zero-copy GET), not in an adapter side
+    // table, so every socket server runs with in-arena value storage on.
+    ShardedServerConfig value_config = config;
+    value_config.server.store_values = true;
+    server_ = std::make_unique<ShardedCacheServer>(value_config);
     for (const auto& [app_id, reservation] : apps) {
       server_->AddApp(app_id, reservation);
     }
@@ -356,10 +361,147 @@ TEST_P(NetE2eTest, StatsSurfaceProtocolAndCoreCounters) {
   EXPECT_EQ(stats.at("get_misses"), "1");
   EXPECT_EQ(stats.at("num_shards"), "4");
   EXPECT_EQ(stats.at("bytes_stored"), "1");
+  EXPECT_EQ(stats.at("bytes"), "1");          // live payload, from the arena
+  EXPECT_EQ(stats.at("bytes_read"), "1");     // payload accepted by stores
+  EXPECT_EQ(stats.at("bytes_written"), "1");  // payload served by get hits
   EXPECT_EQ(stats.at("cliffhanger_gets"), "2");
   EXPECT_EQ(stats.at("cliffhanger_sets"), "1");
   EXPECT_EQ(stats.at("app_1_reservation_bytes"),
             std::to_string(8 * kMiB));
+}
+
+// The accounting IS the storage: `bytes` and the per-class slab lines come
+// straight from the value arenas, so storing, serving, deleting and
+// re-slabbing known payloads must move them by exactly the known amounts.
+TEST_P(NetE2eTest, StatsReportRealArenaMemoryAccounting) {
+  StartDefaultServer();
+  net::AsciiClient client = MakeClient();
+
+  const std::string small_a(100, 'a');
+  const std::string small_b(100, 'b');
+  const std::string big_c(1000, 'c');
+  ASSERT_EQ(client.Set("ma", small_a), net::AsciiClient::StoreResult::kStored);
+  ASSERT_EQ(client.Set("mb", small_b), net::AsciiClient::StoreResult::kStored);
+  ASSERT_EQ(client.Set("mc", big_c), net::AsciiClient::StoreResult::kStored);
+  const int small_class = SlabClassFor(ExactFootprint(2, 100));
+  const int big_class = SlabClassFor(ExactFootprint(2, 1000));
+  ASSERT_GE(small_class, 0);
+  ASSERT_NE(small_class, big_class);
+
+  const auto slab_stat = [&](const std::map<std::string, std::string>& stats,
+                             int cls, const char* field) -> uint64_t {
+    const std::string name =
+        "slabs:" + std::to_string(cls) + ":" + field;
+    const auto it = stats.find(name);
+    return it == stats.end() ? 0 : std::stoull(it->second);
+  };
+
+  auto stats = client.Stats();
+  EXPECT_EQ(stats.at("bytes"), "1200");
+  EXPECT_EQ(stats.at("bytes_stored"), "1200");
+  EXPECT_EQ(stats.at("bytes_read"), "1200");
+  EXPECT_EQ(stats.at("bytes_written"), "0");
+  EXPECT_EQ(slab_stat(stats, small_class, "chunk_size"),
+            static_cast<uint64_t>(ChunkSize(small_class)));
+  EXPECT_EQ(slab_stat(stats, small_class, "used_chunks"), 2u);
+  EXPECT_EQ(slab_stat(stats, big_class, "chunk_size"),
+            static_cast<uint64_t>(ChunkSize(big_class)));
+  EXPECT_EQ(slab_stat(stats, big_class, "used_chunks"), 1u);
+
+  // Serving moves bytes_written by the payload size; nothing else moves.
+  EXPECT_EQ(client.Get("mc")->data, big_c);
+  stats = client.Stats();
+  EXPECT_EQ(stats.at("bytes"), "1200");
+  EXPECT_EQ(stats.at("bytes_written"), "1000");
+
+  // Eager reclamation: a delete returns the chunk (and the bytes) at once.
+  EXPECT_TRUE(client.Delete("mb"));
+  stats = client.Stats();
+  EXPECT_EQ(stats.at("bytes"), "1100");
+  EXPECT_EQ(slab_stat(stats, small_class, "used_chunks"), 1u);
+
+  // A cross-class overwrite frees the old chunk and charges the new class.
+  ASSERT_EQ(client.Set("ma", big_c), net::AsciiClient::StoreResult::kStored);
+  stats = client.Stats();
+  EXPECT_EQ(stats.at("bytes"), "2000");
+  EXPECT_EQ(slab_stat(stats, small_class, "used_chunks"), 0u);
+  EXPECT_EQ(slab_stat(stats, big_class, "used_chunks"), 2u);
+  EXPECT_EQ(stats.at("bytes_read"), "2200");
+}
+
+// Regression: `add` (and replace/cas) decide presence from the core, not
+// from any adapter-side record of what was once stored. Under the old
+// side-table design an evicted key still looked "live" to `add` until some
+// GET noticed the eviction — so an add issued right after the eviction was
+// wrongly rejected with NOT_STORED.
+TEST_P(NetE2eTest, AddSucceedsImmediatelyAfterEviction) {
+  ShardedServerConfig config;
+  config.server = DefaultServerConfig();
+  config.num_shards = 1;  // one LRU: the coldest key's eviction is certain
+  StartServer(config, {{1, 256 * 1024}}, 1);
+  net::AsciiClient client = MakeClient();
+
+  const std::string value(400, 'v');
+  ASSERT_EQ(client.Set("vic", value), net::AsciiClient::StoreResult::kStored);
+  // ~800 KiB of fresh keys through a 256 KiB reservation: "vic", never
+  // touched again, is long gone. Crucially there is NO get on "vic"
+  // between the eviction and the add.
+  std::string blob;
+  for (int i = 0; i < 2000; ++i) {
+    blob += "set churn" + std::to_string(i) + " 0 0 400 noreply\r\n" + value +
+            "\r\n";
+  }
+  ASSERT_TRUE(client.SendRaw(blob));
+  ASSERT_EQ(client.Version(), std::string(net::kServerVersion));  // sync
+
+  // Same slab class as the churn values, so FCFS class capacity exists and
+  // the accepted add is also physically retained (a smaller value would
+  // land in a zero-capacity class and shadow out — correct FCFS
+  // calcification, but not what this regression is about).
+  const std::string revived(400, 'r');
+  EXPECT_EQ(client.Add("vic", revived),
+            net::AsciiClient::StoreResult::kStored);
+  const auto got = client.Get("vic");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->data, revived);
+}
+
+// Regression for the per-key metadata retention leak: the old adapter kept
+// ~40 bytes per key EVER stored (a size/cas record that out-lived
+// eviction). Now the only per-key state anywhere is the core's, and the
+// core's is bounded by residency — churning many times more unique keys
+// than the reservation holds must leave the tracked-key count at the
+// resident population, not the ever-stored population.
+TEST_P(NetE2eTest, KeyChurnDoesNotAccumulatePerKeyMetadata) {
+  ShardedServerConfig config;
+  config.server = DefaultServerConfig();
+  config.num_shards = 4;
+  StartServer(config, {{1, 1 * kMiB}}, 1);
+  net::AsciiClient client = MakeClient();
+
+  // Enough uniques to sail past the config-derived tracking bound
+  // (resident chunks + shadow-ghost capacities, ~41k for this geometry).
+  constexpr int kUnique = 120000;
+  const std::string value(32, 'x');
+  std::string blob;
+  for (int i = 0; i < kUnique; ++i) {
+    blob += "set churn" + std::to_string(i) + " 0 0 32 noreply\r\n" + value +
+            "\r\n";
+    if (blob.size() > 256 * 1024) {
+      ASSERT_TRUE(client.SendRaw(blob));
+      blob.clear();
+    }
+  }
+  ASSERT_TRUE(client.SendRaw(blob));
+  ASSERT_EQ(client.Version(), std::string(net::kServerVersion));  // sync
+
+  const ShardedCacheServer::ValueStats vs = server_->MergedValueStats();
+  // Tracked = resident slots + shadow ghosts, both capped by configuration
+  // (reservation / chunk and the shadow capacities) — never by how many
+  // keys have ever been stored.
+  EXPECT_GT(vs.tracked_keys, 0u);
+  EXPECT_LT(vs.tracked_keys, static_cast<uint64_t>(kUnique) / 2);
+  EXPECT_LE(vs.value_bytes, 1 * kMiB);
 }
 
 TEST_P(NetE2eTest, AppPrefixRoutesToRegisteredApps) {
@@ -964,10 +1106,12 @@ TEST_P(NetE2eTest, BurstMixedVerbPipelineKeepsResponseOrder) {
 
 // --- The determinism test -------------------------------------------------
 
-// Mirrors CacheAdapter's size bookkeeping against a library server: the
-// only state a memcached client can convey is what it has stored, so the
-// reference tracks exactly that (value_size per known key, kept across
-// evictions) and issues the same core calls the adapter issues.
+// Mirrors CacheAdapter against a library server. With values in the core
+// arenas the mirror needs no bookkeeping of its own: it issues exactly the
+// value verbs the adapter issues (a GetValue probe; on a miss the client
+// demand-fills, which is a SetValue behind the slab-class admission
+// precheck). The trace carries no TTLs and no flushes, so a fixed clock
+// stands in for the socket pass's wall clock.
 class LibraryReplay {
  public:
   explicit LibraryReplay(ShardedCacheServer* server, uint32_t app_id)
@@ -975,31 +1119,31 @@ class LibraryReplay {
 
   // Demand-fill GET; returns true on hit.
   bool Get(uint64_t key_id, uint32_t key_size, uint32_t fill_value_size) {
-    const auto it = known_.find(key_id);
-    const uint32_t probe_size = it == known_.end() ? 0 : it->second;
-    const Outcome outcome =
-        server_->Get(app_id_, ItemMeta{key_id, key_size, probe_size});
-    if (outcome.hit) return true;
+    const ValueOutcome vo =
+        server_->GetValue(app_id_, key_id, key_size, kNow, /*flush_at_s=*/0);
+    if (vo.valid) return true;
     Set(key_id, key_size, fill_value_size);
     return false;
   }
 
   void Set(uint64_t key_id, uint32_t key_size, uint32_t value_size) {
-    const auto it = known_.find(key_id);
-    if (it != known_.end() && it->second != value_size) {
-      server_->Delete(app_id_, ItemMeta{key_id, key_size, it->second});
+    const std::string bytes(value_size, 'v');
+    ItemMeta item{key_id, key_size, value_size};
+    item.now_s = kNow;
+    if (SlabClassFor(ExactFootprint(key_size, value_size)) < 0) {
+      // Oversized store: drops any old incarnation, mints no cas — the
+      // adapter's too-large path.
+      server_->SetValue(app_id_, item, bytes.data(), 0, 0);
+      return;
     }
-    if (server_->Set(app_id_, ItemMeta{key_id, key_size, value_size})) {
-      known_[key_id] = value_size;
-    } else {
-      known_.erase(key_id);
-    }
+    server_->SetValue(app_id_, item, bytes.data(), 0, ++cas_);
   }
 
  private:
+  static constexpr uint32_t kNow = 1;
   ShardedCacheServer* server_;
   uint32_t app_id_;
-  std::unordered_map<uint64_t, uint32_t> known_;
+  uint64_t cas_ = 0;
 };
 
 void ExpectStatsEqual(const ClassStats& a, const ClassStats& b,
@@ -1018,6 +1162,7 @@ TEST_P(NetE2eTest, SocketReplayIsBitIdenticalToLibraryReplay) {
   // hill climber or cliff scaler and shows up in the counters.
   ShardedServerConfig config;
   config.server = CliffhangerServerConfig();
+  config.server.store_values = true;  // both passes serve real bytes
   config.num_shards = 4;
   config.rebalance_interval_ops = 4096;
   constexpr uint32_t kApp = 1;
@@ -1094,12 +1239,13 @@ TEST_P(NetE2eTest, SocketReplayIsBitIdenticalToLibraryReplay) {
 
 // --- The full-verb determinism test ---------------------------------------
 
-// Mirrors CacheAdapter's COMPLETE per-key bookkeeping (value bytes, cas
-// version, absolute expiry, store time vs. the flush point, the re-slab
-// Delete+Set vs. same-size Touch distinction) so that a trace spanning the
-// whole PR-5 verb set can be replayed library-side issuing exactly the core
-// calls the adapter issues. Single-threaded, like the one-connection socket
-// pass, so the global cas counter advances in the same order.
+// Mirrors CacheAdapter over the core value verbs: values, cas versions,
+// expiries and flush reclamation all live in the core now, so the mirror
+// holds only what the adapter itself holds — a cas counter and the flush
+// point — and issues exactly the verb sequence the adapter issues
+// (including the no-cas-minted-on-rejected-store discipline).
+// Single-threaded, like the one-connection socket pass, so the cas counter
+// advances in the same order.
 class FullVerbReplay {
  public:
   FullVerbReplay(ShardedCacheServer* server, uint32_t app_id)
@@ -1117,119 +1263,104 @@ class FullVerbReplay {
   // Demand-fill-free GET (the adapter's HandleGet for one key).
   std::optional<GotValue> Get(uint64_t key_id, uint32_t key_size,
                               uint32_t now) {
-    const auto it = map_.find(key_id);
-    const bool was_live = it != map_.end() && it->second.live;
-    if (was_live && !Valid(it->second, now) &&
-        !ExpiredAt(it->second.expiry_s, now)) {
-      // Flush-invalidated: reclaimed before any core probe, like the
-      // adapter's flush branch.
-      Reclaim(&it->second, key_id, key_size);
-      return std::nullopt;
-    }
-    const uint32_t value_size = it == map_.end() ? 0 : it->second.value_size;
-    ItemMeta item{key_id, key_size, value_size};
-    item.now_s = now;
-    const Outcome outcome = server_->Get(app_id_, item);
-    if (outcome.hit && was_live) {
-      return GotValue{it->second.value, it->second.cas};
-    }
-    if (!outcome.hit && was_live) ReleaseValue(&it->second);
-    return std::nullopt;
+    const ValueOutcome vo =
+        server_->GetValue(app_id_, key_id, key_size, now, flush_at_s_);
+    if (!vo.valid) return std::nullopt;
+    return GotValue{std::string(vo.view.data, vo.view.size), vo.view.cas};
   }
 
   SR Store(Kind kind, uint64_t key_id, uint32_t key_size,
            const std::string& value, int64_t exptime, uint64_t cas_unique,
            uint32_t now) {
-    const Lookup lk = LookupEntry(key_id, key_size, now);
-    const bool exists = lk.entry != nullptr;
-    const uint32_t old_size = exists ? lk.entry->value_size : 0;
-    if ((kind == Kind::kAdd && lk.valid) ||
-        (kind == Kind::kReplace && !lk.valid)) {
-      return SR::kNotStored;
-    }
-    if (kind == Kind::kCas) {
-      if (!lk.valid) return SR::kNotFound;
-      if (lk.entry->cas != cas_unique) return SR::kExists;
+    if (kind != Kind::kSet) {
+      // Presence straight from the core (resident, unexpired, unflushed),
+      // like the adapter's StoreLocked peek.
+      const ValueOutcome peek =
+          server_->PeekValue(app_id_, key_id, now, flush_at_s_);
+      if ((kind == Kind::kAdd && peek.valid) ||
+          (kind == Kind::kReplace && !peek.valid)) {
+        return SR::kNotStored;
+      }
+      if (kind == Kind::kCas) {
+        if (!peek.valid) return SR::kNotFound;
+        if (peek.view.cas != cas_unique) return SR::kExists;
+      }
     }
     const auto new_size = static_cast<uint32_t>(value.size());
-    if (exists && !lk.reclaimed && old_size != new_size) {
-      server_->Delete(app_id_, ItemMeta{key_id, key_size, old_size});
-    }
     ItemMeta item{key_id, key_size, new_size};
     item.expiry_s = net::AbsoluteExpiry(exptime, now);
     item.now_s = now;
-    if (!server_->Set(app_id_, item)) {
-      if (exists) map_.erase(key_id);
+    if (SlabClassFor(ExactFootprint(key_size, new_size)) < 0) {
+      server_->SetValue(app_id_, item, value.data(), 0, 0);
       return SR::kTooLarge;
     }
-    Entry& entry = map_[key_id];
-    entry.value = value;
-    entry.value_size = new_size;
-    entry.stored_s = now;
-    entry.expiry_s = item.expiry_s;
-    entry.cas = ++cas_counter_;
-    entry.live = true;
+    server_->SetValue(app_id_, item, value.data(), 0, ++cas_counter_);
     return SR::kStored;
   }
 
   SR Concat(bool append, uint64_t key_id, uint32_t key_size,
             const std::string& data, uint32_t now) {
-    const Lookup lk = LookupEntry(key_id, key_size, now);
-    if (!lk.valid) return SR::kNotStored;
-    Entry& entry = *lk.entry;
-    if (entry.value.size() + data.size() > net::kMaxValueBytes) {
+    const ValueOutcome peek =
+        server_->PeekValue(app_id_, key_id, now, flush_at_s_);
+    if (!peek.valid) return SR::kNotStored;
+    if (static_cast<uint64_t>(peek.view.size) + data.size() >
+        net::kMaxValueBytes) {
+      return SR::kTooLarge;  // splice rejected, original intact
+    }
+    std::string combined;
+    combined.reserve(peek.view.size + data.size());
+    if (append) {
+      combined.append(peek.view.data, peek.view.size);
+      combined.append(data);
+    } else {
+      combined.append(data);
+      combined.append(peek.view.data, peek.view.size);
+    }
+    const auto new_size = static_cast<uint32_t>(combined.size());
+    if (SlabClassFor(ExactFootprint(key_size, new_size)) < 0) {
+      // Under kMaxValueBytes but over the largest chunk: the old
+      // incarnation dies (ReplaceValue deletes before failing), no cas.
+      server_->ReplaceValue(app_id_, key_id, key_size, combined.data(),
+                            new_size, 0, now);
       return SR::kTooLarge;
     }
-    const std::string combined =
-        append ? entry.value + data : data + entry.value;
-    if (!Rewrite(&entry, key_id, key_size, combined, now)) {
-      return SR::kTooLarge;
-    }
+    server_->ReplaceValue(app_id_, key_id, key_size, combined.data(),
+                          new_size, ++cas_counter_, now);
     return SR::kStored;
   }
 
   enum class ArithResult : uint8_t { kOk, kNotFound, kNonNumeric };
   ArithResult Arith(bool increment, uint64_t key_id, uint32_t key_size,
                     uint64_t delta, uint32_t now, uint64_t* result_out) {
-    const Lookup lk = LookupEntry(key_id, key_size, now);
-    if (!lk.valid) return ArithResult::kNotFound;
-    Entry& entry = *lk.entry;
+    const ValueOutcome peek =
+        server_->PeekValue(app_id_, key_id, now, flush_at_s_);
+    if (!peek.valid) return ArithResult::kNotFound;
     uint64_t value = 0;
-    if (!ParseDecimalU64(entry.value, &value)) {
+    if (!ParseDecimalU64(std::string_view(peek.view.data, peek.view.size),
+                         &value)) {
       return ArithResult::kNonNumeric;
     }
     const uint64_t result = increment
                                 ? value + delta
                                 : (value < delta ? 0 : value - delta);
-    Rewrite(&entry, key_id, key_size, std::to_string(result), now);
+    const std::string text = std::to_string(result);
+    server_->ReplaceValue(app_id_, key_id, key_size, text.data(),
+                          static_cast<uint32_t>(text.size()), ++cas_counter_,
+                          now);
     *result_out = result;
     return ArithResult::kOk;
   }
 
   bool Touch(uint64_t key_id, uint32_t key_size, int64_t exptime,
              uint32_t now) {
-    const Lookup lk = LookupEntry(key_id, key_size, now);
-    if (!lk.valid) return false;
-    Entry& entry = *lk.entry;
-    entry.expiry_s = net::AbsoluteExpiry(exptime, now);
-    ItemMeta item{key_id, key_size, entry.value_size};
-    item.expiry_s = entry.expiry_s;
-    item.now_s = now;
-    server_->Touch(app_id_, item);
-    return true;
+    return server_->TouchValue(app_id_, key_id, key_size,
+                               net::AbsoluteExpiry(exptime, now), now,
+                               flush_at_s_);
   }
 
   bool Delete(uint64_t key_id, uint32_t key_size, uint32_t now) {
-    bool valid = false;
-    uint32_t value_size = 0;
-    const auto it = map_.find(key_id);
-    if (it != map_.end()) {
-      valid = Valid(it->second, now);
-      value_size = it->second.value_size;
-      map_.erase(it);
-    }
-    server_->Delete(app_id_, ItemMeta{key_id, key_size, value_size});
-    return valid;
+    (void)key_size;
+    return server_->DeleteValue(app_id_, key_id, now, flush_at_s_);
   }
 
   void FlushAll(int64_t delay, uint32_t now) {
@@ -1239,78 +1370,10 @@ class FullVerbReplay {
   }
 
  private:
-  struct Entry {
-    std::string value;
-    uint32_t value_size = 0;
-    uint32_t stored_s = 0;
-    uint32_t expiry_s = 0;
-    uint64_t cas = 0;
-    bool live = false;
-  };
-  struct Lookup {
-    Entry* entry = nullptr;
-    bool valid = false;
-    bool reclaimed = false;
-  };
-
-  bool Valid(const Entry& entry, uint32_t now) const {
-    if (!entry.live) return false;
-    if (ExpiredAt(entry.expiry_s, now)) return false;
-    return flush_at_s_ == 0 || now < flush_at_s_ ||
-           entry.stored_s >= flush_at_s_;
-  }
-
-  void ReleaseValue(Entry* entry) {
-    entry->value.clear();
-    entry->live = false;
-  }
-
-  void Reclaim(Entry* entry, uint64_t key_id, uint32_t key_size) {
-    ReleaseValue(entry);
-    server_->Delete(app_id_, ItemMeta{key_id, key_size, entry->value_size});
-  }
-
-  Lookup LookupEntry(uint64_t key_id, uint32_t key_size, uint32_t now) {
-    Lookup lk;
-    const auto it = map_.find(key_id);
-    if (it == map_.end()) return lk;
-    lk.entry = &it->second;
-    lk.valid = Valid(it->second, now);
-    if (it->second.live && !lk.valid) {
-      Reclaim(lk.entry, key_id, key_size);
-      lk.reclaimed = true;
-    }
-    return lk;
-  }
-
-  bool Rewrite(Entry* entry, uint64_t key_id, uint32_t key_size,
-               const std::string& new_value, uint32_t now) {
-    const uint32_t old_size = entry->value_size;
-    const auto new_size = static_cast<uint32_t>(new_value.size());
-    ItemMeta item{key_id, key_size, new_size};
-    item.expiry_s = entry->expiry_s;
-    item.now_s = now;
-    if (new_size != old_size) {
-      server_->Delete(app_id_, ItemMeta{key_id, key_size, old_size});
-      if (!server_->Set(app_id_, item)) {
-        ReleaseValue(entry);
-        return false;
-      }
-    } else {
-      server_->Touch(app_id_, item);
-    }
-    entry->value = new_value;
-    entry->value_size = new_size;
-    entry->stored_s = now;
-    entry->cas = ++cas_counter_;
-    return true;
-  }
-
   ShardedCacheServer* server_;
   uint32_t app_id_;
   uint64_t cas_counter_ = 0;  // same numbering as the adapter's NextCas()
   uint32_t flush_at_s_ = 0;
-  std::unordered_map<uint64_t, Entry> map_;
 };
 
 // One scripted operation of the full-verb trace. Generated once, replayed
@@ -1426,6 +1489,7 @@ TEST_P(NetE2eTest, FullVerbSocketReplayIsBitIdenticalToLibraryReplay) {
   // the transcripts — not just the final counters — must be identical.
   ShardedServerConfig config;
   config.server = CliffhangerServerConfig();
+  config.server.store_values = true;  // both passes serve real bytes
   config.num_shards = 4;
   config.rebalance_interval_ops = 4096;
   constexpr uint32_t kApp = 1;
