@@ -1,7 +1,7 @@
 #!/bin/sh
 # Regenerate the golden-metrics baselines under bench/baselines/metrics/.
 #
-# The metric drivers (fig6/fig7/table3/table4) are bit-deterministic —
+# The metric drivers (fig6/fig7/table3/table4/table9) are bit-deterministic —
 # seeded traces, clockless lazy expiry, no threads — so the goldens are
 # diffed at zero tolerance (compare_bench.py --exact) by the
 # metrics-regression CI job. Run this script ONLY when a hit-rate change is
@@ -24,16 +24,24 @@ BUILD_DIR=${BUILD_DIR:-build}
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-  fig6_hitrates fig7_miss_reduction_memory table3_cross_app table4_combined
+  fig6_hitrates fig7_miss_reduction_memory table3_cross_app table4_combined \
+  table9_multitenant
 
 mkdir -p "$OUTDIR"
 for bench in fig6_hitrates fig7_miss_reduction_memory table3_cross_app \
-             table4_combined; do
+             table4_combined table9_multitenant; do
   echo "generating $OUTDIR/$bench.json (app_requests=$GOLDEN_APP_REQUESTS)"
   "./$BUILD_DIR/$bench" --app-requests "$GOLDEN_APP_REQUESTS" \
     > "$OUTDIR/$bench.json" 2>/dev/null
 done
 
+python3 bench/validate_schema.py \
+  --require-row t20/warm --require-row t20/churn --require-row t20/steady \
+  --require-row t200/warm --require-row t200/churn \
+  --require-row t200/steady --require-row t2000/warm \
+  --require-row t2000/churn --require-row t2000/steady \
+  bench/schema/bench_result.schema.json \
+  "$OUTDIR"/table9_multitenant.json
 python3 bench/validate_schema.py bench/schema/bench_result.schema.json \
   "$OUTDIR"/fig6_hitrates.json "$OUTDIR"/fig7_miss_reduction_memory.json \
   "$OUTDIR"/table3_cross_app.json "$OUTDIR"/table4_combined.json

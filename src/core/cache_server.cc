@@ -52,6 +52,7 @@ AppCache::AppCache(uint32_t app_id, uint64_t reservation,
                    const ServerConfig& config, CacheServer* server)
     : app_id_(app_id),
       reservation_(reservation),
+      registered_bytes_(reservation),
       free_bytes_(reservation),
       config_(config),
       server_(server) {
@@ -203,7 +204,7 @@ Outcome AppCache::GetAtClass(int slab_class, const ItemMeta& item) {
     if (r.region == HitRegion::kHillShadow) {
       if (climber_) climber_->OnShadowHit(entry.climber_index);
       if (config_.knobs.cross_app && server_ != nullptr) {
-        server_->OnAppShadowHit(server_->app_index_.at(app_id_));
+        server_->OnAppShadowHit(cross_index_, HillGradientWeight(entry));
       }
     }
     if (entry.scaler) {
@@ -212,6 +213,23 @@ Outcome AppCache::GetAtClass(int slab_class, const ItemMeta& item) {
     }
   }
   return outcome;
+}
+
+double AppCache::HillGradientWeight(const ClassEntry& entry) const {
+  const CliffScaler* scaler = entry.scaler.get();
+  if (scaler == nullptr || !scaler->on_cliff()) return 1.0;
+  // On a cliff the scaler serves the concave hull between its two pointers,
+  // whose slope exceeds the raw curve gradient the hill shadow samples by
+  // roughly (pointer span) / (operating point) — the hull bridges that many
+  // extra items' worth of rise per marginal item. Clamp: the pointers can
+  // run far ahead of the operating point while the hull is still forming.
+  const auto operating_items = static_cast<double>(
+      entry.partitioned != nullptr ? entry.partitioned->capacity_items() : 0);
+  if (operating_items <= 0.0) return 1.0;
+  const double span = scaler->right_pointer() - scaler->left_pointer();
+  if (span <= 0.0) return 1.0;
+  return std::min(1.0 + span / operating_items,
+                  config_.knobs.cross_app_max_gradient_weight);
 }
 
 bool AppCache::Set(const ItemMeta& item) {
@@ -579,6 +597,30 @@ void AppCache::SetReservation(uint64_t bytes) {
   reservation_ = bytes;
 }
 
+void AppCache::ResizeReservation(uint64_t bytes) {
+  registered_bytes_ = bytes;
+  SetReservation(bytes);
+}
+
+bool AppCache::CheckInvariants() const {
+  for (const auto& [slab_class, entry] : classes_) {
+    if (entry->partitioned != nullptr &&
+        !entry->partitioned->CheckInvariants()) {
+      return false;
+    }
+  }
+  if (value_store_ && !value_store_->CheckInvariants()) return false;
+  // Conservation: FCFS/Cliffhanger grants and climber transfers only move
+  // bytes between free_bytes_ and class capacities. kStatic allocations and
+  // the global log are pinned independently of the reservation.
+  if (config_.allocation != AllocationMode::kStatic &&
+      config_.eviction != EvictionScheme::kGlobalLog &&
+      allocated_bytes() + free_bytes_ != reservation_) {
+    return false;
+  }
+  return true;
+}
+
 std::vector<AppCache::ClassInfo> AppCache::ClassInfos() const {
   std::vector<ClassInfo> infos;
   infos.reserve(classes_.size());
@@ -607,11 +649,14 @@ ClassStats AppCache::StatsForClass(int slab_class) const {
 // --- CacheServer ---
 
 // Climber surface for a whole application (cross-app mode): "queue size" is
-// the app's reservation.
+// the app's reservation. The floor is computed live from the registered
+// (administrative) reservation, so an admin resize through ResizeReservation
+// moves the floor with it — a frozen construction-time floor goes stale the
+// first time a tenant is resized.
 class CacheServer::AppAdapter final : public ClimbableQueue {
  public:
-  AppAdapter(AppCache* app, uint64_t min_bytes)
-      : app_(app), min_bytes_(min_bytes) {}
+  AppAdapter(AppCache* app, uint64_t page_size)
+      : app_(app), page_size_(page_size) {}
   [[nodiscard]] uint64_t capacity_bytes() const override {
     return app_->reservation();
   }
@@ -619,19 +664,24 @@ class CacheServer::AppAdapter final : public ClimbableQueue {
     app_->SetReservation(bytes);
   }
   [[nodiscard]] uint64_t min_capacity_bytes() const override {
-    return min_bytes_;
+    // A tenant may never be squeezed below a handful of pages or an eighth
+    // of its paid reservation, whichever is larger.
+    return std::max<uint64_t>(4 * page_size_,
+                              app_->registered_reservation() / 8);
   }
 
  private:
   AppCache* app_;
-  uint64_t min_bytes_;
+  uint64_t page_size_;
 };
 
 CacheServer::CacheServer(const ServerConfig& config) : config_(config) {
   if (config_.allocation == AllocationMode::kCliffhanger &&
       config_.knobs.cross_app) {
+    HillClimberConfig cross = config_.knobs.climber;
+    cross.max_credit_quanta = config_.knobs.cross_app_max_credit_quanta;
     cross_climber_ = std::make_unique<HillClimber>(
-        config_.knobs.climber, HashCombine(config_.seed, 0xA99ULL));
+        cross, HashCombine(config_.seed, 0xA99ULL));
   }
 }
 
@@ -643,17 +693,86 @@ AppCache& CacheServer::AddApp(uint32_t app_id, uint64_t reservation) {
   AppCache* raw = app.get();
   apps_.emplace(app_id, std::move(app));
   if (cross_climber_) {
-    app_index_[app_id] = app_adapters_.size();
-    // A tenant may never be squeezed below a handful of pages or an eighth
-    // of its paid reservation, whichever is larger.
-    const uint64_t min_bytes =
-        std::max<uint64_t>(4 * config_.page_size, reservation / 8);
-    app_adapters_.push_back(std::make_unique<AppAdapter>(raw, min_bytes));
-    cross_climber_->AddQueue(app_adapters_.back().get());
-  } else {
-    app_index_[app_id] = app_index_.size();
+    auto adapter = std::make_unique<AppAdapter>(raw, config_.page_size);
+    const size_t index = cross_climber_->AddQueue(adapter.get());
+    raw->cross_index_ = index;  // cached for the hot GET path
+    if (index == app_adapters_.size()) {
+      app_adapters_.push_back(std::move(adapter));
+    } else {
+      // The climber handed back a slot freed by RemoveApp.
+      assert(index < app_adapters_.size() && app_adapters_[index] == nullptr);
+      app_adapters_[index] = std::move(adapter);
+    }
   }
   return *raw;
+}
+
+bool CacheServer::RemoveApp(uint32_t app_id) {
+  const auto it = apps_.find(app_id);
+  if (it == apps_.end()) return false;
+  AppCache* departing = it->second.get();
+  const uint64_t freed = departing->reservation();
+  if (cross_climber_) {
+    const size_t index = departing->cross_index_;
+    cross_climber_->RemoveQueue(index);
+    app_adapters_[index] = nullptr;
+  }
+  // Destroying the AppCache tears down every class queue (physical + shadow
+  // nodes) and the value store's arenas — the departing tenant's memory is
+  // reclaimed eagerly, not lazily via eviction pressure.
+  apps_.erase(it);
+  // In cross-app mode the server-wide total is the paper's fixed memory
+  // budget, so the departing tenant's share flows to the survivors.
+  if (cross_climber_) RedistributeReservation(freed);
+  return true;
+}
+
+void CacheServer::RedistributeReservation(uint64_t bytes) {
+  if (bytes == 0 || apps_.empty()) return;
+  uint64_t total = 0;
+  for (const auto& [id, app] : apps_) total += app->reservation();
+
+  // Largest-remainder split proportional to current reservations: grants
+  // sum to exactly `bytes`, and the (remainder desc, app_id asc) ordering
+  // keeps the split deterministic.
+  struct Share {
+    uint32_t app_id;
+    AppCache* app;
+    uint64_t grant;
+    uint64_t remainder;
+  };
+  std::vector<Share> shares;
+  shares.reserve(apps_.size());
+  uint64_t granted = 0;
+  for (auto& [id, app] : apps_) {
+    Share s;
+    s.app_id = id;
+    s.app = app.get();
+    if (total == 0) {
+      s.grant = bytes / apps_.size();
+      s.remainder = 0;  // resolve ties purely by app_id below
+    } else {
+      const auto numer = static_cast<unsigned __int128>(bytes) *
+                         static_cast<unsigned __int128>(app->reservation());
+      s.grant = static_cast<uint64_t>(numer / total);
+      s.remainder = static_cast<uint64_t>(numer % total);
+    }
+    granted += s.grant;
+    shares.push_back(s);
+  }
+  uint64_t leftover = bytes - granted;
+  std::sort(shares.begin(), shares.end(), [](const Share& a, const Share& b) {
+    if (a.remainder != b.remainder) return a.remainder > b.remainder;
+    return a.app_id < b.app_id;
+  });
+  for (auto& s : shares) {
+    if (leftover == 0) break;
+    ++s.grant;
+    --leftover;
+  }
+  for (const auto& s : shares) {
+    if (s.grant > 0) s.app->SetReservation(s.app->reservation() + s.grant);
+  }
 }
 
 AppCache* CacheServer::app(uint32_t app_id) {
@@ -666,34 +785,43 @@ const AppCache* CacheServer::app(uint32_t app_id) const {
   return it == apps_.end() ? nullptr : it->second.get();
 }
 
+// Routed verbs soft-fail on an unknown app: the response reads as an
+// uncacheable miss / failed store, never queue state. See the header note
+// on the RemoveApp race with in-flight daemon ops.
+
 Outcome CacheServer::Get(uint32_t app_id, const ItemMeta& item) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
+  if (a == nullptr) {
+    Outcome o;
+    o.cacheable = false;
+    return o;
+  }
   return a->Get(item);
 }
 
 bool CacheServer::Set(uint32_t app_id, const ItemMeta& item) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
-  return a->Set(item);
+  return a != nullptr && a->Set(item);
 }
 
 bool CacheServer::Touch(uint32_t app_id, const ItemMeta& item) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
-  return a->Touch(item);
+  return a != nullptr && a->Touch(item);
 }
 
 void CacheServer::Delete(uint32_t app_id, const ItemMeta& item) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
-  a->Delete(item);
+  if (a != nullptr) a->Delete(item);
 }
 
 Outcome CacheServer::Mutate(uint32_t app_id, MutateOp op,
                             const ItemMeta& item) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
+  if (a == nullptr) {
+    Outcome o;
+    o.cacheable = false;
+    return o;
+  }
   return a->Mutate(op, item);
 }
 
@@ -701,22 +829,29 @@ ValueOutcome CacheServer::GetByKey(uint32_t app_id, uint64_t key,
                                    uint32_t key_size, uint32_t now_s,
                                    uint32_t flush_at_s) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
+  if (a == nullptr) {
+    ValueOutcome vo;
+    vo.outcome.cacheable = false;
+    return vo;
+  }
   return a->GetByKey(key, key_size, now_s, flush_at_s);
 }
 
 ValueOutcome CacheServer::PeekByKey(uint32_t app_id, uint64_t key,
                                     uint32_t now_s, uint32_t flush_at_s) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
+  if (a == nullptr) {
+    ValueOutcome vo;
+    vo.outcome.cacheable = false;
+    return vo;
+  }
   return a->PeekByKey(key, now_s, flush_at_s);
 }
 
 bool CacheServer::SetValue(uint32_t app_id, const ItemMeta& item,
                            const void* data, uint32_t flags, uint64_t cas) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
-  return a->SetValue(item, data, flags, cas);
+  return a != nullptr && a->SetValue(item, data, flags, cas);
 }
 
 ReplaceResult CacheServer::ReplaceValue(uint32_t app_id, uint64_t key,
@@ -724,7 +859,7 @@ ReplaceResult CacheServer::ReplaceValue(uint32_t app_id, uint64_t key,
                                         uint32_t size, uint64_t cas,
                                         uint32_t now_s) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
+  if (a == nullptr) return ReplaceResult::kFailed;
   return a->ReplaceValue(key, key_size, data, size, cas, now_s);
 }
 
@@ -732,19 +867,18 @@ bool CacheServer::TouchByKey(uint32_t app_id, uint64_t key, uint32_t key_size,
                              uint32_t expiry_s, uint32_t now_s,
                              uint32_t flush_at_s) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
-  return a->TouchByKey(key, key_size, expiry_s, now_s, flush_at_s);
+  return a != nullptr &&
+         a->TouchByKey(key, key_size, expiry_s, now_s, flush_at_s);
 }
 
 bool CacheServer::DeleteByKey(uint32_t app_id, uint64_t key, uint32_t now_s,
                               uint32_t flush_at_s) {
   AppCache* a = app(app_id);
-  assert(a != nullptr);
-  return a->DeleteByKey(key, now_s, flush_at_s);
+  return a != nullptr && a->DeleteByKey(key, now_s, flush_at_s);
 }
 
-void CacheServer::OnAppShadowHit(size_t app_index) {
-  if (cross_climber_) cross_climber_->OnShadowHit(app_index);
+void CacheServer::OnAppShadowHit(size_t app_index, double weight) {
+  if (cross_climber_) cross_climber_->OnShadowHit(app_index, weight);
 }
 
 ClassStats CacheServer::TotalStats() const {
@@ -758,6 +892,19 @@ std::vector<uint32_t> CacheServer::app_ids() const {
   ids.reserve(apps_.size());
   for (const auto& [id, app] : apps_) ids.push_back(id);
   return ids;
+}
+
+uint64_t CacheServer::total_reservation() const {
+  uint64_t total = 0;
+  for (const auto& [id, app] : apps_) total += app->reservation();
+  return total;
+}
+
+bool CacheServer::CheckInvariants() const {
+  for (const auto& [id, app] : apps_) {
+    if (!app->CheckInvariants()) return false;
+  }
+  return true;
 }
 
 }  // namespace cliffhanger

@@ -46,6 +46,19 @@ struct CliffhangerKnobs {
   // Also run Algorithm 1 across applications (§3.3 / Table 3), using each
   // app's aggregate shadow hits to resize reservations.
   bool cross_app = false;
+  // Cap on the cliff-aware gradient amplification fed to the cross-app
+  // climber. When the class a hill-shadow hit came from sits on a cliff,
+  // the raw shadow hit rate samples the depressed gradient at the cliff
+  // edges while the app actually operates on the concave hull, whose slope
+  // across the cliff is steeper; the per-hit credit is scaled by
+  // 1 + (right_ptr - left_ptr) / operating_point, clamped to this cap, so
+  // on-cliff apps are not starved by the very cliffs the scaler bridges.
+  double cross_app_max_gradient_weight = 8.0;
+  // Credit clamp (HillClimberConfig::max_credit_quanta) for the CROSS-APP
+  // climber: bounds the transfer burst a tenant can unleash after its
+  // donors unfloor. The within-app climber keeps `climber.max_credit_quanta`
+  // (default unbounded — the paper-replay goldens pin those dynamics).
+  uint64_t cross_app_max_credit_quanta = 4;
   HillClimberConfig climber;
   CliffScalerConfig scaler;
 };
@@ -193,9 +206,24 @@ class AppCache {
   void SetStaticAllocation(const std::map<int, uint64_t>& bytes_per_class);
   // Cross-app climbing resizes reservations through this.
   void SetReservation(uint64_t bytes);
+  // Administrative resize: updates the *registered* (paid) reservation —
+  // the basis of the climber floor — and the live reservation together.
+  // SetReservation alone is a climber-side windfall/squeeze that leaves the
+  // registered size (and thus the floor) unchanged.
+  void ResizeReservation(uint64_t bytes);
+
+  // Structural self-check: per-class queue invariants, value-store
+  // consistency, and (outside kStatic / kGlobalLog) conservation of the
+  // reservation: allocated + free == reservation. Test/debug only.
+  [[nodiscard]] bool CheckInvariants() const;
 
   [[nodiscard]] uint32_t app_id() const { return app_id_; }
   [[nodiscard]] uint64_t reservation() const { return reservation_; }
+  // The administratively assigned reservation (AddApp / ResizeReservation).
+  // The live reservation() drifts from it under cross-app climbing.
+  [[nodiscard]] uint64_t registered_reservation() const {
+    return registered_bytes_;
+  }
   [[nodiscard]] uint64_t free_bytes() const { return free_bytes_; }
   [[nodiscard]] uint64_t allocated_bytes() const;
   [[nodiscard]] uint64_t shadow_overhead_bytes() const;
@@ -226,6 +254,11 @@ class AppCache {
   // GET-hit microbenchmark, which the bench-regression gate treats as
   // real.
   inline Outcome GetAtClass(int slab_class, const ItemMeta& item);
+  // Cliff-aware gradient weight for a hill-shadow hit in `entry` (cross-app
+  // climbing only): 1.0 off-cliff; on a cliff the hull slope the scaler is
+  // actually serving is steeper than the raw shadow sample, by roughly the
+  // pointer span over the operating point.
+  [[nodiscard]] double HillGradientWeight(const ClassEntry& entry) const;
   // The partitioned queue for an already-materialized class, or nullptr.
   [[nodiscard]] PartitionedSlabQueue* PartitionedFor(int slab_class) const;
   // Re-register `key` with the value store according to what Fill actually
@@ -236,7 +269,12 @@ class AppCache {
 
   uint32_t app_id_;
   uint64_t reservation_;
+  uint64_t registered_bytes_;  // administrative reservation; floors derive
+                               // from this, not from climber windfalls
   uint64_t free_bytes_;
+  // Slot in the server's cross-app climber/adapters table (cross_app only).
+  // Cached here so the hot GET path never does a map lookup.
+  size_t cross_index_ = 0;
   // Value copy, not a reference into the owning server, so the tenant's
   // config can never dangle regardless of how the caller constructed the
   // ServerConfig it passed in (e.g. a temporary, or a per-shard copy).
@@ -260,11 +298,20 @@ class CacheServer {
   CacheServer& operator=(const CacheServer&) = delete;
 
   AppCache& AddApp(uint32_t app_id, uint64_t reservation);
+  // Tenant departure: tears down the app's queues, shadow nodes and value
+  // slots eagerly (their destructors release everything), removes it from
+  // the cross-app climber, and — in cross-app mode — redistributes its
+  // current reservation to the surviving apps proportionally to theirs, so
+  // the server-wide total is conserved. Returns false for an unknown app.
+  bool RemoveApp(uint32_t app_id);
   [[nodiscard]] AppCache* app(uint32_t app_id);
   [[nodiscard]] const AppCache* app(uint32_t app_id) const;
 
   // Routed operations (dispatch on item/app ids). Set returns true when the
-  // item was cacheable (counted in the per-class statistics).
+  // item was cacheable (counted in the per-class statistics). All routed
+  // verbs soft-fail on an unknown app (miss / not-admitted / no-op): on the
+  // daemon path an in-flight op can race a RemoveApp, and by the time the
+  // shard lock serializes it the tenant may already be gone.
   Outcome Get(uint32_t app_id, const ItemMeta& item);
   bool Set(uint32_t app_id, const ItemMeta& item);
   bool Touch(uint32_t app_id, const ItemMeta& item);
@@ -289,18 +336,28 @@ class CacheServer {
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] ClassStats TotalStats() const;
   [[nodiscard]] std::vector<uint32_t> app_ids() const;
+  [[nodiscard]] size_t num_apps() const { return apps_.size(); }
+  // Sum of the live reservations across all apps.
+  [[nodiscard]] uint64_t total_reservation() const;
+  // Runs every app's CheckInvariants. Test/debug only.
+  [[nodiscard]] bool CheckInvariants() const;
 
  private:
   friend class AppCache;
   class AppAdapter;
-  // Aggregate per-app shadow signal feeding the cross-app climber.
-  void OnAppShadowHit(size_t app_index);
+  // Aggregate per-app shadow signal feeding the cross-app climber. `weight`
+  // is the cliff-aware gradient amplification (1.0 off-cliff).
+  void OnAppShadowHit(size_t app_index, double weight);
+  // Split `bytes` across the surviving apps proportionally to their current
+  // reservations (largest-remainder; deterministic app_id tiebreak).
+  void RedistributeReservation(uint64_t bytes);
 
   ServerConfig config_;
   std::map<uint32_t, std::unique_ptr<AppCache>> apps_;
   std::unique_ptr<HillClimber> cross_climber_;
+  // Indexed by HillClimber slot; tombstoned (nullptr) after RemoveApp until
+  // a later AddApp reuses the slot.
   std::vector<std::unique_ptr<AppAdapter>> app_adapters_;
-  std::map<uint32_t, size_t> app_index_;
 };
 
 }  // namespace cliffhanger

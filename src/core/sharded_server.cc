@@ -90,6 +90,26 @@ void ShardedCacheServer::AddApp(uint32_t app_id, uint64_t reservation) {
   }
 }
 
+bool ShardedCacheServer::RemoveApp(uint32_t app_id) {
+  std::lock_guard<std::mutex> apps_lock(apps_mu_);
+  const auto it = app_totals_.find(app_id);
+  if (it == app_totals_.end()) return false;
+  app_totals_.erase(it);
+  const auto locks = LockAllShards();
+  for (const auto& shard : shards_) {
+    shard->server->RemoveApp(app_id);
+    shard->shadow_baseline.erase(app_id);
+  }
+  // Each shard just redistributed the departing share to its survivors
+  // (cross-app mode); fold those windfalls into the registered totals so
+  // the next Rebalance re-divides what the apps actually hold.
+  if (config_.server.allocation == AllocationMode::kCliffhanger &&
+      config_.server.knobs.cross_app) {
+    RefreshAppTotalsLocked();
+  }
+  return true;
+}
+
 Outcome ShardedCacheServer::Get(uint32_t app_id, const ItemMeta& item) {
   Shard& shard = *shards_[ShardForKey(item.key)];
   Outcome outcome;
@@ -579,10 +599,62 @@ void ShardedCacheServer::PublishDelta(Shard& shard, const ClassStats& delta) {
 void ShardedCacheServer::Rebalance() {
   std::lock_guard<std::mutex> apps_lock(apps_mu_);
   const auto locks = LockAllShards();
+  if (config_.server.allocation == AllocationMode::kCliffhanger &&
+      config_.server.knobs.cross_app) {
+    // The cross-app climbers have been trading memory between apps inside
+    // each shard since the last rebalance; re-divide what each app holds
+    // now, not its stale registered total.
+    RefreshAppTotalsLocked();
+  }
   for (const auto& [app_id, total] : app_totals_) {
     RebalanceAppLocked(app_id, total);
   }
   rebalances_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedCacheServer::RefreshAppTotalsLocked() {
+  for (auto& [app_id, total] : app_totals_) {
+    uint64_t sum = 0;
+    for (const auto& shard : shards_) {
+      const AppCache* app = shard->server->app(app_id);
+      if (app != nullptr) sum += app->reservation();
+    }
+    total = sum;
+  }
+}
+
+uint64_t ShardedCacheServer::TotalReservation() const {
+  std::lock_guard<std::mutex> apps_lock(apps_mu_);
+  const auto locks = LockAllShards();
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->server->total_reservation();
+  }
+  return total;
+}
+
+bool ShardedCacheServer::CheckInvariants() const {
+  std::lock_guard<std::mutex> apps_lock(apps_mu_);
+  const auto locks = LockAllShards();
+  for (const auto& shard : shards_) {
+    if (!shard->server->CheckInvariants()) return false;
+  }
+  const bool cross_app =
+      config_.server.allocation == AllocationMode::kCliffhanger &&
+      config_.server.knobs.cross_app;
+  if (!cross_app) {
+    // Static per-app totals: every app's shard shares must sum to its
+    // registered reservation (AddApp splits it; Rebalance conserves it).
+    for (const auto& [app_id, total] : app_totals_) {
+      uint64_t sum = 0;
+      for (const auto& shard : shards_) {
+        const AppCache* app = shard->server->app(app_id);
+        if (app != nullptr) sum += app->reservation();
+      }
+      if (sum != total) return false;
+    }
+  }
+  return true;
 }
 
 // Pre: apps_mu_ and every shard lock held.

@@ -66,6 +66,17 @@ class ShardedCacheServer {
   // registration before serving it (as with CacheServer::AddApp).
   void AddApp(uint32_t app_id, uint64_t reservation);
 
+  // Tenant departure: removes the app from every shard (queues, shadow
+  // nodes and value slots are reclaimed eagerly by the per-shard
+  // CacheServer::RemoveApp). Safe to call concurrently with traffic —
+  // in-flight ops that already routed to the app soft-fail once the shard
+  // lock serializes them behind the removal. In cross-app mode each shard
+  // redistributes the departing share to its surviving tenants (conserving
+  // the shard total) and the registered app totals are refreshed from the
+  // live shard sums so the next Rebalance cannot claw the windfall back.
+  // Returns false for an unknown app.
+  bool RemoveApp(uint32_t app_id);
+
   // Thread-safe routed operations; the app must have been added. Set
   // returns true when the item was cacheable (same as CacheServer::Set).
   // Touch refreshes expiry + recency of a resident item (no statistics
@@ -224,9 +235,22 @@ class ShardedCacheServer {
 
   // Re-divides every app's total reservation across shards toward each
   // shard's share of hill-shadow hits since the previous rebalance. Also
-  // runs automatically every `rebalance_interval_ops` operations.
+  // runs automatically every `rebalance_interval_ops` operations. In
+  // cross-app mode the per-app totals are first refreshed from the live
+  // shard sums (the cross-app climber moves memory between apps inside
+  // each shard, so the registered totals go stale between rebalances).
   void Rebalance();
   [[nodiscard]] uint64_t rebalance_count() const;
+
+  // Sum of the live reservations across every shard and app, under all
+  // locks. Conserved by climber transfers, rebalances, and cross-app
+  // removals (while at least one tenant survives).
+  [[nodiscard]] uint64_t TotalReservation() const;
+
+  // Runs every shard's CacheServer::CheckInvariants under all locks; with
+  // cross_app off additionally checks that each app's shard shares sum to
+  // its registered total. Test/debug only.
+  [[nodiscard]] bool CheckInvariants() const;
 
  private:
   // Adds `n` to the shard's op counter and fires Rebalance() when the count
@@ -237,6 +261,9 @@ class ShardedCacheServer {
   // counter mirror. Call after releasing the shard lock.
   void PublishDelta(Shard& shard, const ClassStats& delta);
   void RebalanceAppLocked(uint32_t app_id, uint64_t total_reservation);
+  // Pre: apps_mu_ and every shard lock held. Re-reads each app's live
+  // cross-shard reservation sum into app_totals_.
+  void RefreshAppTotalsLocked();
   // Acquires every shard mutex in ascending index order (the lock-order
   // rule); all whole-server snapshots and the rebalancer go through this.
   [[nodiscard]] std::vector<std::unique_lock<std::mutex>> LockAllShards()

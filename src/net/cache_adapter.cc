@@ -72,14 +72,46 @@ uint32_t AbsoluteExpiry(int64_t exptime, uint32_t now_s) {
 
 CacheAdapter::CacheAdapter(ShardedCacheServer* server,
                            const CacheAdapterConfig& config)
-    : server_(server), config_(config), app_ids_(server->app_ids()) {
+    : server_(server), config_(config) {
   if (!config_.clock) {
     config_.clock = [] { return static_cast<uint32_t>(::time(nullptr)); };
   }
-  std::sort(app_ids_.begin(), app_ids_.end());
+  auto ids = std::make_shared<std::vector<uint32_t>>(server->app_ids());
+  std::sort(ids->begin(), ids->end());
+  std::atomic_store_explicit(
+      &app_ids_,
+      std::shared_ptr<const std::vector<uint32_t>>(std::move(ids)),
+      std::memory_order_release);
 }
 
 CacheAdapter::~CacheAdapter() = default;
+
+void CacheAdapter::AddApp(uint32_t app_id, uint64_t reservation) {
+  // Core first, snapshot second: a command must never route to an app the
+  // shards have not registered yet.
+  server_->AddApp(app_id, reservation);
+  auto next = std::make_shared<std::vector<uint32_t>>(*AppSnapshot());
+  next->insert(std::lower_bound(next->begin(), next->end(), app_id), app_id);
+  std::atomic_store_explicit(
+      &app_ids_,
+      std::shared_ptr<const std::vector<uint32_t>>(std::move(next)),
+      std::memory_order_release);
+}
+
+bool CacheAdapter::RemoveApp(uint32_t app_id) {
+  // Snapshot first, core second: withdraw the app from routing so new
+  // commands soft-fail at admission, then tear it down. Commands that
+  // routed against the old snapshot soft-fail inside the core instead.
+  auto next = std::make_shared<std::vector<uint32_t>>(*AppSnapshot());
+  const auto it = std::lower_bound(next->begin(), next->end(), app_id);
+  if (it == next->end() || *it != app_id) return false;
+  next->erase(it);
+  std::atomic_store_explicit(
+      &app_ids_,
+      std::shared_ptr<const std::vector<uint32_t>>(std::move(next)),
+      std::memory_order_release);
+  return server_->RemoveApp(app_id);
+}
 
 CacheAdapter::RoutedKey CacheAdapter::Route(std::string_view key) const {
   RoutedKey rk;
@@ -89,8 +121,8 @@ CacheAdapter::RoutedKey CacheAdapter::Route(std::string_view key) const {
     uint32_t prefixed = 0;
     if (ParseAppPrefix(key, &prefixed)) rk.app_id = prefixed;
   }
-  rk.app_known = std::binary_search(app_ids_.begin(), app_ids_.end(),
-                                    rk.app_id);
+  const auto ids = AppSnapshot();
+  rk.app_known = std::binary_search(ids->begin(), ids->end(), rk.app_id);
   return rk;
 }
 
@@ -525,7 +557,7 @@ void CacheAdapter::HandleStats(std::string* out) {
                static_cast<uint64_t>(use.chunk_size));
     AppendStat(out, prefix + ":used_chunks", use.used_chunks);
   }
-  for (const uint32_t app_id : app_ids_) {
+  for (const uint32_t app_id : *AppSnapshot()) {
     std::string name = "app_" + std::to_string(app_id) + "_reservation_bytes";
     AppendStat(out, name, server_->AppReservation(app_id));
   }

@@ -56,6 +56,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -118,6 +119,16 @@ class CacheAdapter final : public CommandHandler {
   // Must run on the thread that called HandleBatch, after the segments
   // are flushed (the socket server's burst cycle guarantees both).
   void ReleaseBurstPins() override;
+
+  // Tenant lifecycle on the daemon path. AddApp registers the app on the
+  // core server and publishes it to the routing snapshot; RemoveApp
+  // withdraws it from routing first, then tears it down in the core (the
+  // core's routed verbs soft-fail any op that already routed). Both swap
+  // the immutable app-id snapshot atomically, so concurrent connection
+  // threads keep routing against a consistent list with no locks on the
+  // hot path. Serialize lifecycle calls themselves (one admin caller).
+  void AddApp(uint32_t app_id, uint64_t reservation);
+  bool RemoveApp(uint32_t app_id);
 
   // Protocol-level counters (what `stats` reports, memcached names).
   struct Counters {
@@ -217,9 +228,18 @@ class CacheAdapter final : public CommandHandler {
   void HandleFlushAll(const Command& cmd, std::string* out);
   void HandleStats(std::string* out);
 
+  // The registered-app list as an immutable, atomically swapped snapshot:
+  // Route() loads it lock-free per command; AddApp/RemoveApp publish a new
+  // sorted vector. (std::atomic_load/store on shared_ptr — the tools this
+  // toolchain's libstdc++ offers; atomic<shared_ptr> is C++20.)
+  [[nodiscard]] std::shared_ptr<const std::vector<uint32_t>> AppSnapshot()
+      const {
+    return std::atomic_load_explicit(&app_ids_, std::memory_order_acquire);
+  }
+
   ShardedCacheServer* server_;
   CacheAdapterConfig config_;
-  std::vector<uint32_t> app_ids_;  // registered apps, snapshot at ctor
+  std::shared_ptr<const std::vector<uint32_t>> app_ids_;  // sorted
 
   std::atomic<uint64_t> cas_counter_{0};
   // flush_all point: items stored before it are dead once now reaches it.

@@ -107,6 +107,98 @@ TEST(HillClimber, LargerQuantumBatchesTransfers) {
   EXPECT_EQ(a.capacity_bytes(), (1 << 20) + 8 * 1024u);
 }
 
+TEST(HillClimber, CreditClampBoundsPostUnfloorBurst) {
+  // While every donor sits at its floor the winner's balance accumulates;
+  // without a clamp the backlog drains as one burst the moment a donor
+  // frees up. max_credit_quanta bounds that burst.
+  HillClimberConfig config;
+  config.credit_bytes = 1024;
+  config.quantum_bytes = 1024;
+  config.max_credit_quanta = 4;
+  HillClimber climber(config, 11);
+  FakeQueue winner(64 * 1024, 0);
+  FakeQueue donor(16 * 1024, 16 * 1024);  // floored: cannot donate
+  climber.AddQueue(&winner);
+  climber.AddQueue(&donor);
+  for (int i = 0; i < 100; ++i) climber.OnShadowHit(0);
+  EXPECT_EQ(climber.total_transfers(), 0u);
+  EXPECT_EQ(climber.credits(0), 4 * 1024);  // clamped, not 100 * 1024
+
+  donor.SetCapacityBytes(64 * 1024);  // unfloor: 48 KiB of spare room
+  climber.OnShadowHit(0);
+  EXPECT_EQ(climber.total_transfers(), 4u);  // burst capped at the clamp
+  EXPECT_EQ(winner.capacity_bytes(), 64 * 1024 + 4 * 1024u);
+}
+
+TEST(HillClimber, UnclampedFlooredBacklogBurstsOnUnfloor) {
+  // The regression the clamp fixes, pinned so the contrast stays visible:
+  // with max_credit_quanta == 0 the same scenario drains the entire
+  // 100-hit backlog the moment the donor unfloors.
+  HillClimberConfig config;
+  config.credit_bytes = 1024;
+  config.quantum_bytes = 1024;
+  config.max_credit_quanta = 0;  // unbounded (the golden-pinned default)
+  HillClimber climber(config, 11);
+  FakeQueue winner(64 * 1024, 0);
+  FakeQueue donor(16 * 1024, 16 * 1024);
+  climber.AddQueue(&winner);
+  climber.AddQueue(&donor);
+  for (int i = 0; i < 100; ++i) climber.OnShadowHit(0);
+  EXPECT_EQ(climber.total_transfers(), 0u);
+  EXPECT_EQ(climber.credits(0), 100 * 1024);
+
+  donor.SetCapacityBytes(64 * 1024);
+  climber.OnShadowHit(0);  // drains until the donor re-floors: 48 quanta
+  EXPECT_EQ(climber.total_transfers(), 48u);
+  EXPECT_EQ(donor.capacity_bytes(), 16 * 1024u);
+}
+
+TEST(HillClimber, WeightedShadowHitScalesCredit) {
+  // Cross-app cliff scaling reports amplified gradients by passing
+  // weight > 1: one weighted hit must move as much memory as that many
+  // unit hits would.
+  HillClimberConfig config;
+  config.credit_bytes = 1024;
+  config.quantum_bytes = 1024;
+  HillClimber climber(config, 12);
+  FakeQueue a(1 << 20), b(1 << 20);
+  climber.AddQueue(&a);
+  climber.AddQueue(&b);
+  climber.OnShadowHit(0, 3.0);
+  EXPECT_EQ(climber.total_transfers(), 3u);
+  EXPECT_EQ(a.capacity_bytes(), (1 << 20) + 3 * 1024u);
+  climber.OnShadowHit(0, 0.0);  // zero weight is a no-op
+  EXPECT_EQ(climber.total_transfers(), 3u);
+}
+
+TEST(HillClimber, RemoveQueueTombstonesAndReusesLowestSlot) {
+  HillClimberConfig config;
+  config.credit_bytes = 1024;
+  config.quantum_bytes = 1024;
+  HillClimber climber(config, 13);
+  FakeQueue a(1 << 20), b(1 << 20), c(1 << 20), d(1 << 20), e(1 << 20);
+  ASSERT_EQ(climber.AddQueue(&a), 0u);
+  ASSERT_EQ(climber.AddQueue(&b), 1u);
+  ASSERT_EQ(climber.AddQueue(&c), 2u);
+
+  climber.RemoveQueue(1);
+  EXPECT_EQ(climber.num_queues(), 2u);
+  EXPECT_FALSE(climber.has_queue(1));
+
+  // With only a and c live, every debit and donation must land on c: the
+  // tombstone is skipped by both victim selection and donor search.
+  for (int i = 0; i < 10; ++i) climber.OnShadowHit(0);
+  EXPECT_EQ(a.capacity_bytes(), (1 << 20) + 10 * 1024u);
+  EXPECT_EQ(c.capacity_bytes(), (1 << 20) - 10 * 1024u);
+
+  // Arrivals refill the table front-to-back, lowest freed slot first.
+  EXPECT_EQ(climber.AddQueue(&d), 1u);
+  climber.RemoveQueue(2);
+  climber.RemoveQueue(0);
+  EXPECT_EQ(climber.AddQueue(&e), 0u);
+  EXPECT_EQ(climber.num_queues(), 2u);
+}
+
 // --- CliffScaler ---
 
 PartitionConfig ScalerQueueConfig() {

@@ -372,5 +372,82 @@ TEST(ShardedServerTest, ConcurrentBatchesKeepCountersExact) {
   EXPECT_EQ(SumShardReservations(server, kAppB), kReservationB);
 }
 
+// Tenant churn races traffic: one thread adds and removes apps (holding
+// all shard locks per wave) while workers hammer the whole id space —
+// including ids mid-removal and ids never added, which must soft-fail.
+// Afterwards every queue/arena invariant must hold, each surviving
+// tenant's shards must still sum to its registered reservation, and the
+// server-wide total must match the arithmetic of the churn.
+TEST(ShardedServerTest, TenantChurnUnderTrafficKeepsInvariants) {
+  constexpr size_t kThreads = 3;
+  constexpr size_t kOpsPerThread = 20000;
+  constexpr uint32_t kInitialApps = 8;
+  constexpr uint32_t kWaves = 24;
+  ShardedCacheServer server(HammerConfig(/*num_shards=*/4,
+                                         /*rebalance_interval=*/10000));
+  const auto reservation_for = [](uint32_t id) {
+    return (1ULL << 20) + id * 4096;
+  };
+  std::vector<uint32_t> live;
+  uint64_t expected_total = 0;
+  for (uint32_t id = 1; id <= kInitialApps; ++id) {
+    server.AddApp(id, reservation_for(id));
+    live.push_back(id);
+    expected_total += reservation_for(id);
+  }
+
+  const ZipfTable zipf(20000, 0.9);
+  std::atomic<size_t> running{kThreads};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(0xC0FFEE00ULL + t);
+      for (size_t i = 0; i < kOpsPerThread; ++i) {
+        const auto app_id = static_cast<uint32_t>(
+            1 + rng.NextBounded(kInitialApps + kWaves + 4));
+        const ItemMeta item =
+            MakeItem(HashCombine(app_id, zipf.Sample(rng)));
+        const Outcome outcome = server.Get(app_id, item);
+        if (!outcome.hit && outcome.cacheable) server.Set(app_id, item);
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // Churn on the main thread while the workers run: retire the oldest
+  // tenant, admit a fresh one, rebalance every few waves.
+  uint32_t next_id = kInitialApps + 1;
+  for (uint32_t wave = 0; wave < kWaves; ++wave) {
+    const uint32_t departing = live.front();
+    live.erase(live.begin());
+    EXPECT_TRUE(server.RemoveApp(departing));
+    expected_total -= reservation_for(departing);
+    server.AddApp(next_id, reservation_for(next_id));
+    live.push_back(next_id);
+    expected_total += reservation_for(next_id);
+    ++next_id;
+    if (wave % 4 == 3) server.Rebalance();
+    if (running.load(std::memory_order_acquire) == 0) {
+      // Workers already done — keep churning anyway; the remaining waves
+      // still exercise removal with zero in-flight traffic.
+    }
+    std::this_thread::yield();
+  }
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_TRUE(server.CheckInvariants());
+  EXPECT_EQ(server.TotalReservation(), expected_total);
+  for (const uint32_t id : live) {
+    EXPECT_EQ(server.AppReservation(id), reservation_for(id));
+    EXPECT_EQ(SumShardReservations(server, id), reservation_for(id));
+  }
+  // Ops that raced a removal soft-failed before being counted, so the
+  // counters still describe a consistent workload.
+  const ClassStats total = server.TotalStats();
+  EXPECT_GT(total.hits, 0u);
+  EXPECT_LE(total.hits, total.gets);
+}
+
 }  // namespace
 }  // namespace cliffhanger
