@@ -15,9 +15,11 @@
 //        --connections LIST   comma-separated connection counts, e.g.
 //                             1,64,256,1024 — one scaling row per count
 //                             (default: sweep 1,2,4)
-//        --backend B          epoll | poll event loop for the in-process
-//                             server (default epoll; ignored with --connect,
-//                             where the external daemon picked its own)
+//        --backend B          epoll | poll | uring event loop for the
+//                             in-process server (default epoll; ignored with
+//                             --connect, where the external daemon picked its
+//                             own). uring falls back to epoll when the kernel
+//                             denies io_uring; rows record what actually ran.
 //        --requests N         logical requests per connection (default 20000)
 //        --universe N         key universe per connection stream (default 20000)
 //        --get-fraction F     GET share of the mix (default 0.967)
@@ -458,7 +460,20 @@ std::vector<Row> RunMixLoad(const std::string& host, uint16_t port,
   return rows;
 }
 
-void PrintJson(const Options& opt, const std::vector<Row>& rows) {
+const char* BackendLabel(net::SocketBackend backend) {
+  switch (backend) {
+    case net::SocketBackend::kPoll:
+      return "poll";
+    case net::SocketBackend::kEpoll:
+      return "epoll";
+    case net::SocketBackend::kUring:
+      return "uring";
+  }
+  return "unknown";
+}
+
+void PrintJson(const Options& opt, const std::string& backend_label,
+               const std::vector<Row>& rows) {
   std::printf("{\n");
   std::printf("  \"benchmark\": \"table8_netperf\",\n");
   std::printf("  \"hardware_concurrency\": %u,\n",
@@ -470,15 +485,11 @@ void PrintJson(const Options& opt, const std::vector<Row>& rows) {
   }
   std::printf("  \"transport\": \"%s\",\n",
               opt.connect_host.empty() ? "loopback_inprocess" : "remote");
-  // For --connect the external daemon chose its own event loop; recording
-  // this run's flag there would mislabel the measurement.
-  if (opt.connect_host.empty()) {
-    std::printf("  \"backend\": \"%s\",\n",
-                opt.backend == net::SocketBackend::kEpoll ? "epoll"
-                                                          : "poll");
-  } else {
-    std::printf("  \"backend\": \"external\",\n");
-  }
+  // The backend that actually served the rows: the in-process server's
+  // effective backend after the io_uring probe (so a uring request that
+  // fell back is recorded as epoll), or "external" for --connect, where
+  // the daemon picked its own event loop.
+  std::printf("  \"backend\": \"%s\",\n", backend_label.c_str());
   // In-process rows each get a fresh server; --connect rows replay into
   // one external daemon whose cache warms across rows. Record that, so
   // cross-row (or cross-mode) comparisons can't silently mix the two.
@@ -500,11 +511,13 @@ void PrintJson(const Options& opt, const std::vector<Row>& rows) {
     // "ops", not "requests": gets plus demand-fill sets, i.e. the number
     // of client calls actually measured — hit-rate dependent by design.
     std::printf(
-        "    {\"name\": \"%s\", \"connections\": %zu, %s\"ops\": %llu, "
+        "    {\"name\": \"%s\", \"backend\": \"%s\", \"connections\": %zu, "
+        "%s\"ops\": %llu, "
         "\"gets\": %llu, \"hit_rate\": %.4f, \"seconds\": %.6f, "
         "\"ops_per_sec\": %.1f, \"mean_us\": %.2f, \"p50_us\": %.2f, "
         "\"p95_us\": %.2f, \"p99_us\": %.2f}%s\n",
-        r.name.c_str(), r.connections, value_size_field.c_str(),
+        r.name.c_str(), backend_label.c_str(), r.connections,
+        value_size_field.c_str(),
         static_cast<unsigned long long>(r.ops),
         static_cast<unsigned long long>(r.gets),
         r.gets == 0 ? 0.0
@@ -570,8 +583,10 @@ int Main(int argc, char** argv) {
         opt.backend = net::SocketBackend::kEpoll;
       } else if (std::strcmp(v, "poll") == 0) {
         opt.backend = net::SocketBackend::kPoll;
+      } else if (std::strcmp(v, "uring") == 0) {
+        opt.backend = net::SocketBackend::kUring;
       } else {
-        std::fprintf(stderr, "--backend expects epoll|poll\n");
+        std::fprintf(stderr, "--backend expects epoll|poll|uring\n");
         return 1;
       }
     } else if (std::strcmp(argv[i], "--requests") == 0) {
@@ -649,7 +664,7 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--connect HOST:PORT] [--connections N[,N...]] "
-                   "[--backend epoll|poll] [--requests N] [--universe N] "
+                   "[--backend epoll|poll|uring] [--requests N] [--universe N] "
                    "[--get-fraction F] [--value-size N[,N...]] [--mix] "
                    "[--workers N] [--shards N] [--mode default|cliffhanger]\n",
                    argv[0]);
@@ -679,6 +694,11 @@ int Main(int argc, char** argv) {
   }
 
   std::vector<Row> rows;
+  // What actually served the rows; refined to the effective backend once
+  // the first in-process server is up (the probe result is stable across
+  // rows on one host).
+  std::string backend_label =
+      opt.connect_host.empty() ? BackendLabel(opt.backend) : "external";
   for (const auto& [connections, value_size] : sweep) {
     std::string host = opt.connect_host;
     uint16_t port = opt.connect_port;
@@ -718,6 +738,13 @@ int Main(int argc, char** argv) {
       }
       host = "127.0.0.1";
       port = socket_server->port();
+      if (socket_server->effective_backend() != opt.backend) {
+        std::fprintf(stderr, "netperf: requested backend unavailable (%s); "
+                     "rows record the %s fallback\n",
+                     socket_server->backend_fallback_reason().c_str(),
+                     BackendLabel(socket_server->effective_backend()));
+      }
+      backend_label = BackendLabel(socket_server->effective_backend());
     }
     if (opt.mix) {
       std::vector<Row> mix_rows = RunMixLoad(host, port, opt, connections);
@@ -728,7 +755,7 @@ int Main(int argc, char** argv) {
     }
     if (socket_server) socket_server->Stop();
   }
-  PrintJson(opt, rows);
+  PrintJson(opt, backend_label, rows);
   return 0;
 }
 

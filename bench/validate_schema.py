@@ -4,7 +4,7 @@
 Dependency-free on purpose: CI runners and the dev container are not
 guaranteed to have `jsonschema` installed, and the bench schema only needs
 a small draft-07 subset — type, required, properties, items, minItems,
-minLength, minimum / maximum / exclusiveMinimum / exclusiveMaximum.
+minLength, enum, minimum / maximum / exclusiveMinimum / exclusiveMaximum.
 Unknown schema keywords are rejected loudly rather than silently ignored,
 so the schema file cannot quietly outgrow the validator.
 
@@ -22,7 +22,7 @@ import json
 import sys
 
 HANDLED = {"$schema", "title", "description", "type", "required",
-           "properties", "items", "minItems", "minLength",
+           "properties", "items", "minItems", "minLength", "enum",
            "minimum", "maximum", "exclusiveMinimum", "exclusiveMaximum"}
 
 TYPES = {
@@ -58,6 +58,9 @@ def validate(value, schema, path, errors):
             errors.append(f"{path}: expected {expected}, got "
                           f"{type(value).__name__} ({value!r})")
             return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not one of {schema['enum']!r}")
+        return
     if isinstance(value, dict):
         for req in schema.get("required", []):
             if req not in value:

@@ -52,7 +52,9 @@ void Usage(const char* argv0) {
       "usage: %s [options]\n"
       "  --port N          listen port (default 11311; 0 = ephemeral)\n"
       "  --workers N       connection worker threads (default 2)\n"
-      "  --backend B       epoll | poll event loop (default epoll)\n"
+      "  --backend B       epoll | poll | uring event loop (default epoll;\n"
+      "                    uring falls back to epoll if the kernel denies\n"
+      "                    io_uring — the banner reports what runs)\n"
       "  --shards N        cache shards (default 4)\n"
       "  --mode M          default | cliffhanger (default cliffhanger)\n"
       "  --eviction E      lru | midpoint (default lru; arc/lfu are\n"
@@ -101,6 +103,8 @@ int Main(int argc, char** argv) {
         backend = net::SocketBackend::kEpoll;
       } else if (std::strcmp(v, "poll") == 0) {
         backend = net::SocketBackend::kPoll;
+      } else if (std::strcmp(v, "uring") == 0) {
+        backend = net::SocketBackend::kUring;
       } else {
         return Usage(argv[0]), 1;
       }
@@ -237,11 +241,24 @@ int Main(int argc, char** argv) {
   ::signal(SIGINT, OnSignal);
   ::signal(SIGTERM, OnSignal);
 
+  // Banner reports the backend that actually runs (the io_uring probe may
+  // have downgraded a uring request; SocketServer already logged why).
+  const char* backend_name = "poll";
+  switch (socket_server.effective_backend()) {
+    case net::SocketBackend::kPoll:
+      backend_name = "poll";
+      break;
+    case net::SocketBackend::kEpoll:
+      backend_name = "epoll";
+      break;
+    case net::SocketBackend::kUring:
+      backend_name = "uring";
+      break;
+  }
   std::fprintf(stderr,
                "cliffhangerd listening on port %u (%zu workers, %zu shards, "
                "%s backend, %s mode, %zu app%s)\n",
-               socket_server.port(), workers, shards,
-               backend == net::SocketBackend::kEpoll ? "epoll" : "poll",
+               socket_server.port(), workers, shards, backend_name,
                cliffhanger_mode ? "cliffhanger" : "default", apps.size(),
                apps.size() == 1 ? "" : "s");
   while (!g_stop.load()) {

@@ -1,0 +1,243 @@
+#include "net/io_uring_shim.h"
+
+#if CLIFFHANGER_HAS_IO_URING
+
+#include <errno.h>
+#include <string.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+// The syscall numbers are identical across every 64-bit Linux ABI that has
+// io_uring; the fallbacks only matter if <sys/syscall.h> predates 5.1.
+#ifndef __NR_io_uring_setup
+#define __NR_io_uring_setup 425
+#endif
+#ifndef __NR_io_uring_enter
+#define __NR_io_uring_enter 426
+#endif
+#ifndef __NR_io_uring_register
+#define __NR_io_uring_register 427
+#endif
+
+namespace cliffhanger {
+namespace net {
+
+namespace {
+
+int SysSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysEnter(int fd, unsigned to_submit, unsigned min_complete,
+             unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+int SysRegister(int fd, unsigned opcode, const void* arg, unsigned nr_args) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, opcode, arg,
+                                    nr_args));
+}
+
+// The ring head/tail words are shared with the kernel: loads of the other
+// side's word need acquire (so the data it guards is visible), stores of
+// our word need release (so the data we prepared is visible first).
+unsigned LoadAcquire(const unsigned* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+
+void StoreRelease(unsigned* p, unsigned v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+}  // namespace
+
+UringQueue::~UringQueue() { Close(); }
+
+void UringQueue::Close() {
+  if (sqes_ != nullptr) {
+    ::munmap(sqes_, sqes_bytes_);
+    sqes_ = nullptr;
+  }
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  cq_ring_ = nullptr;
+  if (sq_ring_ != nullptr) {
+    ::munmap(sq_ring_, sq_ring_bytes_);
+    sq_ring_ = nullptr;
+  }
+  if (ring_fd_ >= 0) {
+    ::close(ring_fd_);
+    ring_fd_ = -1;
+  }
+  sqe_tail_ = 0;
+}
+
+bool UringQueue::Init(unsigned entries, std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + ": " + strerror(errno);
+    }
+    Close();
+    return false;
+  };
+  io_uring_params p;
+  memset(&p, 0, sizeof(p));
+  ring_fd_ = SysSetup(entries, &p);
+  if (ring_fd_ < 0) return fail("io_uring_setup");
+  sq_entries_ = p.sq_entries;
+  cq_entries_ = p.cq_entries;
+
+  sq_ring_bytes_ = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  cq_ring_bytes_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap) {
+    sq_ring_bytes_ = cq_ring_bytes_ = std::max(sq_ring_bytes_,
+                                               cq_ring_bytes_);
+  }
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    return fail("mmap(sq_ring)");
+  }
+  if (single_mmap) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_,
+                      IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      return fail("mmap(cq_ring)");
+    }
+  }
+  sqes_bytes_ = p.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = static_cast<io_uring_sqe*>(
+      ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    return fail("mmap(sqes)");
+  }
+
+  char* sq = static_cast<char*>(sq_ring_);
+  sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+  sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+  sq_mask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+  char* cq = static_cast<char*>(cq_ring_);
+  cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+  cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+  cq_mask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+
+  // Identity-fill the SQ index array once: slot i of the ring always names
+  // SQE i, so submission is just a tail bump.
+  for (unsigned i = 0; i < sq_entries_; ++i) sq_array_[i] = i;
+  sqe_tail_ = *sq_tail_;
+  return true;
+}
+
+unsigned UringQueue::kernel_sq_head() const { return LoadAcquire(sq_head_); }
+
+io_uring_sqe* UringQueue::GetSqe() {
+  if (sqe_tail_ - kernel_sq_head() >= sq_entries_) return nullptr;  // SQ full
+  io_uring_sqe* sqe = &sqes_[sqe_tail_ & sq_mask_];
+  ++sqe_tail_;
+  memset(sqe, 0, sizeof(*sqe));
+  return sqe;
+}
+
+int UringQueue::Enter(unsigned min_complete, unsigned flags) {
+  // Publish every prepared SQE, then tell the kernel how many are new.
+  StoreRelease(sq_tail_, sqe_tail_);
+  const unsigned to_submit = sqe_tail_ - kernel_sq_head();
+  int submitted = 0;
+  while (true) {
+    const int rc = SysEnter(ring_fd_, to_submit - submitted,
+                            min_complete, flags);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -errno;
+    }
+    submitted += rc;
+    // Without SQPOLL the kernel consumes everything it was asked to in one
+    // call; the loop guards the theoretical short-submit case.
+    if (static_cast<unsigned>(submitted) >= to_submit) break;
+  }
+  if (to_submit > 0) {
+    submit_calls_.fetch_add(1, std::memory_order_relaxed);
+    submitted_sqes_.fetch_add(to_submit, std::memory_order_relaxed);
+  }
+  return submitted;
+}
+
+int UringQueue::Wait(unsigned min_complete) {
+  while (true) {
+    const int rc = SysEnter(ring_fd_, 0, min_complete,
+                            IORING_ENTER_GETEVENTS);
+    if (rc >= 0) return rc;
+    if (errno != EINTR) return -errno;
+  }
+}
+
+unsigned UringQueue::ReapCqes(io_uring_cqe* out, unsigned max) {
+  const unsigned head = *cq_head_;  // we are the only consumer
+  const unsigned tail = LoadAcquire(cq_tail_);
+  unsigned n = std::min(tail - head, max);
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = cqes_[(head + i) & cq_mask_];
+  }
+  if (n > 0) StoreRelease(cq_head_, head + n);
+  return n;
+}
+
+bool UringQueue::SupportsOps(std::initializer_list<uint8_t> ops,
+                             std::string* missing) {
+  constexpr unsigned kProbeOps = 256;
+  const size_t bytes =
+      sizeof(io_uring_probe) + kProbeOps * sizeof(io_uring_probe_op);
+  void* raw = ::calloc(1, bytes);
+  if (raw == nullptr) {
+    if (missing != nullptr) *missing = "probe allocation failed";
+    return false;
+  }
+  auto* probe = static_cast<io_uring_probe*>(raw);
+  const int rc = SysRegister(ring_fd_, IORING_REGISTER_PROBE, probe,
+                             kProbeOps);
+  if (rc < 0) {
+    if (missing != nullptr) {
+      *missing = std::string("IORING_REGISTER_PROBE: ") + strerror(errno);
+    }
+    ::free(raw);
+    return false;
+  }
+  for (const uint8_t op : ops) {
+    if (op > probe->last_op ||
+        (probe->ops[op].flags & IO_URING_OP_SUPPORTED) == 0) {
+      if (missing != nullptr) {
+        *missing = "opcode " + std::to_string(op) + " unsupported";
+      }
+      ::free(raw);
+      return false;
+    }
+  }
+  ::free(raw);
+  return true;
+}
+
+int UringQueue::RegisterFiles(const int* fds, unsigned count) {
+  const int rc = SysRegister(ring_fd_, IORING_REGISTER_FILES, fds, count);
+  return rc < 0 ? -errno : 0;
+}
+
+}  // namespace net
+}  // namespace cliffhanger
+
+#endif  // CLIFFHANGER_HAS_IO_URING

@@ -1,0 +1,125 @@
+// Minimal io_uring wrapper over raw syscalls — no liburing dependency.
+//
+// The container toolchain ships <linux/io_uring.h> (the kernel ABI) but not
+// liburing, so this shim does the small amount liburing would: io_uring_setup
+// + the two ring mmaps, SQE acquisition with the identity-filled index array,
+// submission via io_uring_enter, CQE reaping with the acquire/release fences
+// the shared rings require, and the register/probe calls the runtime support
+// check needs. Single-threaded by design: one UringQueue per worker thread,
+// no SQPOLL, no locking.
+//
+// Compile-gated: on platforms without the kernel header the shim collapses
+// to CLIFFHANGER_HAS_IO_URING == 0 and the socket server's kUring backend
+// falls back to epoll at Start() (see SocketServer::Start).
+#pragma once
+
+#if defined(__linux__) && defined(__has_include)
+#if __has_include(<linux/io_uring.h>)
+#define CLIFFHANGER_HAS_IO_URING 1
+#endif
+#endif
+#ifndef CLIFFHANGER_HAS_IO_URING
+#define CLIFFHANGER_HAS_IO_URING 0
+#endif
+
+#if CLIFFHANGER_HAS_IO_URING
+
+#include <linux/io_uring.h>
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace cliffhanger {
+namespace net {
+
+class UringQueue {
+ public:
+  UringQueue() = default;
+  ~UringQueue();
+  UringQueue(const UringQueue&) = delete;
+  UringQueue& operator=(const UringQueue&) = delete;
+
+  // Creates the ring with at least `entries` SQ slots (the kernel rounds up
+  // to a power of two and sizes the CQ at 2x). Returns false with *error
+  // set ("io_uring_setup: <reason>") when the kernel or a seccomp policy
+  // denies io_uring — the caller treats that as "fall back to epoll".
+  bool Init(unsigned entries, std::string* error);
+  void Close();
+  [[nodiscard]] bool ok() const { return ring_fd_ >= 0; }
+
+  // Next free SQE, zeroed, or nullptr when the SQ is full (Submit() first,
+  // then retry). The slot stays owned by this queue until Submit().
+  io_uring_sqe* GetSqe();
+  [[nodiscard]] unsigned pending_sqes() const {
+    return sqe_tail_ - kernel_sq_head();
+  }
+
+  // Submits every prepared SQE. Returns the number submitted, or -errno.
+  int Submit() { return Enter(0, 0); }
+  // Submits every prepared SQE and blocks until >= min_complete CQEs are
+  // available. One syscall (IORING_ENTER_GETEVENTS).
+  int SubmitAndWait(unsigned min_complete) { return Enter(min_complete, IORING_ENTER_GETEVENTS); }
+  // Blocks for completions without submitting (EINTR is retried).
+  int Wait(unsigned min_complete);
+
+  // Copies up to `max` completions into `out`, advancing the CQ head.
+  // Returns the number copied (0 = none pending).
+  unsigned ReapCqes(io_uring_cqe* out, unsigned max);
+
+  // True when the kernel supports every opcode in `ops`
+  // (IORING_REGISTER_PROBE); on failure *missing names the first gap or the
+  // register error.
+  bool SupportsOps(std::initializer_list<uint8_t> ops, std::string* missing);
+
+  // IORING_REGISTER_FILES: fixed-file table for IOSQE_FIXED_FILE SQEs
+  // (the worker registers its wake eventfd at slot 0). Returns 0 or -errno.
+  int RegisterFiles(const int* fds, unsigned count);
+
+  // Test hooks: how many io_uring_enter calls carried submissions, and how
+  // many SQEs they carried in total. The batching proof asserts
+  // sqes >> submits for pipelined bursts. Atomic because tests read them
+  // from another thread while workers run.
+  [[nodiscard]] uint64_t submit_calls() const {
+    return submit_calls_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t submitted_sqes() const {
+    return submitted_sqes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int Enter(unsigned min_complete, unsigned flags);
+  [[nodiscard]] unsigned kernel_sq_head() const;
+
+  int ring_fd_ = -1;
+  unsigned sq_entries_ = 0;
+  unsigned cq_entries_ = 0;
+
+  // SQ ring mmap (head/tail/mask/array live inside) + the SQE array mmap.
+  void* sq_ring_ = nullptr;
+  size_t sq_ring_bytes_ = 0;
+  void* cq_ring_ = nullptr;  // == sq_ring_ under IORING_FEAT_SINGLE_MMAP
+  size_t cq_ring_bytes_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_bytes_ = 0;
+
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+
+  unsigned sqe_tail_ = 0;  // local: SQEs handed out, not yet all submitted
+
+  std::atomic<uint64_t> submit_calls_{0};
+  std::atomic<uint64_t> submitted_sqes_{0};
+};
+
+}  // namespace net
+}  // namespace cliffhanger
+
+#endif  // CLIFFHANGER_HAS_IO_URING

@@ -4,7 +4,7 @@
 // about caches — it feeds parsed Commands to a CommandHandler and writes
 // back whatever the handler appended.
 //
-// Two event-loop backends, selected by SocketServerConfig::backend:
+// Three event-loop backends, selected by SocketServerConfig::backend:
 //  - kEpoll (default): each worker owns an epoll instance; connections are
 //    registered once at adoption, and interest (EPOLLIN/EPOLLOUT) is only
 //    re-armed via EPOLL_CTL_MOD when it actually changes — no per-iteration
@@ -13,6 +13,15 @@
 //    burst to CommandHandler::HandleBatch (one per-shard lock per burst
 //    downstream), then flush the response segments with writev scatter-
 //    gather straight from the handler's segments — no concatenation copy.
+//  - kUring: the same burst model with the syscalls submerged into io_uring.
+//    Reads complete into a provided-buffer group the kernel picks from (no
+//    recv syscall, no dedicated buffer per armed connection), each burst's
+//    responses leave as one batched SENDMSG SQE, read re-arms and buffer
+//    returns ride the same io_uring_submit, the mailbox wake is a
+//    registered eventfd read, and the acceptor arms one multishot accept
+//    SQE instead of calling accept4 per connection. Requires kernel
+//    support, probed at Start(); otherwise falls back to kEpoll with a
+//    logged reason so restricted kernels/containers still serve.
 //  - kPoll: the original poll(2) loop, kept as the A/B baseline; it rebuilds
 //    its pollfd array per wakeup and calls Handle() per command.
 //
@@ -105,6 +114,12 @@ enum class SocketBackend : uint8_t {
   kPoll,   // original poll(2) loop: pollfd rebuild per wakeup, per-command
            // Handle() — the A/B baseline
   kEpoll,  // epoll + burst batching: register-once, HandleBatch, writev
+  kUring,  // io_uring: same burst model, but reads complete into a
+           // kernel-selected provided-buffer group, burst responses go out
+           // as one batched SENDMSG SQE, and re-arms ride the same submit —
+           // steady-state GET/SET costs no per-op syscall beyond it. Falls
+           // back to kEpoll at Start() (with a logged reason) when the
+           // kernel or a seccomp policy denies io_uring.
 };
 
 struct SocketServerConfig {
@@ -133,6 +148,19 @@ struct SocketServerConfig {
   // otherwise persist for the connection's lifetime — at 10k connections
   // one large burst each would pin gigabytes). 0 disables shrinking.
   size_t buffer_shrink_threshold = 256 * 1024;
+  // Uring backend: submission-queue depth per worker ring. Bounds how many
+  // SQEs (read re-arms, buffer returns, the burst write) one submit can
+  // carry; the kernel rounds up to a power of two and sizes the CQ at 2x.
+  unsigned uring_sq_entries = 256;
+  // Uring backend: provided-buffer group per worker — the pool kernel-side
+  // recv completions draw from. The pool only has to cover *completing*
+  // reads within one CQE drain (buffers are returned as soon as each
+  // completion is copied out), not armed connections, so it stays small
+  // even under the 1k-connection soak. -ENOBUFS completions are re-armed
+  // after the drain returns the buffers.
+  unsigned uring_read_buffers = 64;
+  // Uring backend: size of each provided buffer (one recv's max take).
+  unsigned uring_buffer_bytes = 64 * 1024;
 };
 
 class SocketServer {
@@ -150,6 +178,17 @@ class SocketServer {
 
   [[nodiscard]] uint16_t port() const { return port_; }
   [[nodiscard]] bool running() const { return running_.load(); }
+  // The backend actually serving after Start(): differs from the configured
+  // one exactly when kUring was requested but the runtime probe (ring init
+  // + opcode check) failed and the server fell back to epoll.
+  [[nodiscard]] SocketBackend effective_backend() const {
+    return effective_backend_;
+  }
+  // Non-empty exactly when a kUring request fell back to epoll; the same
+  // text is logged to stderr at Start().
+  [[nodiscard]] const std::string& backend_fallback_reason() const {
+    return fallback_reason_;
+  }
   // Connections currently open across all workers (tests/stats).
   [[nodiscard]] size_t active_connections() const {
     return active_connections_.load();
@@ -166,17 +205,38 @@ class SocketServer {
   [[nodiscard]] uint64_t buffer_releases() const {
     return buffer_releases_.load();
   }
+  // Uring backend test hooks: total io_uring_enter calls that carried
+  // submissions, and total SQEs they carried, summed over every worker ring
+  // and the acceptor ring. The batching proof asserts submits stays far
+  // below the op count (reads, writes, and re-arms share submits) while
+  // sqes_per_submit > 1. Both are 0 under poll/epoll or after fallback.
+  [[nodiscard]] uint64_t uring_submit_calls() const;
+  [[nodiscard]] uint64_t uring_submitted_sqes() const;
 
  private:
   struct Connection;
   struct Worker;
+  struct UringState;
 
   void AcceptLoop();
+  // io_uring acceptor: multishot accept on the acceptor ring (one armed SQE
+  // produces a CQE per connection) plus the wake pipe read armed through
+  // the same ring; EMFILE backoff is an IORING_OP_TIMEOUT instead of a
+  // blocking poll.
+  void AcceptLoopUring();
   // Distributes a batch of accepted fds to the least-loaded workers (one
   // mailbox lock and one wake byte per worker touched, not per fd).
   void DispatchAccepted(std::vector<int>* fds);
   void WorkerLoop(Worker* worker);        // poll(2) backend
   void WorkerLoopEpoll(Worker* worker);   // epoll burst backend
+  // io_uring burst backend: a CQE pump. Reads complete into the worker's
+  // provided-buffer group (zero syscalls per read), each completed read
+  // runs the same CollectBurst → HandleBatch → flush cycle, burst
+  // responses go out as one MSG_DONTWAIT SENDMSG SQE reaped inline (so the
+  // arena payload borrow ends inside the burst, exactly like epoll), spill
+  // drains via an async SEND of the stable write buffer, and every re-arm
+  // rides the next submit.
+  void WorkerLoopUring(Worker* worker);
   // Moves mailbox fds into owned connections (registering them with the
   // worker's epoll instance when it has one).
   void AdoptIncoming(Worker* worker);
@@ -216,8 +276,45 @@ class SocketServer {
   void MaybeReleaseBuffers(Connection* conn);
   void CloseConnection(Worker* worker, size_t index);
 
+  // --- uring backend helpers (no-ops unless effective_backend_ == kUring).
+  // Dispatches one completion: wake, read, write, buffer-return or cancel.
+  void DispatchUringCqe(Worker* worker, uint64_t user_data, int32_t res,
+                        uint32_t flags, std::vector<Command>* cmds,
+                        std::vector<ResponseSegment>* segments);
+  // The burst cycle + re-arm tail shared by read and write completions.
+  void ServiceConnectionUring(Worker* worker, Connection* conn,
+                              std::vector<Command>* cmds,
+                              std::vector<ResponseSegment>* segments);
+  // One burst's flush: batched SENDMSG SQE (MSG_DONTWAIT | MSG_NOSIGNAL),
+  // submitted with any queued re-arms and reaped inline — foreign CQEs
+  // surfacing during the wait are deferred to the main pump. Returns false
+  // on a dead socket.
+  bool UringFlushBurst(Worker* worker, Connection* conn,
+                       const std::vector<ResponseSegment>& segments,
+                       size_t count);
+  // Begins teardown: cancels armed SQEs and frees the connection once its
+  // in-flight count drains to zero (the fd must stay open until then — a
+  // recycled descriptor would route stale completions to a new peer).
+  void CloseConnectionUring(Worker* worker, Connection* conn);
+  void AdoptIncomingUring(Worker* worker);
+  // SQE preparation helpers (queue only — nothing hits the kernel until the
+  // next submit): provided-buffer RECV arm, async SEND of the wr tail,
+  // eventfd wake read (fixed file 0), single-buffer return, async cancel.
+  static void ArmUringRead(UringState* u, Connection* conn);
+  static void ArmUringWrite(UringState* u, Connection* conn);
+  static void ArmUringWake(UringState* u);
+  static void ProvideUringBuffer(UringState* u, unsigned bid);
+  static void QueueUringCancel(UringState* u, uint64_t target);
+  // Backend-appropriate worker wake: an 8-byte eventfd write (uring) or a
+  // wake-pipe byte (poll/epoll).
+  static void WakeWorker(Worker* worker);
+
   SocketServerConfig config_;
   CommandHandler* handler_;
+  // Set by Start(): config_.backend, unless a kUring request failed the
+  // runtime probe and fell back to kEpoll.
+  SocketBackend effective_backend_ = SocketBackend::kEpoll;
+  std::string fallback_reason_;
 
   int listen_fd_ = -1;
   int accept_wake_[2] = {-1, -1};
@@ -235,6 +332,9 @@ class SocketServer {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::thread acceptor_;
+  // Uring backend: the acceptor's own small ring (multishot accept + wake
+  // pipe read + EMFILE backoff timeout). Null under poll/epoll or fallback.
+  std::unique_ptr<UringState> accept_uring_;
 };
 
 }  // namespace net
